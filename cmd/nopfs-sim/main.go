@@ -1,0 +1,107 @@
+// nopfs-sim runs the paper's I/O performance simulator (Sec. 6): the Fig. 8
+// policy comparison across dataset/storage regimes, the Fig. 9 environment
+// sweep, and the Table 1 framework-characteristics summary.
+//
+// Usage:
+//
+//	nopfs-sim -scenario fig8b            # one Fig. 8 panel
+//	nopfs-sim -all                       # all six panels
+//	nopfs-sim -sweep                     # Fig. 9 environment study
+//	nopfs-sim -table1                    # Table 1 characteristics
+//	nopfs-sim -all -scale 1              # paper-scale datasets (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/sim"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "Fig. 8 panel id (fig8a..fig8f) or dataset name")
+	all := flag.Bool("all", false, "run every Fig. 8 panel")
+	sweep := flag.Bool("sweep", false, "run the Fig. 9 environment sweep")
+	table1 := flag.Bool("table1", false, "print the Table 1 framework comparison")
+	scale := flag.Float64("scale", 0.02, "dataset/capacity scale (1 = paper size)")
+	seed := flag.Uint64("seed", 42, "training PRNG seed")
+	flag.Parse()
+
+	switch {
+	case *table1:
+		printTable1()
+	case *sweep:
+		points, err := sim.Fig9Sweep(*scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Fig. 9: ImageNet-22k, NoPFS, 5x compute, 5 GB staging buffer")
+		sim.PrintSweep(os.Stdout, points)
+		staging, err := sim.Fig9StagingCheck(*scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nstaging-buffer preliminary (runtime vs staging GB, RAM=32, no SSD):")
+		for _, gb := range []int{1, 2, 4, 5} {
+			fmt.Printf("  %d GB: %.1fs\n", gb, staging[gb].ExecSeconds)
+		}
+	case *all:
+		for _, s := range sim.Fig8Scenarios() {
+			runOne(s, *scale, *seed)
+		}
+	case *scenario != "":
+		s, err := sim.ScenarioByID(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		runOne(s, *scale, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(s sim.Scenario, scale float64, seed uint64) {
+	results, err := sim.RunScenario(s, scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	sim.PrintScenario(os.Stdout, s, results)
+	fmt.Println()
+}
+
+// printTable1 reproduces Table 1: the qualitative capabilities of each
+// approach.
+func printTable1() {
+	type row struct {
+		name                                         string
+		sysScale, dataScale, fullRand, hwIndep, easy bool
+	}
+	rows := []row{
+		{"Double-buffering (PyTorch)", false, true, true, false, true},
+		{"tf.data", false, true, false, false, true},
+		{"Data sharding", true, false, false, false, true},
+		{"DeepIO", true, false, false, false, true},
+		{"LBANN data store", true, false, true, false, false},
+		{"Locality-aware loading", true, true, true, false, false},
+		{"NoPFS (this work)", true, true, true, true, true},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	fmt.Printf("%-28s %10s %10s %10s %10s %8s\n",
+		"approach", "sys-scale", "data-scale", "full-rand", "hw-indep", "easy")
+	for _, r := range rows {
+		fmt.Printf("%-28s %10s %10s %10s %10s %8s\n",
+			r.name, mark(r.sysScale), mark(r.dataScale), mark(r.fullRand), mark(r.hwIndep), mark(r.easy))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nopfs-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// nopfs-train reproduces the paper's real-system evaluation (Sec. 7) on the
+// simulated Piz Daint and Lassen machines: scaling studies (Figs. 10, 14,
+// 15), epoch-0 behaviour (Fig. 11), NoPFS cache statistics (Fig. 12), the
+// batch-size sweep (Fig. 13), and the end-to-end 90-epoch run (Fig. 16).
+//
+// Usage:
+//
+//	nopfs-train -fig 10                  # ImageNet-1k scaling, both machines
+//	nopfs-train -fig 12                  # NoPFS cache stats vs scale
+//	nopfs-train -fig 16 -scale 0.1       # end-to-end accuracy vs time
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perfmodel"
+	"repro/internal/trainer"
+)
+
+func main() {
+	fig := flag.Int("fig", 10, "figure to reproduce: 10, 11, 12, 13, 14, 15, or 16")
+	scale := flag.Float64("scale", 0.1, "dataset/capacity scale (1 = paper size)")
+	flag.Parse()
+
+	switch *fig {
+	case 10:
+		runExperiment("Fig. 10 (left): ResNet-50/ImageNet-1k on Piz Daint", trainer.Fig10PizDaint(*scale))
+		runExperiment("Fig. 10 (right): ResNet-50/ImageNet-1k on Lassen", trainer.Fig10Lassen(*scale))
+	case 11:
+		exp := trainer.Fig10PizDaint(*scale)
+		points, err := exp.Run()
+		check(err)
+		fmt.Println("Fig. 11: epoch-0 batch times on Piz Daint")
+		fmt.Printf("%-14s %6s %12s %12s %12s\n", "loader", "gpus", "median", "p95", "max")
+		for _, p := range points {
+			if p.Failed {
+				continue
+			}
+			fmt.Printf("%-14s %6d %11.3fs %11.3fs %11.3fs\n",
+				p.Loader, p.GPUs, p.Batch0.Median, p.Batch0.P95, p.Batch0.Max)
+		}
+	case 12:
+		exp := trainer.Fig10PizDaint(*scale)
+		points, err := exp.Run()
+		check(err)
+		fmt.Println("Fig. 12: NoPFS cache stats on Piz Daint (ImageNet-1k)")
+		fmt.Printf("%6s %12s %8s %8s %8s\n", "gpus", "stall", "pfs%", "remote%", "local%")
+		for _, p := range trainer.Fig12CacheStats(points) {
+			fmt.Printf("%6d %11.2fs %7.1f%% %7.1f%% %7.1f%%\n",
+				p.GPUs, p.StallSeconds,
+				100*p.LocFraction[perfmodel.LocPFS],
+				100*p.LocFraction[perfmodel.LocRemote],
+				100*p.LocFraction[perfmodel.LocLocal])
+		}
+	case 13:
+		fmt.Println("Fig. 13: batch-size sweep, ImageNet-1k, 128 Lassen GPUs")
+		fmt.Printf("%-14s %6s %12s %12s %12s\n", "loader", "batch", "median", "p95", "max")
+		for i, exp := range trainer.Fig13BatchSweep(*scale) {
+			batch := []int{32, 64, 96, 120}[i]
+			points, err := exp.Run()
+			check(err)
+			for _, p := range points {
+				fmt.Printf("%-14s %6d %11.3fs %11.3fs %11.3fs\n",
+					p.Loader, batch, p.Batch.Median, p.Batch.P95, p.Batch.Max)
+			}
+		}
+	case 14:
+		runExperiment("Fig. 14: ResNet-50/ImageNet-22k on Lassen", trainer.Fig14Lassen(*scale))
+	case 15:
+		runExperiment("Fig. 15: CosmoFlow on Lassen", trainer.Fig15Lassen(*scale))
+	case 16:
+		results, err := trainer.Fig16EndToEnd(*scale)
+		check(err)
+		fmt.Println("Fig. 16: end-to-end ResNet-50/ImageNet-1k, 256 Lassen GPUs, 90 epochs")
+		for _, r := range results {
+			if len(r.Curve) == 0 {
+				fmt.Printf("%-14s failed\n", r.Loader)
+				continue
+			}
+			fmt.Printf("%-14s total %.1f min, final top-1 %.1f%%\n",
+				r.Loader, r.TotalSeconds/60, r.FinalTop1)
+			for _, pt := range r.Curve {
+				if pt.Epoch%10 == 0 {
+					fmt.Printf("    epoch %2d  t=%8.1fs  top1=%.1f%%\n", pt.Epoch, pt.Seconds, pt.Top1Percent)
+				}
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runExperiment(title string, exp trainer.Experiment) {
+	points, err := exp.Run()
+	check(err)
+	fmt.Println(title)
+	fmt.Printf("%-14s %6s %14s %14s %12s %12s\n",
+		"loader", "gpus", "median epoch", "epoch 0", "batch p95", "batch max")
+	for _, p := range points {
+		if p.Failed {
+			fmt.Printf("%-14s %6d  FAILED: %s\n", p.Loader, p.GPUs, p.Reason)
+			continue
+		}
+		fmt.Printf("%-14s %6d %13.2fs %13.2fs %11.3fs %11.3fs\n",
+			p.Loader, p.GPUs, p.MedianEpoch, p.Epoch0Seconds, p.Batch.P95, p.Batch.Max)
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nopfs-train:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// System design with the performance simulator (the paper's Sec. 6.2 use
+// case): before buying hardware, sweep candidate storage configurations and
+// see which actually move training time.
+//
+// This reproduces the Fig. 9 methodology on a scaled ImageNet-22k: fix the
+// staging buffer (after verifying it is not the bottleneck), then sweep RAM
+// and SSD sizes under a 5x-compute future-accelerator assumption.
+//
+//	go run ./examples/sysdesign
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/sim"
+)
+
+func main() {
+	const scale = 0.005 // ImageNet-22k at 0.5% size; regimes preserved
+
+	// Step 1: is the staging buffer a limiting factor? (Paper: no.)
+	staging, err := sim.Fig9StagingCheck(scale, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("step 1: staging buffer sweep (RAM=32 GB, no SSD):")
+	for _, gb := range []int{1, 2, 4, 5} {
+		fmt.Printf("  staging %d GB -> %.1fs\n", gb, staging[gb].ExecSeconds)
+	}
+	fmt.Println("  => staging size is irrelevant here; fix it at 5 GB")
+
+	// Step 2: the RAM x SSD grid.
+	points, err := sim.Fig9Sweep(scale, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstep 2: RAM x SSD sweep (NoPFS, ImageNet-22k, 5x compute):")
+	sim.PrintSweep(os.Stdout, points)
+
+	// Step 3: read off the design guidance the paper highlights.
+	byCfg := map[[2]int]float64{}
+	for _, p := range points {
+		byCfg[[2]int{p.RAMGB, p.SSDGB}] = p.Result.ExecSeconds
+	}
+	fmt.Println("\ndesign observations (paper Sec. 6.2):")
+	fmt.Printf("  max RAM, no SSD:    %.1fs\n", byCfg[[2]int{512, 0}])
+	fmt.Printf("  max RAM, max SSD:   %.1fs  (SSD barely matters once RAM is large)\n", byCfg[[2]int{512, 1024}])
+	fmt.Printf("  min RAM, no SSD:    %.1fs\n", byCfg[[2]int{32, 0}])
+	fmt.Printf("  min RAM, max SSD:   %.1fs  (cheap SSD compensates for scarce RAM)\n", byCfg[[2]int{32, 1024}])
+}

@@ -1,0 +1,228 @@
+// Package access implements NoPFS's clairvoyant access-stream analysis
+// (paper Secs. 2 and 3).
+//
+// Mini-batch SGD shuffles the dataset indices once per epoch and partitions
+// each global batch among the N data-parallel workers. Because the shuffle
+// is a pure function of a PRNG seed, every worker can reconstruct the entire
+// access stream R for every worker, for every epoch, before training starts.
+// That reconstruction — the Plan — is the input to NoPFS's caching policy,
+// the performance model, and the simulator.
+package access
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// SampleID identifies a sample within a dataset. int32 keeps the large
+// materialised streams (ImageNet-22k has 14.2M samples) compact.
+type SampleID = int32
+
+// Plan describes a training run's access pattern: it is the clairvoyant
+// oracle. All methods are deterministic functions of the exported fields, so
+// two workers constructing a Plan from the same values always agree.
+type Plan struct {
+	Seed uint64 // PRNG seed generating every epoch's shuffle
+	F    int    // number of samples in the dataset
+	N    int    // number of workers
+	E    int    // number of epochs
+	// BatchPerWorker is the per-worker mini-batch size b_i; the global
+	// batch is B = N * BatchPerWorker.
+	BatchPerWorker int
+	// DropLast drops the final, smaller iteration when F is not a
+	// multiple of the global batch (PyTorch drop_last semantics).
+	DropLast bool
+}
+
+// Validate reports whether the plan's parameters are usable.
+func (p *Plan) Validate() error {
+	switch {
+	case p.F <= 0:
+		return errors.New("access: plan needs F > 0 samples")
+	case p.N <= 0:
+		return errors.New("access: plan needs N > 0 workers")
+	case p.E <= 0:
+		return errors.New("access: plan needs E > 0 epochs")
+	case p.BatchPerWorker <= 0:
+		return errors.New("access: plan needs BatchPerWorker > 0")
+	case p.GlobalBatch() > p.F:
+		return fmt.Errorf("access: global batch %d exceeds dataset size %d", p.GlobalBatch(), p.F)
+	}
+	return nil
+}
+
+// GlobalBatch returns B = N * BatchPerWorker.
+func (p *Plan) GlobalBatch() int { return p.N * p.BatchPerWorker }
+
+// IterationsPerEpoch returns T, the number of iterations in one epoch:
+// floor(F/B), or ceil(F/B) when the trailing partial batch is kept.
+func (p *Plan) IterationsPerEpoch() int {
+	b := p.GlobalBatch()
+	t := p.F / b
+	if !p.DropLast && p.F%b != 0 {
+		t++
+	}
+	return t
+}
+
+// EpochLimit returns how many entries of the epoch-wide shuffled order are
+// consumed in one epoch (F, or T*B when the partial batch is dropped).
+func (p *Plan) EpochLimit() int { return p.epochLimit() }
+
+// epochLimit returns how many entries of the epoch-wide shuffled order are
+// consumed in one epoch (F, or T*B when the partial batch is dropped).
+func (p *Plan) epochLimit() int {
+	if p.DropLast {
+		return (p.F / p.GlobalBatch()) * p.GlobalBatch()
+	}
+	return p.F
+}
+
+// SamplesPerEpoch returns how many samples worker i consumes per epoch.
+// Workers are assigned positions p of the shuffled order with p mod N == i,
+// so counts differ by at most one when a partial batch is kept.
+func (p *Plan) SamplesPerEpoch(worker int) int {
+	limit := p.epochLimit()
+	if worker >= limit%p.N {
+		return limit / p.N
+	}
+	return limit/p.N + 1
+}
+
+// StreamLen returns the total length of worker i's access stream R.
+func (p *Plan) StreamLen(worker int) int { return p.E * p.SamplesPerEpoch(worker) }
+
+// epochGen returns the generator driving epoch e's shuffle. Each epoch gets
+// an independently derived stream so any epoch's order can be produced
+// without generating its predecessors.
+func (p *Plan) epochGen(e int) *prng.Generator {
+	return prng.New(p.Seed).Derive(uint64(e) + 1)
+}
+
+// EpochOrder returns the global shuffled sample order for epoch e
+// (0-indexed). The returned slice is freshly allocated.
+func (p *Plan) EpochOrder(e int) []SampleID {
+	if e < 0 || e >= p.E {
+		panic(fmt.Sprintf("access: epoch %d out of range [0,%d)", e, p.E))
+	}
+	order := make([]SampleID, p.F)
+	for i := range order {
+		order[i] = SampleID(i)
+	}
+	g := p.epochGen(e)
+	for i := len(order) - 1; i > 0; i-- {
+		j := g.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// WorkerEpochFromOrder extracts worker i's per-epoch access sequence from a
+// precomputed EpochOrder, avoiding re-shuffles when iterating workers.
+func (p *Plan) WorkerEpochFromOrder(order []SampleID, worker int) []SampleID {
+	limit := p.epochLimit()
+	out := make([]SampleID, 0, limit/p.N+1)
+	for pos := worker; pos < limit; pos += p.N {
+		out = append(out, order[pos])
+	}
+	return out
+}
+
+// WorkerEpoch returns worker i's access sequence for epoch e.
+func (p *Plan) WorkerEpoch(worker, e int) []SampleID {
+	return p.WorkerEpochFromOrder(p.EpochOrder(e), worker)
+}
+
+// WorkerStream returns worker i's full access stream R across all epochs.
+// For very large plans prefer iterating epochs with EpochOrder to bound
+// memory; this materialises E*F/N entries.
+func (p *Plan) WorkerStream(worker int) []SampleID {
+	out := make([]SampleID, 0, p.StreamLen(worker))
+	for e := 0; e < p.E; e++ {
+		out = append(out, p.WorkerEpoch(worker, e)...)
+	}
+	return out
+}
+
+// AllWorkerStreams materialises every worker's access stream in one pass
+// over the epochs. Total memory is E*F entries of 4 bytes, independent of N,
+// which keeps large-N plans (e.g. 1024 workers) tractable where per-worker
+// dense frequency tables would not be.
+func (p *Plan) AllWorkerStreams() [][]SampleID {
+	streams := make([][]SampleID, p.N)
+	for w := range streams {
+		streams[w] = make([]SampleID, 0, p.StreamLen(w))
+	}
+	for e := 0; e < p.E; e++ {
+		order := p.EpochOrder(e)
+		limit := p.epochLimit()
+		for pos := 0; pos < limit; pos++ {
+			w := pos % p.N
+			streams[w] = append(streams[w], order[pos])
+		}
+	}
+	return streams
+}
+
+// Frequencies returns, for every worker, the number of times that worker
+// accesses each sample across all E epochs: freqs[worker][sample].
+// This is the access-frequency disparity of Sec. 3.1 that drives NoPFS's
+// cache placement. One pass per epoch keeps peak memory at O(F).
+func (p *Plan) Frequencies() [][]int32 {
+	freqs := make([][]int32, p.N)
+	for i := range freqs {
+		freqs[i] = make([]int32, p.F)
+	}
+	for e := 0; e < p.E; e++ {
+		order := p.EpochOrder(e)
+		limit := p.epochLimit()
+		for pos := 0; pos < limit; pos++ {
+			freqs[pos%p.N][order[pos]]++
+		}
+	}
+	return freqs
+}
+
+// WorkerFrequencies returns the per-sample access counts for one worker.
+func (p *Plan) WorkerFrequencies(worker int) []int32 {
+	freq := make([]int32, p.F)
+	for e := 0; e < p.E; e++ {
+		order := p.EpochOrder(e)
+		limit := p.epochLimit()
+		for pos := worker; pos < limit; pos += p.N {
+			freq[order[pos]]++
+		}
+	}
+	return freq
+}
+
+// Hash returns a deterministic digest of the plan parameters and the first
+// epoch's shuffle. In the live system workers exchange this digest instead
+// of the full access streams: equality guarantees identical plans because
+// every stream is a pure function of the parameters.
+func (p *Plan) Hash() uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(p.Seed)
+	mix(uint64(p.F))
+	mix(uint64(p.N))
+	mix(uint64(p.E))
+	mix(uint64(p.BatchPerWorker))
+	if p.DropLast {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	// Fold in a sample of the first epoch's shuffle so disagreement in the
+	// shuffle algorithm itself is also detected.
+	g := p.epochGen(0)
+	for i := 0; i < 16; i++ {
+		mix(g.Uint64())
+	}
+	return h
+}

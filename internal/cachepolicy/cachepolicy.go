@@ -1,0 +1,416 @@
+// Package cachepolicy computes which samples each worker caches in which
+// storage class.
+//
+// The NoPFS assignment implements paper Sec. 5.1: each worker ranks samples
+// by its own access frequency r_k (computed clairvoyantly from the seed) and
+// greedily assigns the most frequently accessed samples to its fastest
+// storage class, spilling to slower classes until either the whole dataset
+// is cached or local capacity is exhausted. Lemma 1 guarantees that samples
+// a worker rarely touches are frequently touched — and therefore cached — by
+// some other worker, which is what makes the distributed cache effective.
+//
+// Baseline placements (first-touch caching as used by the LBANN data store
+// and DeepIO, static sharding as used by ParallelStaging and LocalityAware,
+// and RAM-only preloading) are provided for the simulator's comparisons.
+//
+// Each placement records the holder's stream position at which the sample
+// becomes available, which implements the paper's remote-progress heuristic
+// (Sec. 5.2.2): a worker at stream position f assumes a peer has cached a
+// sample iff the peer's fill position for it is below f, mirroring "if the
+// local prefetching has reached the corresponding access stream location,
+// the remote worker likely has, too".
+//
+// Throughout, 1 MB = 2^20 bytes.
+package cachepolicy
+
+import (
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/hwspec"
+)
+
+// bytesPerMB converts hwspec capacities to bytes.
+const bytesPerMB = 1 << 20
+
+// Sizer is the subset of dataset.Dataset the policy needs.
+type Sizer interface {
+	Len() int
+	Size(id int) int64
+}
+
+// NotCached marks a sample absent from a worker's local hierarchy.
+const NotCached = int8(-1)
+
+// AlwaysAvail marks a placement available from the start of training
+// (prestaged data), regardless of the asker's progress.
+const AlwaysAvail = int32(-1)
+
+// Assignment is the materialised placement: for every worker, which class
+// (index into hwspec.Node.Classes, 0 = fastest) holds each sample, plus the
+// order in which each class should be filled and O(1) lookup of the best
+// remote holder together with its availability position.
+type Assignment struct {
+	N int
+	// localClass[w][k] is the class caching sample k on worker w, or
+	// NotCached.
+	localClass [][]int8
+	// localPos[w][k] is the holder-stream position at which the local copy
+	// exists (AlwaysAvail for prestaged placements).
+	localPos [][]int32
+	// FillOrder[w][c] lists the samples assigned to worker w's class c in
+	// first-access order — the prefetchers' fill schedule (Rule 1).
+	FillOrder [][][]int32
+	// Best two holders per sample, so RemoteAvail can exclude the asking
+	// worker in O(1).
+	best1Class, best2Class   []int8
+	best1Worker, best2Worker []int32
+	best1Pos, best2Pos       []int32
+	// CachedBytes[w] is the total bytes worker w caches.
+	CachedBytes []int64
+}
+
+// newAssignment allocates an empty assignment for n workers over f samples
+// with nClasses storage classes each.
+func newAssignment(n, f, nClasses int) *Assignment {
+	a := &Assignment{
+		N:           n,
+		localClass:  make([][]int8, n),
+		localPos:    make([][]int32, n),
+		FillOrder:   make([][][]int32, n),
+		best1Class:  make([]int8, f),
+		best2Class:  make([]int8, f),
+		best1Worker: make([]int32, f),
+		best2Worker: make([]int32, f),
+		best1Pos:    make([]int32, f),
+		best2Pos:    make([]int32, f),
+		CachedBytes: make([]int64, n),
+	}
+	for w := 0; w < n; w++ {
+		lc := make([]int8, f)
+		lp := make([]int32, f)
+		for k := range lc {
+			lc[k] = NotCached
+		}
+		a.localClass[w] = lc
+		a.localPos[w] = lp
+		a.FillOrder[w] = make([][]int32, nClasses)
+	}
+	for k := 0; k < f; k++ {
+		a.best1Class[k], a.best2Class[k] = NotCached, NotCached
+		a.best1Worker[k], a.best2Worker[k] = -1, -1
+	}
+	return a
+}
+
+// posBefore orders availability positions: prestaged (AlwaysAvail) sorts
+// before any stream position.
+func posBefore(a, b int32) bool {
+	if a == AlwaysAvail {
+		return b != AlwaysAvail
+	}
+	if b == AlwaysAvail {
+		return false
+	}
+	return a < b
+}
+
+// place records sample k in worker w's class c, available from the holder's
+// stream position pos, and maintains the per-sample best-holder pair.
+// Holders are ranked by (class speed, availability position): among
+// same-class holders the one whose copy exists earliest wins, so the
+// remote-availability heuristic consults the peer most likely to already
+// have the sample (typically its epoch-0 toucher).
+func (a *Assignment) place(w int, k int32, c int8, size int64, pos int32) {
+	a.localClass[w][k] = c
+	a.localPos[w][k] = pos
+	a.FillOrder[w][c] = append(a.FillOrder[w][c], k)
+	a.CachedBytes[w] += size
+	beats := func(bc int8, bp int32) bool {
+		return bc == NotCached || c < bc || (c == bc && posBefore(pos, bp))
+	}
+	switch {
+	case beats(a.best1Class[k], a.best1Pos[k]):
+		a.best2Class[k], a.best2Worker[k], a.best2Pos[k] = a.best1Class[k], a.best1Worker[k], a.best1Pos[k]
+		a.best1Class[k], a.best1Worker[k], a.best1Pos[k] = c, int32(w), pos
+	case beats(a.best2Class[k], a.best2Pos[k]):
+		a.best2Class[k], a.best2Worker[k], a.best2Pos[k] = c, int32(w), pos
+	}
+}
+
+// Local returns the class caching sample k on worker w, or -1.
+func (a *Assignment) Local(w int, k int32) int { return int(a.localClass[w][k]) }
+
+// LocalPos returns the stream position at which worker w's copy of sample k
+// becomes available (its first access for NoPFS placements, AlwaysAvail for
+// prestaged ones). Only meaningful when Local(w, k) >= 0.
+func (a *Assignment) LocalPos(w int, k int32) int32 { return a.localPos[w][k] }
+
+// LocalAvail returns the class caching sample k on worker w if that copy
+// exists by the time the worker reaches stream position pos, else -1.
+func (a *Assignment) LocalAvail(w int, k int32, pos int32) int {
+	c := a.localClass[w][k]
+	if c == NotCached {
+		return -1
+	}
+	if p := a.localPos[w][k]; p != AlwaysAvail && p >= pos {
+		return -1
+	}
+	return int(c)
+}
+
+// RemoteBest returns the fastest class holding sample k on any worker other
+// than w, and that worker's rank; (-1, -1) if no other worker caches k.
+func (a *Assignment) RemoteBest(w int, k int32) (class, worker int) {
+	if a.best1Class[k] != NotCached && a.best1Worker[k] != int32(w) {
+		return int(a.best1Class[k]), int(a.best1Worker[k])
+	}
+	if a.best2Class[k] != NotCached && a.best2Worker[k] != int32(w) {
+		return int(a.best2Class[k]), int(a.best2Worker[k])
+	}
+	return -1, -1
+}
+
+// RemoteAvail is RemoteBest restricted to holders estimated to have cached
+// the sample by the time the asker is at stream position pos (the paper's
+// symmetric-progress heuristic: all workers advance in lockstep, so a
+// holder's progress equals the asker's).
+func (a *Assignment) RemoteAvail(w int, k int32, pos int32) (class, worker int) {
+	if a.best1Class[k] != NotCached && a.best1Worker[k] != int32(w) &&
+		(a.best1Pos[k] == AlwaysAvail || a.best1Pos[k] < pos) {
+		return int(a.best1Class[k]), int(a.best1Worker[k])
+	}
+	if a.best2Class[k] != NotCached && a.best2Worker[k] != int32(w) &&
+		(a.best2Pos[k] == AlwaysAvail || a.best2Pos[k] < pos) {
+		return int(a.best2Class[k]), int(a.best2Worker[k])
+	}
+	return -1, -1
+}
+
+// CachedAnywhere reports whether any worker caches sample k.
+func (a *Assignment) CachedAnywhere(k int32) bool { return a.best1Class[k] != NotCached }
+
+// Coverage returns the fraction of dataset bytes cached on at least one
+// worker — the "does not access the entire dataset" diagnostic from Fig. 8
+// applies when a policy restricts reads to cached samples with coverage < 1.
+func (a *Assignment) Coverage(ds Sizer) float64 {
+	var cached, total int64
+	for k := 0; k < ds.Len(); k++ {
+		sz := ds.Size(k)
+		total += sz
+		if a.best1Class[int32(k)] != NotCached {
+			cached += sz
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cached) / float64(total)
+}
+
+// classCaps extracts per-class byte capacities from a node spec.
+func classCaps(node hwspec.Node) []int64 {
+	caps := make([]int64, len(node.Classes))
+	for i, c := range node.Classes {
+		caps[i] = int64(c.CapacityMB * bytesPerMB)
+	}
+	return caps
+}
+
+// BuildNoPFS computes the NoPFS frequency-based assignment for every worker
+// of the plan. Samples a worker never accesses are not cached by it: with
+// full-dataset randomization every sample has freq ≥ 1 somewhere, so global
+// coverage is unaffected, and local capacity is reserved for samples the
+// worker will actually consume. The recorded availability position of each
+// placement is the holder's first access (the copy exists once the holder
+// has pulled the sample for its own consumption).
+//
+// Peak memory is O(E*F) for the materialised streams plus O(F) scratch,
+// independent of N, so plans with many workers stay tractable.
+func BuildNoPFS(plan *access.Plan, ds Sizer, node hwspec.Node) *Assignment {
+	streams := plan.AllWorkerStreams()
+	return BuildNoPFSFromStreams(plan, streams, ds, node)
+}
+
+// BuildNoPFSFromStreams is BuildNoPFS for callers that already materialised
+// the worker streams (the simulator reuses them).
+func BuildNoPFSFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
+	return buildFromStreams(plan, streams, ds, node, false)
+}
+
+// BuildRandomFromStreams is the placement ablation: identical machinery to
+// the NoPFS assignment, but candidates fill the hierarchy in arbitrary
+// (first-access) order instead of by access frequency. Comparing it against
+// BuildNoPFS isolates the contribution of the Sec. 3.1 frequency analysis.
+func BuildRandomFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
+	return buildFromStreams(plan, streams, ds, node, true)
+}
+
+func buildFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node, ignoreFreq bool) *Assignment {
+	a := newAssignment(plan.N, plan.F, len(node.Classes))
+	caps := classCaps(node)
+
+	// Reusable per-worker scratch; reset only the touched entries.
+	freq := make([]int32, plan.F)
+	firstPos := make([]int32, plan.F)
+	for k := range firstPos {
+		firstPos[k] = -1
+	}
+
+	for w := 0; w < plan.N; w++ {
+		stream := streams[w]
+		for pos, k := range stream {
+			if firstPos[k] < 0 {
+				firstPos[k] = int32(pos)
+			}
+			freq[k]++
+		}
+		// Candidates: distinct samples this worker accesses, most frequent
+		// first; among equals, the one needed soonest.
+		cand := make([]int32, 0, len(stream))
+		for _, k := range stream {
+			if freq[k] > 0 {
+				cand = append(cand, k)
+				freq[k] = -freq[k] // mark visited, preserve magnitude
+			}
+		}
+		for _, k := range cand {
+			freq[k] = -freq[k]
+		}
+		if ignoreFreq {
+			sort.Slice(cand, func(i, j int) bool { return firstPos[cand[i]] < firstPos[cand[j]] })
+		} else {
+			sort.Slice(cand, func(i, j int) bool {
+				ki, kj := cand[i], cand[j]
+				if freq[ki] != freq[kj] {
+					return freq[ki] > freq[kj]
+				}
+				return firstPos[ki] < firstPos[kj]
+			})
+		}
+		fillGreedy(a, w, cand, ds, caps, firstPos)
+		sortFillOrders(a, w, firstPos)
+		// Reset scratch for the next worker.
+		for _, k := range stream {
+			freq[k] = 0
+			firstPos[k] = -1
+		}
+	}
+	return a
+}
+
+// fillGreedy assigns candidates to worker w's classes fastest-first until
+// capacity runs out. A sample too large for the remaining space of one class
+// falls through to the next.
+func fillGreedy(a *Assignment, w int, cand []int32, ds Sizer, caps []int64, firstPos []int32) {
+	remaining := append([]int64(nil), caps...)
+	for _, k := range cand {
+		sz := ds.Size(int(k))
+		for c := range remaining {
+			if remaining[c] >= sz {
+				remaining[c] -= sz
+				a.place(w, k, int8(c), sz, firstPos[k])
+				break
+			}
+		}
+	}
+}
+
+// sortFillOrders orders each class's fill list by first access so the
+// prefetchers load soonest-needed samples first (Rule 1).
+func sortFillOrders(a *Assignment, w int, firstPos []int32) {
+	for c := range a.FillOrder[w] {
+		list := a.FillOrder[w][c]
+		sort.Slice(list, func(i, j int) bool { return firstPos[list[i]] < firstPos[list[j]] })
+	}
+}
+
+// BuildFirstTouch computes the first-touch placement used by the LBANN data
+// store's dynamic mode and by DeepIO: during epoch 0, the first worker to
+// read a sample caches it in RAM (class 0) if it still has room. The
+// availability position is the owner's epoch-0 stream position of that first
+// touch.
+func BuildFirstTouch(plan *access.Plan, ds Sizer, node hwspec.Node) *Assignment {
+	a := newAssignment(plan.N, plan.F, maxInt(len(node.Classes), 1))
+	if len(node.Classes) == 0 {
+		return a
+	}
+	ramCap := int64(node.Classes[0].CapacityMB * bytesPerMB)
+	remaining := make([]int64, plan.N)
+	for w := range remaining {
+		remaining[w] = ramCap
+	}
+	order := plan.EpochOrder(0)
+	limit := plan.EpochLimit()
+	localPos := make([]int32, plan.N)
+	for p := 0; p < limit; p++ {
+		w := p % plan.N
+		k := order[p]
+		if !a.CachedAnywhere(k) {
+			sz := ds.Size(int(k))
+			if remaining[w] >= sz {
+				remaining[w] -= sz
+				a.place(w, k, 0, sz, localPos[w])
+			}
+		}
+		localPos[w]++
+	}
+	return a
+}
+
+// BuildShard computes the static round-robin sharding used by the
+// ParallelStaging and LocalityAware baselines: sample k lives on worker
+// k mod N, packed into classes fastest-first until capacity is exhausted.
+// With S > N*D part of the dataset is nowhere cached (coverage < 1).
+// Placements are prestaged (AlwaysAvail).
+func BuildShard(f, n int, ds Sizer, node hwspec.Node) *Assignment {
+	a := newAssignment(n, f, len(node.Classes))
+	caps := classCaps(node)
+	remaining := make([][]int64, n)
+	for w := range remaining {
+		remaining[w] = append([]int64(nil), caps...)
+	}
+	for k := int32(0); int(k) < f; k++ {
+		w := int(k) % n
+		sz := ds.Size(int(k))
+		for c := range remaining[w] {
+			if remaining[w][c] >= sz {
+				remaining[w][c] -= sz
+				a.place(w, k, int8(c), sz, AlwaysAvail)
+				break
+			}
+		}
+	}
+	return a
+}
+
+// BuildPreload computes the LBANN-preloading placement: each worker loads
+// its shard into RAM (class 0) only; samples that do not fit are not cached.
+// Placements are prestaged (AlwaysAvail).
+func BuildPreload(f, n int, ds Sizer, node hwspec.Node) *Assignment {
+	a := newAssignment(n, f, maxInt(len(node.Classes), 1))
+	if len(node.Classes) == 0 {
+		return a
+	}
+	ramCap := int64(node.Classes[0].CapacityMB * bytesPerMB)
+	remaining := make([]int64, n)
+	for w := range remaining {
+		remaining[w] = ramCap
+	}
+	for k := int32(0); int(k) < f; k++ {
+		w := int(k) % n
+		sz := ds.Size(int(k))
+		if remaining[w] >= sz {
+			remaining[w] -= sz
+			a.place(w, k, 0, sz, AlwaysAvail)
+		}
+	}
+	return a
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

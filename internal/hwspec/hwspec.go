@@ -1,0 +1,258 @@
+// Package hwspec describes the hardware NoPFS runs on: storage classes with
+// capacity and thread-dependent throughput, the parallel filesystem with its
+// client-count-dependent aggregate bandwidth t(γ), the interconnect, and
+// whole-system presets for the machines in the paper (the Sec. 6.1 small
+// cluster, Piz Daint, and Lassen).
+//
+// All capacities are in MB and all rates in MB/s, matching the paper's
+// notation (Table 2). Throughput curves are piecewise linear through the
+// measured points with linear-regression extension beyond them, exactly the
+// approach the paper's configuration manager takes ("inferred using linear
+// regression when the exact value is not available", Sec. 5.2.2).
+package hwspec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ThroughputCurve maps a load parameter (reader threads for storage classes,
+// concurrent clients for the PFS) to aggregate throughput in MB/s.
+type ThroughputCurve struct {
+	// Points and MBps are parallel slices of measured (load, throughput)
+	// knots; Points must be strictly increasing.
+	Points []float64
+	MBps   []float64
+	// Cap, when positive, bounds regression-based extrapolation beyond the
+	// last knot — real devices and filesystems saturate. When zero,
+	// extrapolation is flat at the last measured value.
+	Cap float64
+}
+
+// Flat returns a curve that reports the same throughput at any load.
+func Flat(mbps float64) ThroughputCurve {
+	return ThroughputCurve{Points: []float64{1}, MBps: []float64{mbps}}
+}
+
+// Validate reports whether the curve is well-formed.
+func (c ThroughputCurve) Validate() error {
+	if len(c.Points) == 0 || len(c.Points) != len(c.MBps) {
+		return errors.New("hwspec: curve needs matching non-empty knots")
+	}
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i] <= c.Points[i-1] {
+			return fmt.Errorf("hwspec: curve knots not increasing at %d", i)
+		}
+	}
+	for i, v := range c.MBps {
+		if v <= 0 {
+			return fmt.Errorf("hwspec: non-positive throughput at knot %d", i)
+		}
+	}
+	return nil
+}
+
+// At returns the aggregate throughput at the given load. Within the measured
+// range it interpolates linearly; past the last knot it extends the
+// least-squares regression line through the knots, clamped to Cap (when set)
+// and never below the last measured value's floor at zero slope.
+func (c ThroughputCurve) At(load float64) float64 {
+	if len(c.Points) == 1 {
+		return c.MBps[0]
+	}
+	last := c.Points[len(c.Points)-1]
+	if load <= last {
+		return stats.InterpolateMonotone(c.Points, c.MBps, load)
+	}
+	a, b := stats.LinearRegression(c.Points, c.MBps)
+	v := a + b*load
+	lastV := c.MBps[len(c.MBps)-1]
+	if v < lastV {
+		v = lastV // throughput does not drop below the saturated value
+	}
+	if c.Cap > 0 && v > c.Cap {
+		v = c.Cap
+	}
+	return v
+}
+
+// StorageClass describes one level of a worker's storage hierarchy
+// (paper: capacity d_j, read/write throughput r_j(p), w_j(p), and the
+// prefetch thread count p_j used by NoPFS).
+type StorageClass struct {
+	Name       string
+	CapacityMB float64
+	Read       ThroughputCurve
+	Write      ThroughputCurve
+	// Threads is p_j, the number of prefetcher threads assigned to this
+	// class.
+	Threads int
+}
+
+// Validate reports whether the class is usable.
+func (s StorageClass) Validate() error {
+	if s.CapacityMB <= 0 {
+		return fmt.Errorf("hwspec: class %q needs positive capacity", s.Name)
+	}
+	if s.Threads <= 0 {
+		return fmt.Errorf("hwspec: class %q needs at least one thread", s.Name)
+	}
+	if err := s.Read.Validate(); err != nil {
+		return fmt.Errorf("class %q read: %w", s.Name, err)
+	}
+	if err := s.Write.Validate(); err != nil {
+		return fmt.Errorf("class %q write: %w", s.Name, err)
+	}
+	return nil
+}
+
+// ReadPerThread returns r_j(p_j)/p_j, the per-thread random read bandwidth
+// at the configured thread count — the rate one prefetch or serve operation
+// proceeds at (paper Sec. 4).
+func (s StorageClass) ReadPerThread() float64 {
+	return s.Read.At(float64(s.Threads)) / float64(s.Threads)
+}
+
+// WritePerThread returns w_j(p_j)/p_j.
+func (s StorageClass) WritePerThread() float64 {
+	return s.Write.At(float64(s.Threads)) / float64(s.Threads)
+}
+
+// PFS describes the shared parallel filesystem: aggregate read throughput
+// t(γ) as a function of concurrent clients γ.
+type PFS struct {
+	Read ThroughputCurve
+	// RandomFraction derates the curve for the random small-file reads
+	// training performs: published t(γ) figures are streaming (IOR-style)
+	// aggregates, while per-sample random reads achieve only a fraction
+	// of that on real filesystems. 0 means 1.0 (no derating). The
+	// effective per-client share used by the performance model is
+	// RandomFraction * t(γ)/γ.
+	RandomFraction float64
+}
+
+// randomFraction returns the derating factor, defaulting to 1.
+func (p PFS) randomFraction() float64 {
+	if p.RandomFraction <= 0 {
+		return 1
+	}
+	return p.RandomFraction
+}
+
+// Aggregate returns t(γ).
+func (p PFS) Aggregate(clients int) float64 {
+	if clients < 1 {
+		clients = 1
+	}
+	return p.Read.At(float64(clients))
+}
+
+// PerClient returns t(γ)/γ, the share of streaming PFS bandwidth one of γ
+// concurrent readers obtains.
+func (p PFS) PerClient(clients int) float64 {
+	if clients < 1 {
+		clients = 1
+	}
+	return p.Aggregate(clients) / float64(clients)
+}
+
+// EffectivePerClient returns the per-client share for random per-sample
+// reads: RandomFraction * t(γ)/γ. This is the rate the performance model
+// charges PFS fetches at.
+func (p PFS) EffectivePerClient(clients int) float64 {
+	return p.randomFraction() * p.PerClient(clients)
+}
+
+// Node describes the resources available to one worker (one rank). Storage
+// classes are ordered fastest first; the staging buffer is class 0 and is
+// held separately because it is managed as a consumption window, not a
+// cache.
+type Node struct {
+	Staging StorageClass
+	// Classes are the cacheable levels (RAM, SSD, ...), fastest first.
+	Classes []StorageClass
+	// InterconnectMBps is b_c, the point-to-point bandwidth between two
+	// workers.
+	InterconnectMBps float64
+}
+
+// Validate reports whether the node spec is usable.
+func (n Node) Validate() error {
+	if err := n.Staging.Validate(); err != nil {
+		return err
+	}
+	for _, c := range n.Classes {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < len(n.Classes); i++ {
+		if n.Classes[i].ReadPerThread() > n.Classes[i-1].ReadPerThread() {
+			return fmt.Errorf("hwspec: classes not ordered fastest-first (%q faster than %q)",
+				n.Classes[i].Name, n.Classes[i-1].Name)
+		}
+	}
+	if n.InterconnectMBps <= 0 {
+		return errors.New("hwspec: node needs positive interconnect bandwidth")
+	}
+	return nil
+}
+
+// TotalLocalMB returns D, the total cacheable local storage of a worker
+// (excluding the staging buffer, per the paper's definition).
+func (n Node) TotalLocalMB() float64 {
+	var d float64
+	for _, c := range n.Classes {
+		d += c.CapacityMB
+	}
+	return d
+}
+
+// System couples a PFS with homogeneous worker nodes.
+type System struct {
+	Name string
+	PFS  PFS
+	Node Node
+}
+
+// Validate reports whether the system spec is usable.
+func (s System) Validate() error {
+	if err := s.PFS.Read.Validate(); err != nil {
+		return fmt.Errorf("system %q pfs: %w", s.Name, err)
+	}
+	if err := s.Node.Validate(); err != nil {
+		return fmt.Errorf("system %q node: %w", s.Name, err)
+	}
+	return nil
+}
+
+// Workload captures the training-side parameters of the performance model:
+// compute throughput c, preprocessing rate β (both MB/s), the per-worker
+// batch size, epoch count, and worker count.
+type Workload struct {
+	Name           string
+	ComputeMBps    float64 // c
+	PreprocMBps    float64 // β
+	BatchPerWorker int
+	Epochs         int
+	Workers        int
+}
+
+// Validate reports whether the workload is usable.
+func (w Workload) Validate() error {
+	switch {
+	case w.ComputeMBps <= 0:
+		return errors.New("hwspec: workload needs c > 0")
+	case w.PreprocMBps <= 0:
+		return errors.New("hwspec: workload needs β > 0")
+	case w.BatchPerWorker <= 0:
+		return errors.New("hwspec: workload needs batch > 0")
+	case w.Epochs <= 0:
+		return errors.New("hwspec: workload needs epochs > 0")
+	case w.Workers <= 0:
+		return errors.New("hwspec: workload needs workers > 0")
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package hwspec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlatCurve(t *testing.T) {
+	c := Flat(500)
+	for _, load := range []float64{0.5, 1, 4, 100} {
+		if got := c.At(load); got != 500 {
+			t.Errorf("Flat(500).At(%v) = %v", load, got)
+		}
+	}
+}
+
+func TestCurveValidate(t *testing.T) {
+	good := ThroughputCurve{Points: []float64{1, 2}, MBps: []float64{10, 20}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid curve rejected: %v", err)
+	}
+	bad := []ThroughputCurve{
+		{},
+		{Points: []float64{1}, MBps: []float64{1, 2}},
+		{Points: []float64{2, 1}, MBps: []float64{1, 2}},
+		{Points: []float64{1, 2}, MBps: []float64{1, 0}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad curve %d accepted", i)
+		}
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := ThroughputCurve{Points: []float64{1, 2, 4, 8}, MBps: []float64{330, 730, 1540, 2870}}
+	if got := c.At(1); got != 330 {
+		t.Errorf("At(1) = %v", got)
+	}
+	if got := c.At(3); math.Abs(got-1135) > 1e-9 {
+		t.Errorf("At(3) = %v, want 1135", got)
+	}
+	if got := c.At(0.5); got != 330 {
+		t.Errorf("At(0.5) = %v, want clamp to first knot", got)
+	}
+}
+
+func TestCurveRegressionExtrapolation(t *testing.T) {
+	// t(γ) for the Sec. 6.1 PFS grows ~linearly (slope ≈ 363 MB/s/client);
+	// the regression extension should continue that growth and the cap
+	// should stop it.
+	c := ThroughputCurve{
+		Points: []float64{1, 2, 4, 8},
+		MBps:   []float64{330, 730, 1540, 2870},
+		Cap:    5000,
+	}
+	at16 := c.At(16)
+	if at16 <= 2870 {
+		t.Errorf("At(16) = %v, expected regression growth beyond last knot", at16)
+	}
+	if at16 > 6500 {
+		t.Errorf("At(16) = %v, implausibly high", at16)
+	}
+	if got := c.At(1000); got != 5000 {
+		t.Errorf("At(1000) = %v, want cap 5000", got)
+	}
+	// Without a cap, extrapolation is unbounded regression but floors at
+	// the last knot.
+	noCap := c
+	noCap.Cap = 0
+	if got := noCap.At(1000); got < 2870 {
+		t.Errorf("uncapped At(1000) = %v, below last measured value", got)
+	}
+}
+
+func TestExtrapolationNeverBelowLastKnot(t *testing.T) {
+	// A decreasing curve would regress to negative throughput; the floor
+	// must hold it at the last measured value.
+	c := ThroughputCurve{Points: []float64{1, 2, 4}, MBps: []float64{1000, 600, 400}}
+	if got := c.At(100); got != 400 {
+		t.Errorf("At(100) = %v, want floor at 400", got)
+	}
+}
+
+func TestStorageClassPerThread(t *testing.T) {
+	s := StorageClass{
+		Name: "ram", CapacityMB: 1000, Threads: 4,
+		Read: Flat(85000), Write: Flat(85000),
+	}
+	if got := s.ReadPerThread(); math.Abs(got-21250) > 1e-9 {
+		t.Errorf("ReadPerThread = %v, want 21250", got)
+	}
+	if got := s.WritePerThread(); math.Abs(got-21250) > 1e-9 {
+		t.Errorf("WritePerThread = %v, want 21250", got)
+	}
+}
+
+func TestPFSPerClient(t *testing.T) {
+	p := SmallCluster().PFS
+	if got := p.Aggregate(4); got != 1540 {
+		t.Errorf("Aggregate(4) = %v, want 1540", got)
+	}
+	if got := p.PerClient(4); got != 385 {
+		t.Errorf("PerClient(4) = %v, want 385", got)
+	}
+	if got := p.PerClient(0); got != p.PerClient(1) {
+		t.Errorf("PerClient(0) should clamp to 1 client")
+	}
+}
+
+func TestPerClientSaturationDecreases(t *testing.T) {
+	// Past the saturation cap, each additional client dilutes everyone:
+	// this is the PFS contention NoPFS avoids.
+	p := Lassen().PFS
+	prev := math.Inf(1)
+	for _, clients := range []int{32, 128, 512, 1024} {
+		v := p.PerClient(clients)
+		if v > prev {
+			t.Errorf("PerClient(%d) = %v rose above %v", clients, v, prev)
+		}
+		prev = v
+	}
+	if prev > 20 {
+		t.Errorf("PerClient(1024) = %v MB/s; contention model too generous", prev)
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, sys := range []System{SmallCluster(), PizDaint(), Lassen()} {
+		if err := sys.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", sys.Name, err)
+		}
+	}
+}
+
+func TestSmallClusterMatchesPaper(t *testing.T) {
+	s := SmallCluster()
+	if s.Node.Staging.CapacityMB != 5000 {
+		t.Errorf("staging = %v MB, want 5000", s.Node.Staging.CapacityMB)
+	}
+	if got := s.Node.TotalLocalMB(); got != 1020000 {
+		t.Errorf("D = %v MB, want 1,020,000 (120 GB RAM + 900 GB SSD)", got)
+	}
+	if s.Node.InterconnectMBps != 24000 {
+		t.Errorf("b_c = %v, want 24000", s.Node.InterconnectMBps)
+	}
+	// r_j(p_j)/p_j from the paper's configuration.
+	if got := s.Node.Staging.ReadPerThread(); math.Abs(got-111000.0/8) > 1e-6 {
+		t.Errorf("staging per-thread = %v", got)
+	}
+	if got := s.Node.Classes[0].ReadPerThread(); math.Abs(got-85000.0/4) > 1e-6 {
+		t.Errorf("ram per-thread = %v", got)
+	}
+	if got := s.Node.Classes[1].ReadPerThread(); math.Abs(got-4000.0/2) > 1e-6 {
+		t.Errorf("ssd per-thread = %v", got)
+	}
+}
+
+func TestNodeValidateOrdering(t *testing.T) {
+	n := SmallCluster().Node
+	n.Classes[0], n.Classes[1] = n.Classes[1], n.Classes[0] // ssd before ram
+	if err := n.Validate(); err == nil {
+		t.Error("misordered storage classes accepted")
+	}
+}
+
+func TestNodeValidateErrors(t *testing.T) {
+	n := SmallCluster().Node
+	n.InterconnectMBps = 0
+	if err := n.Validate(); err == nil {
+		t.Error("zero interconnect accepted")
+	}
+	n2 := SmallCluster().Node
+	n2.Staging.CapacityMB = 0
+	if err := n2.Validate(); err == nil {
+		t.Error("zero staging capacity accepted")
+	}
+	n3 := SmallCluster().Node
+	n3.Classes[0].Threads = 0
+	if err := n3.Validate(); err == nil {
+		t.Error("zero threads accepted")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := Sec61Workload(5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	fields := []func(*Workload){
+		func(w *Workload) { w.ComputeMBps = 0 },
+		func(w *Workload) { w.PreprocMBps = 0 },
+		func(w *Workload) { w.BatchPerWorker = 0 },
+		func(w *Workload) { w.Epochs = 0 },
+		func(w *Workload) { w.Workers = 0 },
+	}
+	for i, mut := range fields {
+		w := Sec61Workload(5)
+		mut(&w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("invalid workload %d accepted", i)
+		}
+	}
+}
+
+func TestLassenComputeVsPFSBalance(t *testing.T) {
+	// The calibration must put the model in the regime the paper reports:
+	// at 32 ranks the PFS per-client share exceeds ResNet-50 compute
+	// throughput (no I/O bottleneck), at 1024 it is several times below
+	// (PyTorch-style loaders stall hard).
+	sys := Lassen()
+	c := ResNet50Lassen(1024, 10, 120).ComputeMBps
+	if share := sys.PFS.PerClient(32); share < c {
+		t.Errorf("32 ranks: PFS share %v < compute %v; small scale should not be I/O bound", share, c)
+	}
+	share1024 := sys.PFS.PerClient(1024)
+	ratio := c / share1024
+	if ratio < 3 || ratio > 8 {
+		t.Errorf("1024 ranks: compute/PFS ratio %.1f, want 3-8 (paper: ~5.4x gap)", ratio)
+	}
+}

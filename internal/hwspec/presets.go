@@ -1,0 +1,178 @@
+package hwspec
+
+// System presets for the machines used in the paper. The Sec. 6.1 small
+// cluster is specified exactly by the paper; Piz Daint and Lassen presets
+// use the Fig. 1 hardware description plus calibration so that the model's
+// compute/PFS balance reproduces the published speedup shapes (the paper's
+// absolute throughputs for those systems are not published). Calibration
+// rationale is recorded in EXPERIMENTS.md.
+
+// SmallCluster returns the simulated cluster of Sec. 6.1: four dedicated
+// nodes, a 5 GB staging buffer (8 threads, 111 GB/s), 120 GB RAM (4 threads,
+// 85 GB/s), a 900 GB local SSD (2 threads, 4 GB/s), 24 GB/s interconnect,
+// and a PFS measured at t(1)=330, t(2)=730, t(4)=1540, t(8)=2870 MB/s
+// (Lassen benchmark values).
+//
+// The paper does not quote write throughputs; RAM-backed levels are assumed
+// write-symmetric and the SSD write rate is set to half its read rate
+// (typical for NVMe random writes).
+func SmallCluster() System {
+	return System{
+		Name: "small-cluster",
+		PFS: PFS{
+			Read: ThroughputCurve{
+				Points: []float64{1, 2, 4, 8},
+				MBps:   []float64{330, 730, 1540, 2870},
+				Cap:    25000,
+			},
+			// The measured t(γ) values are streaming aggregates; random
+			// ~0.1 MB file reads reach only a fraction of that. 0.18 is
+			// calibrated so the Fig. 8 policy gaps match the paper's
+			// (see EXPERIMENTS.md).
+			RandomFraction: 0.18,
+		},
+		Node: Node{
+			Staging: StorageClass{
+				Name: "staging", CapacityMB: 5000, Threads: 8,
+				Read:  Flat(111000),
+				Write: Flat(111000),
+			},
+			Classes: []StorageClass{
+				{
+					Name: "ram", CapacityMB: 120000, Threads: 4,
+					Read:  Flat(85000),
+					Write: Flat(85000),
+				},
+				{
+					Name: "ssd", CapacityMB: 900000, Threads: 2,
+					Read:  Flat(4000),
+					Write: Flat(2000),
+				},
+			},
+			InterconnectMBps: 24000,
+		},
+	}
+}
+
+// PizDaint returns a per-worker view of Piz Daint (Fig. 1): one rank per
+// node (one P100), a 5 GiB staging buffer with 4 prefetch threads and 40 GiB
+// of RAM cache with 2 threads (the paper's Sec. 7 configuration), no local
+// SSD, and an Aries dragonfly interconnect (~9 GB/s point to point). The
+// Lustre PFS uses the measured small-client curve with a 3 GB/s aggregate
+// random-read saturation: Piz Daint's shared Lustre delivers far less random
+// small-file bandwidth than its streaming peak, and this value reproduces
+// the paper's observed 2.2x PyTorch-vs-NoPFS gap at 256 GPUs.
+func PizDaint() System {
+	return System{
+		Name: "piz-daint",
+		PFS: PFS{Read: ThroughputCurve{
+			Points: []float64{1, 2, 4, 8},
+			MBps:   []float64{300, 620, 1250, 2300},
+			Cap:    3000,
+		}},
+		Node: Node{
+			Staging: StorageClass{
+				Name: "staging", CapacityMB: 5 * 1024, Threads: 4,
+				Read:  Flat(60000),
+				Write: Flat(60000),
+			},
+			Classes: []StorageClass{
+				{
+					Name: "ram", CapacityMB: 40 * 1024, Threads: 2,
+					Read:  Flat(40000),
+					Write: Flat(40000),
+				},
+			},
+			InterconnectMBps: 9000,
+		},
+	}
+}
+
+// Lassen returns a per-rank view of Lassen (Sierra architecture, Fig. 1):
+// four ranks per node (one per V100), each with a 5 GiB staging buffer
+// (8 threads), 25 GiB of RAM cache (4 threads), and 300 GiB of the node's
+// 1.6 TB NVMe SSD (2 threads) — the paper's Sec. 7 configuration. The
+// per-rank share of the node's dual-rail InfiniBand is ~6.25 GB/s, and the
+// per-rank share of NVMe random reads ~2 GB/s. The GPFS curve uses the
+// measured Sec. 6.1 values with an 18 GB/s aggregate random-read saturation,
+// calibrated so the model reproduces the paper's 5.4x PyTorch gap at 1024
+// GPUs and its failure to scale past 256.
+func Lassen() System {
+	const gib = 1024
+	return System{
+		Name: "lassen",
+		PFS: PFS{Read: ThroughputCurve{
+			// The first four knots are the measured Sec. 6.1 values; the
+			// larger-scale knots encode the progressive flattening of
+			// GPFS aggregate random-read bandwidth that makes PyTorch
+			// stop scaling past 256 ranks (paper Sec. 7.1): per-client
+			// shares of ~125, ~37, and ~16 MB/s at 64, 256, and 1024
+			// clients versus ResNet-50's 86 MB/s compute rate.
+			Points: []float64{1, 2, 4, 8, 64, 256, 1024},
+			MBps:   []float64{330, 730, 1540, 2870, 8000, 9500, 16000},
+			Cap:    16000,
+		}},
+		Node: Node{
+			Staging: StorageClass{
+				Name: "staging", CapacityMB: 5 * gib, Threads: 8,
+				Read:  Flat(50000),
+				Write: Flat(50000),
+			},
+			Classes: []StorageClass{
+				{
+					Name: "ram", CapacityMB: 25 * gib, Threads: 4,
+					Read:  Flat(40000),
+					Write: Flat(40000),
+				},
+				{
+					Name: "ssd", CapacityMB: 300 * gib, Threads: 2,
+					Read:  Flat(2000),
+					Write: Flat(1200),
+				},
+			},
+			InterconnectMBps: 6250,
+		},
+	}
+}
+
+// Workload presets. Compute rates c convert published samples/s throughputs
+// into MB/s via the dataset's mean sample size, as the paper prescribes
+// (Sec. 4: "if it is known only in terms of samples/second, it can be
+// approximated by multiplying this by the average file size").
+
+// Sec61Workload returns the simulator workload of Sec. 6.1: c = 64 MB/s,
+// β = 200 MB/s, per-worker batch 32, 4 workers.
+func Sec61Workload(epochs int) Workload {
+	return Workload{
+		Name:        "sec6.1",
+		ComputeMBps: 64, PreprocMBps: 200,
+		BatchPerWorker: 32, Epochs: epochs, Workers: 4,
+	}
+}
+
+// ResNet50PizDaint: ~230 images/s on a P100 × 0.1077 MB mean ImageNet file.
+func ResNet50PizDaint(workers, epochs, batch int) Workload {
+	return Workload{
+		Name:        "resnet50-pizdaint",
+		ComputeMBps: 24.8, PreprocMBps: 400,
+		BatchPerWorker: batch, Epochs: epochs, Workers: workers,
+	}
+}
+
+// ResNet50Lassen: ~800 images/s on a V100 × 0.1077 MB mean ImageNet file.
+func ResNet50Lassen(workers, epochs, batch int) Workload {
+	return Workload{
+		Name:        "resnet50-lassen",
+		ComputeMBps: 86, PreprocMBps: 800,
+		BatchPerWorker: batch, Epochs: epochs, Workers: workers,
+	}
+}
+
+// CosmoFlowLassen: ~6 samples/s on a V100 × 17 MB CosmoFlow sample.
+func CosmoFlowLassen(workers, epochs, batch int) Workload {
+	return Workload{
+		Name:        "cosmoflow-lassen",
+		ComputeMBps: 100, PreprocMBps: 1500,
+		BatchPerWorker: batch, Epochs: epochs, Workers: workers,
+	}
+}

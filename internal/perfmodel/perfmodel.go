@@ -1,0 +1,162 @@
+// Package perfmodel implements the training-I/O performance model of
+// paper Sec. 4. Every quantity is expressed in the paper's units (MB,
+// MB/s, seconds). The model supplies:
+//
+//   - write_i(k): time to preprocess a sample and place it in the staging
+//     buffer, max(s/β, s/(w₀(p₀)/p₀)), with preprocessing and writing
+//     pipelined;
+//   - fetch times for the three data locations (PFS under γ-client
+//     contention, a remote worker's storage class over the interconnect,
+//     and a local storage class);
+//   - read_i(k) = fetch + write;
+//   - source ranking: which available location minimises fetch time.
+//
+// The discrete-event simulator (internal/sim) and the live middleware's
+// fetch planner both consume this package, so the two engines share one
+// definition of cost.
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/hwspec"
+)
+
+// Location identifies where a sample is fetched from.
+type Location int
+
+// Fetch locations, fastest typically last.
+const (
+	// LocPFS reads from the shared parallel filesystem.
+	LocPFS Location = iota
+	// LocRemote reads from another worker's storage class over the network.
+	LocRemote
+	// LocLocal reads from a local storage class.
+	LocLocal
+)
+
+// String returns the location's report label.
+func (l Location) String() string {
+	switch l {
+	case LocPFS:
+		return "pfs"
+	case LocRemote:
+		return "remote"
+	case LocLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("location(%d)", int(l))
+	}
+}
+
+// Model evaluates the Sec. 4 equations for one system and workload.
+type Model struct {
+	Sys  hwspec.System
+	Work hwspec.Workload
+}
+
+// New validates and couples a system with a workload.
+func New(sys hwspec.System, work hwspec.Workload) (*Model, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := work.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{Sys: sys, Work: work}, nil
+}
+
+// ComputeTime returns s/c, the time the trainer needs to consume sizeMB.
+func (m *Model) ComputeTime(sizeMB float64) float64 {
+	return sizeMB / m.Work.ComputeMBps
+}
+
+// WriteTime returns write_i(k) = max(s/β, s/(w₀(p₀)/p₀)): preprocessing and
+// the staging-buffer store are pipelined, so the slower of the two binds.
+func (m *Model) WriteTime(sizeMB float64) float64 {
+	prep := sizeMB / m.Work.PreprocMBps
+	store := sizeMB / m.Sys.Node.Staging.WritePerThread()
+	if prep > store {
+		return prep
+	}
+	return store
+}
+
+// FetchPFS returns fetch_{i,0,0}(k) = s/(t(γ)/γ): the time to pull sizeMB
+// from the PFS while γ−1 other clients are also reading. The per-client
+// share is derated by the system's random-read fraction (hwspec.PFS).
+func (m *Model) FetchPFS(sizeMB float64, clients int) float64 {
+	return sizeMB / m.Sys.PFS.EffectivePerClient(clients)
+}
+
+// FetchRemote returns fetch_{i,1,j}(k) = s/min(b_c, r_j(p_j)/p_j): a remote
+// read is bounded by the slower of the interconnect and the remote class's
+// per-thread read rate. class indexes Node.Classes.
+func (m *Model) FetchRemote(sizeMB float64, class int) float64 {
+	rate := m.Sys.Node.Classes[class].ReadPerThread()
+	if bc := m.Sys.Node.InterconnectMBps; bc < rate {
+		rate = bc
+	}
+	return sizeMB / rate
+}
+
+// FetchLocal returns fetch_{i,2,j}(k) = s/(r_j(p_j)/p_j).
+func (m *Model) FetchLocal(sizeMB float64, class int) float64 {
+	return sizeMB / m.Sys.Node.Classes[class].ReadPerThread()
+}
+
+// ReadTime returns read_i(k) = fetch + write for a fetch that takes
+// fetchSeconds.
+func (m *Model) ReadTime(fetchSeconds, sizeMB float64) float64 {
+	return fetchSeconds + m.WriteTime(sizeMB)
+}
+
+// Choice is the outcome of source selection for one sample.
+type Choice struct {
+	Loc Location
+	// Class is the storage-class index for local/remote fetches (-1 for PFS).
+	Class int
+	// Seconds is the fetch time (excluding the staging write).
+	Seconds float64
+}
+
+// Best returns the fastest applicable fetch source for a sample of sizeMB,
+// implementing the paper's argmin fetch rule (Fig. 5): localClass and
+// remoteClass give the fastest storage class holding the sample locally and
+// on some remote worker (−1 when not cached there); clients is the current
+// PFS reader count γ. The PFS is always applicable.
+func (m *Model) Best(sizeMB float64, localClass, remoteClass, clients int) Choice {
+	best := Choice{Loc: LocPFS, Class: -1, Seconds: m.FetchPFS(sizeMB, clients)}
+	if remoteClass >= 0 {
+		if t := m.FetchRemote(sizeMB, remoteClass); t < best.Seconds {
+			best = Choice{Loc: LocRemote, Class: remoteClass, Seconds: t}
+		}
+	}
+	if localClass >= 0 {
+		if t := m.FetchLocal(sizeMB, localClass); t < best.Seconds {
+			best = Choice{Loc: LocLocal, Class: localClass, Seconds: t}
+		}
+	}
+	return best
+}
+
+// WorstCaseTotal returns the paper's worst-case bound on training time,
+// t_{i,|R|} = Σ read_i(R_k) / p₀, for a stream of per-sample read times.
+func (m *Model) WorstCaseTotal(readSeconds []float64) float64 {
+	var sum float64
+	for _, r := range readSeconds {
+		sum += r
+	}
+	return sum / float64(m.Sys.Node.Staging.Threads)
+}
+
+// LowerBound returns the no-stall execution time for a worker consuming the
+// given sample sizes: pure compute, Σ s/c. This is the paper's "Perfect"
+// policy and the "No I/O" baseline.
+func (m *Model) LowerBound(sizesMB []float64) float64 {
+	var total float64
+	for _, s := range sizesMB {
+		total += s
+	}
+	return total / m.Work.ComputeMBps
+}

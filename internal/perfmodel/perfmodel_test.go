@@ -1,0 +1,202 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hwspec"
+)
+
+func model(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(hwspec.SmallCluster(), hwspec.Sec61Workload(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestNewValidates(t *testing.T) {
+	bad := hwspec.SmallCluster()
+	bad.Node.InterconnectMBps = 0
+	if _, err := New(bad, hwspec.Sec61Workload(5)); err == nil {
+		t.Error("invalid system accepted")
+	}
+	w := hwspec.Sec61Workload(5)
+	w.ComputeMBps = 0
+	if _, err := New(hwspec.SmallCluster(), w); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	m := model(t)
+	// c = 64 MB/s, so 128 MB takes 2 s.
+	if got := m.ComputeTime(128); !almost(got, 2) {
+		t.Errorf("ComputeTime(128) = %v, want 2", got)
+	}
+}
+
+func TestWriteTimePipelined(t *testing.T) {
+	m := model(t)
+	// β = 200 MB/s; staging write per-thread = 111000/8 = 13875 MB/s.
+	// Preprocessing dominates: write(1 MB) = 1/200 s.
+	if got := m.WriteTime(1); !almost(got, 1.0/200) {
+		t.Errorf("WriteTime(1) = %v, want %v", got, 1.0/200)
+	}
+	// With a very fast β the staging store would dominate.
+	m2 := *m
+	m2.Work.PreprocMBps = 1e9
+	if got := m2.WriteTime(1); !almost(got, 1.0/13875) {
+		t.Errorf("store-bound WriteTime(1) = %v, want %v", got, 1.0/13875)
+	}
+}
+
+func TestFetchPFSContention(t *testing.T) {
+	m := model(t)
+	// t(4) = 1540 => per-client 385 MB/s streaming; the small cluster's
+	// random-read fraction is 0.18, so the effective rate is 69.3 MB/s.
+	if got := m.FetchPFS(0.18*385, 4); !almost(got, 1) {
+		t.Errorf("FetchPFS(69.3 MB, 4 clients) = %v, want 1 s", got)
+	}
+	// One client: t(1) = 330 streaming, 59.4 effective.
+	if got := m.FetchPFS(0.18*330, 1); !almost(got, 1) {
+		t.Errorf("FetchPFS(59.4 MB, 1 client) = %v, want 1 s", got)
+	}
+	// More clients must never make a single read faster per-client here.
+	if m.FetchPFS(100, 8) < m.FetchPFS(100, 4) {
+		t.Error("per-client PFS fetch sped up with more contention")
+	}
+}
+
+func TestFetchRemoteBoundedByInterconnect(t *testing.T) {
+	m := model(t)
+	// RAM per-thread = 21250 MB/s > b_c = 24000? No: 21250 < 24000, so the
+	// class rate binds for class 0.
+	if got := m.FetchRemote(21250, 0); !almost(got, 1) {
+		t.Errorf("FetchRemote(ram) = %v, want 1 s", got)
+	}
+	// SSD per-thread = 2000 MB/s binds even more.
+	if got := m.FetchRemote(2000, 1); !almost(got, 1) {
+		t.Errorf("FetchRemote(ssd) = %v, want 1 s", got)
+	}
+	// If the interconnect were slower than the class, it must bind.
+	m2 := *m
+	m2.Sys.Node.InterconnectMBps = 1000
+	if got := m2.FetchRemote(1000, 0); !almost(got, 1) {
+		t.Errorf("interconnect-bound FetchRemote = %v, want 1 s", got)
+	}
+}
+
+func TestFetchLocal(t *testing.T) {
+	m := model(t)
+	if got := m.FetchLocal(21250, 0); !almost(got, 1) {
+		t.Errorf("FetchLocal(ram) = %v, want 1 s", got)
+	}
+	if got := m.FetchLocal(2000, 1); !almost(got, 1) {
+		t.Errorf("FetchLocal(ssd) = %v, want 1 s", got)
+	}
+}
+
+func TestSpeedOrdering(t *testing.T) {
+	// For the small cluster the paper's rank ordering must hold:
+	// local RAM < remote RAM < local SSD?? No — remote RAM (21250 capped by
+	// bc 24000 => 21250) beats local SSD (2000): "reading from remote
+	// memory can be faster than reading from a local SSD".
+	m := model(t)
+	sz := 100.0
+	localRAM := m.FetchLocal(sz, 0)
+	remoteRAM := m.FetchRemote(sz, 0)
+	localSSD := m.FetchLocal(sz, 1)
+	pfs := m.FetchPFS(sz, 4)
+	if !(localRAM <= remoteRAM && remoteRAM < localSSD && localSSD < pfs) {
+		t.Errorf("ordering violated: localRAM=%v remoteRAM=%v localSSD=%v pfs=%v",
+			localRAM, remoteRAM, localSSD, pfs)
+	}
+}
+
+func TestReadTime(t *testing.T) {
+	m := model(t)
+	fetch := 0.5
+	if got := m.ReadTime(fetch, 1); !almost(got, fetch+m.WriteTime(1)) {
+		t.Errorf("ReadTime = %v", got)
+	}
+}
+
+func TestBestSelectsFastest(t *testing.T) {
+	m := model(t)
+	sz := 10.0
+
+	// Nothing cached: PFS is the only option.
+	c := m.Best(sz, -1, -1, 4)
+	if c.Loc != LocPFS || c.Class != -1 {
+		t.Errorf("uncached Best = %+v, want PFS", c)
+	}
+
+	// Cached in local RAM: local wins.
+	c = m.Best(sz, 0, -1, 4)
+	if c.Loc != LocLocal || c.Class != 0 {
+		t.Errorf("local-RAM Best = %+v", c)
+	}
+
+	// Cached only on a remote worker's RAM: remote beats PFS.
+	c = m.Best(sz, -1, 0, 4)
+	if c.Loc != LocRemote {
+		t.Errorf("remote-RAM Best = %+v", c)
+	}
+
+	// Local SSD vs remote RAM: remote RAM is faster on this cluster.
+	c = m.Best(sz, 1, 0, 4)
+	if c.Loc != LocRemote || c.Class != 0 {
+		t.Errorf("ssd-vs-remote Best = %+v, want remote RAM", c)
+	}
+
+	// Local SSD vs PFS under light contention: SSD wins.
+	c = m.Best(sz, 1, -1, 4)
+	if c.Loc != LocLocal || c.Class != 1 {
+		t.Errorf("ssd-vs-pfs Best = %+v, want local SSD", c)
+	}
+}
+
+func TestBestSecondsConsistent(t *testing.T) {
+	m := model(t)
+	c := m.Best(7, 1, 0, 8)
+	want := m.FetchRemote(7, 0)
+	if !almost(c.Seconds, want) {
+		t.Errorf("Best.Seconds = %v, want %v", c.Seconds, want)
+	}
+}
+
+func TestWorstCaseTotal(t *testing.T) {
+	m := model(t)
+	reads := []float64{1, 2, 3, 4} // 10 s of work over p0 = 8 threads
+	if got := m.WorstCaseTotal(reads); !almost(got, 10.0/8) {
+		t.Errorf("WorstCaseTotal = %v, want 1.25", got)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	m := model(t)
+	sizes := []float64{64, 64, 128}
+	if got := m.LowerBound(sizes); !almost(got, 4) {
+		t.Errorf("LowerBound = %v, want 4 s", got)
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	if LocPFS.String() != "pfs" || LocRemote.String() != "remote" || LocLocal.String() != "local" {
+		t.Error("location labels wrong")
+	}
+	if Location(99).String() == "" {
+		t.Error("unknown location should still render")
+	}
+}
+
+func BenchmarkBest(b *testing.B) {
+	m, _ := New(hwspec.SmallCluster(), hwspec.Sec61Workload(5))
+	for i := 0; i < b.N; i++ {
+		m.Best(0.1, i%3-1, (i+1)%3-1, 4)
+	}
+}

@@ -1,0 +1,8 @@
+package prng
+
+import "math"
+
+// Thin wrappers so prng.go stays readable; math.Sqrt/Log are deterministic
+// across platforms (IEEE-754 correctly rounded).
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func log(x float64) float64  { return math.Log(x) }

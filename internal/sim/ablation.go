@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"repro/internal/access"
+	"repro/internal/cachepolicy"
+	"repro/internal/perfmodel"
+)
+
+// NoPFSVariant configures ablations of the NoPFS policy, isolating the
+// contribution of each design choice (DESIGN.md Sec. 5).
+type NoPFSVariant struct {
+	// RandomPlacement fills storage classes in first-access order instead
+	// of by access frequency — ablates the Sec. 3.1 analysis.
+	RandomPlacement bool
+	// NoRemote disables peer fetches — ablates distributed caching.
+	NoRemote bool
+	// TinyStaging shrinks the lookahead window to one mini-batch —
+	// ablates clairvoyant prefetch depth.
+	TinyStaging bool
+}
+
+// Name returns a label describing the ablation.
+func (v NoPFSVariant) Name() string {
+	name := "NoPFS"
+	if v.RandomPlacement {
+		name += "-randplace"
+	}
+	if v.NoRemote {
+		name += "-noremote"
+	}
+	if v.TinyStaging {
+		name += "-tinybuf"
+	}
+	return name
+}
+
+// nopfsAblated is NoPFS with parts switched off.
+type nopfsAblated struct {
+	v      NoPFSVariant
+	assign *cachepolicy.Assignment
+}
+
+// NewNoPFSVariant builds an ablated NoPFS policy.
+func NewNoPFSVariant(v NoPFSVariant) Policy { return &nopfsAblated{v: v} }
+
+func (n *nopfsAblated) Name() string { return n.v.Name() }
+
+func (n *nopfsAblated) Prepare(env *Env) (float64, error) {
+	if n.v.RandomPlacement {
+		n.assign = cachepolicy.BuildRandomFromStreams(env.Plan, env.Streams, env.Cfg.DS, env.Cfg.Sys.Node)
+	} else {
+		n.assign = cachepolicy.BuildNoPFSFromStreams(env.Plan, env.Streams, env.Cfg.DS, env.Cfg.Sys.Node)
+	}
+	return 0, nil
+}
+
+func (n *nopfsAblated) Stream(env *Env) []access.SampleID { return env.Streams[0] }
+func (n *nopfsAblated) Coverage(*Env) float64             { return 1 }
+func (n *nopfsAblated) Synchronous() bool                 { return false }
+func (n *nopfsAblated) PrefetchThreads(env *Env) int      { return nodeThreads(env) }
+
+func (n *nopfsAblated) StagingMB(env *Env) float64 {
+	if n.v.TinyStaging {
+		var meanMB float64
+		if len(env.SizesMB) > 0 {
+			var sum float64
+			for _, s := range env.SizesMB {
+				sum += s
+			}
+			meanMB = sum / float64(len(env.SizesMB))
+		}
+		return float64(env.Cfg.Work.BatchPerWorker) * meanMB
+	}
+	return nodeStagingMB(env)
+}
+
+func (n *nopfsAblated) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
+	sz := env.SizesMB[k]
+	localClass := n.assign.LocalAvail(0, k, int32(f))
+	remoteClass := -1
+	if !n.v.NoRemote {
+		remoteClass, _ = n.assign.RemoteAvail(0, k, int32(f))
+	}
+	return env.Model.Best(sz, localClass, remoteClass, env.Gamma())
+}

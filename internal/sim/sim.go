@@ -1,0 +1,380 @@
+// Package sim is the I/O performance simulator of paper Sec. 6.
+//
+// It executes the Sec. 4 performance model in virtual time for one
+// representative worker (workers are symmetric: same policy, same per-epoch
+// work, synchronised by the allreduce in every iteration), modelling:
+//
+//   - the staging buffer as a byte-budget circular window filled by p₀
+//     prefetch threads in access order (Rule 1);
+//   - the consumption recurrence t_{i,f} = max(avail_i(f), t_{i,f-1} +
+//     s_{R_{f-1}}/c);
+//   - source selection per policy, with per-location time accounting;
+//   - PFS contention through t(γ), with γ adapting to the fraction of
+//     recent fetches that actually hit the PFS;
+//   - optional log-normal jitter on PFS fetches, reproducing the tail
+//     events ("catastrophically slow reads") the paper observes on shared
+//     filesystems.
+//
+// The simulator is not meant to predict absolute runtimes of a particular
+// machine; like the paper's, it captures the relative behaviour of I/O
+// policies across dataset/storage-hierarchy regimes.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/dataset"
+	"repro/internal/hwspec"
+	"repro/internal/perfmodel"
+	"repro/internal/prng"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Sys  hwspec.System
+	Work hwspec.Workload
+	// DS provides sample count and sizes; payloads are never touched.
+	DS dataset.Dataset
+	// Seed drives the training shuffles (clairvoyance) and the jitter
+	// stream.
+	Seed uint64
+	// PFSJitter is the σ of a mean-one log-normal multiplier applied to
+	// PFS fetch times (0 disables jitter).
+	PFSJitter float64
+	// DropLast drops trailing partial batches.
+	DropLast bool
+}
+
+// Plan derives the access plan implied by the config.
+func (c *Config) Plan() *access.Plan {
+	return &access.Plan{
+		Seed: c.Seed, F: c.DS.Len(), N: c.Work.Workers, E: c.Work.Epochs,
+		BatchPerWorker: c.Work.BatchPerWorker, DropLast: c.DropLast,
+	}
+}
+
+// Validate reports whether the config is runnable.
+func (c *Config) Validate() error {
+	if c.DS == nil {
+		return fmt.Errorf("sim: config needs a dataset")
+	}
+	if err := c.Sys.Validate(); err != nil {
+		return err
+	}
+	if err := c.Work.Validate(); err != nil {
+		return err
+	}
+	return c.Plan().Validate()
+}
+
+// Result summarises one simulated run.
+type Result struct {
+	Policy string
+	System string
+	// Failed is set when the policy cannot run the scenario (e.g. the
+	// LBANN data store with a dataset exceeding aggregate RAM).
+	Failed     bool
+	FailReason string
+
+	// ExecSeconds is total wall time: setup (prestaging) + training.
+	ExecSeconds  float64
+	SetupSeconds float64
+	// EpochSeconds[e] is the duration of epoch e (epoch 0 includes setup).
+	EpochSeconds []float64
+	// BatchSeconds holds per-batch durations of the simulated worker.
+	BatchSeconds []float64
+	// StallSeconds is total time the trainer waited on the staging buffer.
+	StallSeconds float64
+	// Per-location fetch time and counts; StagingWriteSeconds is the
+	// preprocess+store component (the paper's "Staging Buffer" segment).
+	LocSeconds          map[perfmodel.Location]float64
+	LocCount            map[perfmodel.Location]int64
+	StagingWriteSeconds float64
+	// Coverage is the fraction of dataset bytes the policy ever reads
+	// (< 1 flags the paper's "does not access entire dataset").
+	Coverage float64
+	// RemoteFalsePositives counts remote fetches that would have missed
+	// (heuristic said cached, holder had not reached it yet).
+	RemoteFalsePositives int64
+}
+
+// Speedup returns other.ExecSeconds / r.ExecSeconds.
+func (r *Result) Speedup(other *Result) float64 {
+	if r.ExecSeconds == 0 {
+		return math.Inf(1)
+	}
+	return other.ExecSeconds / r.ExecSeconds
+}
+
+// Env is the shared state policies consult during a run.
+type Env struct {
+	Cfg     *Config
+	Model   *perfmodel.Model
+	Plan    *access.Plan
+	SizesMB []float64
+	// Streams are the materialised per-worker access streams (policies may
+	// reorder their copies).
+	Streams [][]access.SampleID
+	// FirstPos0[k] is the simulated worker's first access position of k
+	// (-1 if never accessed).
+	FirstPos0 []int32
+
+	rng  *prng.Generator
+	ewma float64 // recent fraction of staging fetches served by the PFS
+}
+
+// newEnv builds the environment shared by all policies for one config.
+func newEnv(cfg *Config) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := perfmodel.New(cfg.Sys, cfg.Work)
+	if err != nil {
+		return nil, err
+	}
+	plan := cfg.Plan()
+	sizes := make([]float64, cfg.DS.Len())
+	for k := range sizes {
+		sizes[k] = float64(cfg.DS.Size(k)) / (1 << 20)
+	}
+	streams := plan.AllWorkerStreams()
+	firstPos := make([]int32, cfg.DS.Len())
+	for k := range firstPos {
+		firstPos[k] = -1
+	}
+	for pos, k := range streams[0] {
+		if firstPos[k] < 0 {
+			firstPos[k] = int32(pos)
+		}
+	}
+	return &Env{
+		Cfg: cfg, Model: model, Plan: plan,
+		SizesMB: sizes, Streams: streams, FirstPos0: firstPos,
+		rng:  prng.New(cfg.Seed).Derive(0x51),
+		ewma: 1, // epoch 0 starts all-PFS
+	}, nil
+}
+
+// Gamma estimates γ, the number of workers concurrently reading from the
+// PFS, from the recent PFS hit fraction: workers are symmetric, so the
+// cluster-wide reader count is N times the local fraction.
+func (e *Env) Gamma() int {
+	g := int(math.Round(e.ewma * float64(e.Plan.N)))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// notePFS folds one fetch outcome into the γ estimate.
+func (e *Env) notePFS(hitPFS bool) {
+	const alpha = 0.02
+	v := 0.0
+	if hitPFS {
+		v = 1
+	}
+	e.ewma += alpha * (v - e.ewma)
+}
+
+// pfsJitter returns a mean-one log-normal multiplier.
+func (e *Env) pfsJitter() float64 {
+	sigma := e.Cfg.PFSJitter
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma*e.rng.NormFloat64() - sigma*sigma/2)
+}
+
+// Policy is one I/O strategy under comparison.
+type Policy interface {
+	// Name is the report label (matches the paper's Fig. 8 legend).
+	Name() string
+	// Prepare precomputes placement state; it returns the prestaging time
+	// (0 when the policy needs none) or an error when the policy cannot
+	// run the scenario at all.
+	Prepare(env *Env) (setupSeconds float64, err error)
+	// Stream returns the simulated worker's (possibly reordered) access
+	// stream; most policies return env.Streams[0] unchanged.
+	Stream(env *Env) []access.SampleID
+	// Source decides where stream entry f (sample k) is fetched from.
+	Source(env *Env, f int, k access.SampleID) perfmodel.Choice
+	// Coverage is the fraction of dataset bytes the policy ever accesses.
+	Coverage(env *Env) float64
+	// Synchronous reports whether reads block the trainer (no prefetch
+	// pipeline) — true only for the Naive policy.
+	Synchronous() bool
+	// PrefetchThreads is the width of the staging prefetch pipeline this
+	// policy drives. NoPFS uses the node's configured p₀; the baseline
+	// loaders model a single background I/O pipeline (classic
+	// double-buffering), which is what makes them PFS-bound at the
+	// paper's operating points.
+	PrefetchThreads(env *Env) int
+	// StagingMB is the lookahead window the policy prefetches into.
+	// NoPFS and the caching middlewares use the node's staging buffer;
+	// PyTorch-style double buffering looks ahead about two mini-batches,
+	// which is what exposes slow PFS reads directly as batch-time tail
+	// events instead of smoothing them away.
+	StagingMB(env *Env) float64
+}
+
+// Run simulates one policy under the config.
+func Run(cfg Config, pol Policy) (*Result, error) {
+	env, err := newEnv(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Policy:     pol.Name(),
+		System:     cfg.Sys.Name,
+		LocSeconds: map[perfmodel.Location]float64{},
+		LocCount:   map[perfmodel.Location]int64{},
+	}
+	setup, err := pol.Prepare(env)
+	if err != nil {
+		res.Failed = true
+		res.FailReason = err.Error()
+		return res, nil
+	}
+	res.SetupSeconds = setup
+	res.Coverage = pol.Coverage(env)
+	stream := pol.Stream(env)
+	simulate(env, pol, stream, setup, res)
+	return res, nil
+}
+
+// simulate runs the staging-pipeline model over the stream.
+func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res *Result) {
+	model := env.Model
+	c := env.Cfg.Work.ComputeMBps
+	p0 := pol.PrefetchThreads(env)
+	if p0 < 1 {
+		p0 = 1
+	}
+	bufMB := pol.StagingMB(env)
+	sync := pol.Synchronous()
+
+	threadFree := make([]float64, p0)
+	for i := range threadFree {
+		threadFree[i] = setup
+	}
+
+	// Staging-buffer occupancy window: entries currently resident, with
+	// the consume times that free their bytes.
+	type slot struct {
+		sizeMB  float64
+		consume float64
+	}
+	window := make([]slot, 0, 1024)
+	head := 0
+	var inBufMB float64
+
+	perEpoch := env.Plan.SamplesPerEpoch(0)
+	batch := env.Cfg.Work.BatchPerWorker
+
+	var prevConsume, prevComputeDone float64
+	prevConsume = setup
+	prevComputeDone = setup
+	lastBatchEnd, lastEpochEnd := setup, setup
+
+	// PFS slowness is bursty system noise, not i.i.d. per sample: one slow
+	// OST or contention spike delays every read issued in that window. We
+	// model it as one jitter draw per batch, which is what produces the
+	// paper's order-of-magnitude batch-time tail events for PFS-bound
+	// loaders while averaging out for cache-served ones.
+	batchJitter := env.pfsJitter()
+
+	for f, k := range stream {
+		sz := env.SizesMB[k]
+		if f%batch == 0 {
+			batchJitter = env.pfsJitter()
+		}
+
+		choice := pol.Source(env, f, k)
+		env.notePFS(choice.Loc == perfmodel.LocPFS)
+		if choice.Loc == perfmodel.LocPFS {
+			// t(γ)/γ is the node's total PFS share: concurrent prefetch
+			// threads divide it rather than multiplying it. The expected
+			// number of this worker's threads at the PFS is the recent PFS
+			// fraction times p0.
+			conc := env.ewma * float64(p0)
+			if conc > 1 {
+				choice.Seconds *= conc
+			}
+			choice.Seconds *= batchJitter
+		}
+		write := model.WriteTime(sz)
+		res.LocSeconds[choice.Loc] += choice.Seconds
+		res.LocCount[choice.Loc]++
+		res.StagingWriteSeconds += write
+		readDur := choice.Seconds + write
+
+		var avail float64
+		if sync {
+			// Naive: the trainer itself issues the read after finishing
+			// the previous sample.
+			avail = prevComputeDone + readDur
+		} else {
+			// Admission: wait for buffer room.
+			roomTime := setup
+			for inBufMB+sz > bufMB && head < len(window) {
+				s := window[head]
+				head++
+				inBufMB -= s.sizeMB
+				if s.consume > roomTime {
+					roomTime = s.consume
+				}
+			}
+			// Pick the least-loaded prefetch thread.
+			ti := 0
+			for i := 1; i < p0; i++ {
+				if threadFree[i] < threadFree[ti] {
+					ti = i
+				}
+			}
+			start := threadFree[ti]
+			if roomTime > start {
+				start = roomTime
+			}
+			avail = start + readDur
+			threadFree[ti] = avail
+		}
+
+		// Consumption recurrence (paper Sec. 4).
+		ready := prevComputeDone
+		consume := ready
+		if avail > consume {
+			res.StallSeconds += avail - consume
+			consume = avail
+		}
+		computeDone := consume + sz/c
+
+		if !sync {
+			window = append(window, slot{sizeMB: sz, consume: consume})
+			inBufMB += sz
+			// Periodically compact the window slice.
+			if head > 4096 && head*2 > len(window) {
+				window = append(window[:0], window[head:]...)
+				head = 0
+			}
+		}
+
+		prevConsume = consume
+		prevComputeDone = computeDone
+
+		if (f+1)%batch == 0 || f == len(stream)-1 {
+			res.BatchSeconds = append(res.BatchSeconds, computeDone-lastBatchEnd)
+			lastBatchEnd = computeDone
+		}
+		if (f+1)%perEpoch == 0 {
+			res.EpochSeconds = append(res.EpochSeconds, computeDone-lastEpochEnd)
+			lastEpochEnd = computeDone
+		}
+	}
+	_ = prevConsume
+	res.ExecSeconds = prevComputeDone
+	if len(res.EpochSeconds) < env.Plan.E && len(stream) > 0 && prevComputeDone > lastEpochEnd {
+		res.EpochSeconds = append(res.EpochSeconds, prevComputeDone-lastEpochEnd)
+	}
+}

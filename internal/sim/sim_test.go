@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/hwspec"
+	"repro/internal/perfmodel"
+)
+
+// testScale shrinks Fig. 8 scenarios enough for fast tests while preserving
+// their dataset-vs-storage regime.
+const testScale = 0.005
+
+func runPanel(t *testing.T, id string) map[string]*Result {
+	t.Helper()
+	s, err := ScenarioByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunScenario(s, testScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*Result{}
+	for _, r := range results {
+		out[r.Policy] = r
+	}
+	return out
+}
+
+func TestScenarioByID(t *testing.T) {
+	if _, err := ScenarioByID("fig8a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScenarioByID("imagenet-22k"); err != nil {
+		t.Error("lookup by dataset name failed")
+	}
+	if _, err := ScenarioByID("nope"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestFig8ScenarioRegimes(t *testing.T) {
+	// The six panels must sit in the paper's dataset-vs-storage regimes,
+	// both at paper scale and at test scale.
+	for _, scale := range []float64{1, testScale} {
+		for _, s := range Fig8Scenarios() {
+			spec := s.Spec
+			sys := s.System
+			if scale != 1 {
+				spec = spec.Scale(scale)
+				sys = ScaleSystem(sys, scale)
+			}
+			S := float64(spec.TotalSizeEstimate()) / (1 << 20)
+			d1 := sys.Node.Classes[0].CapacityMB
+			D := sys.Node.TotalLocalMB()
+			ND := float64(s.Workload.Workers) * D
+			switch s.ID {
+			case "fig8a":
+				if !(S < d1) {
+					t.Errorf("scale %g %s: want S < d1, got S=%.0f d1=%.0f", scale, s.ID, S, d1)
+				}
+			case "fig8b", "fig8c":
+				if !(d1 < S && S < D) {
+					t.Errorf("scale %g %s: want d1 < S < D, got d1=%.0f S=%.0f D=%.0f", scale, s.ID, d1, S, D)
+				}
+			case "fig8d":
+				if !(D < S && S < ND) {
+					t.Errorf("scale %g %s: want D < S < ND, got D=%.0f S=%.0f ND=%.0f", scale, s.ID, D, S, ND)
+				}
+			case "fig8e", "fig8f":
+				if !(ND < S) {
+					t.Errorf("scale %g %s: want ND < S, got ND=%.0f S=%.0f", scale, s.ID, ND, S)
+				}
+			}
+		}
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	// ImageNet-1k on the small cluster (paper Fig. 8b): NoPFS is the best
+	// policy and near the lower bound; Naive is worst by a wide margin;
+	// StagingBuffer stalls on PFS reads.
+	r := runPanel(t, "fig8b")
+	lb := r[NameLowerBound].ExecSeconds
+	nopfs := r[NameNoPFS].ExecSeconds
+
+	if ratio := nopfs / lb; ratio > 1.10 {
+		t.Errorf("NoPFS/LowerBound = %.3f, want <= 1.10 (paper: 1.05)", ratio)
+	}
+	if ratio := r[NameNaive].ExecSeconds / lb; ratio < 1.4 {
+		t.Errorf("Naive/LowerBound = %.3f, want >= 1.4 (paper: 1.69)", ratio)
+	}
+	if ratio := r[NameStagingBuffer].ExecSeconds / lb; ratio < 1.1 {
+		t.Errorf("StagingBuffer/LowerBound = %.3f, want >= 1.1 (paper: 1.29)", ratio)
+	}
+	// NoPFS is the best non-LowerBound policy.
+	for name, res := range r {
+		if name == NameLowerBound || res.Failed {
+			continue
+		}
+		if res.ExecSeconds < nopfs-1e-9 {
+			t.Errorf("%s (%.2fs) beat NoPFS (%.2fs)", name, res.ExecSeconds, nopfs)
+		}
+	}
+	// Everyone accesses the entire dataset in this regime.
+	for name, res := range r {
+		if !res.Failed && res.Coverage < 0.999 {
+			t.Errorf("%s coverage = %.3f, want 1 in 8b regime", name, res.Coverage)
+		}
+	}
+}
+
+func TestFig8dShape(t *testing.T) {
+	// ImageNet-22k, D < S < ND (paper Fig. 8d): LBANN cannot run; the
+	// order-relaxing policies stop covering the dataset; NoPFS still
+	// covers everything and stays fastest.
+	r := runPanel(t, "fig8d")
+	if !r[NameLBANNDynamic].Failed || !r[NameLBANNPreload].Failed {
+		t.Error("LBANN should fail when the dataset exceeds aggregate RAM")
+	}
+	if cov := r[NameDeepIOOpp].Coverage; cov > 0.9 {
+		t.Errorf("DeepIO (Opp.) coverage = %.2f, want < 0.9 (does not access entire dataset)", cov)
+	}
+	if cov := r[NameNoPFS].Coverage; cov < 0.999 {
+		t.Errorf("NoPFS coverage = %.3f, want full", cov)
+	}
+	lb := r[NameLowerBound].ExecSeconds
+	for _, name := range []string{NameNaive, NameStagingBuffer, NameDeepIOOrdered, NameLocalityAware} {
+		if r[name].ExecSeconds <= r[NameNoPFS].ExecSeconds-1e-9 {
+			t.Errorf("%s (%.2f) beat NoPFS (%.2f) in 8d", name, r[name].ExecSeconds, r[NameNoPFS].ExecSeconds)
+		}
+	}
+	if ratio := r[NameNoPFS].ExecSeconds / lb; ratio > 1.15 {
+		t.Errorf("NoPFS/LB = %.3f in 8d, want near 1 (paper: 1.05)", ratio)
+	}
+}
+
+func TestFig8eShape(t *testing.T) {
+	// CosmoFlow, ND < S: even aggregate cluster storage cannot hold the
+	// dataset. Sharding no longer covers it; NoPFS does, and still wins.
+	r := runPanel(t, "fig8e")
+	if cov := r[NameParallelStaging].Coverage; cov > 0.99 {
+		t.Errorf("ParallelStaging coverage = %.3f, want < 1 when ND < S", cov)
+	}
+	if cov := r[NameDeepIOOpp].Coverage; cov > 0.5 {
+		t.Errorf("DeepIO (Opp.) coverage = %.3f, want small when ND < S", cov)
+	}
+	if cov := r[NameNoPFS].Coverage; cov < 0.999 {
+		t.Errorf("NoPFS coverage = %.3f, want full", cov)
+	}
+	if !r[NameLBANNDynamic].Failed {
+		t.Error("LBANN should fail in the ND < S regime")
+	}
+	best := r[NameNoPFS].ExecSeconds
+	for _, name := range []string{NameNaive, NameStagingBuffer, NameDeepIOOrdered} {
+		if r[name].ExecSeconds <= best-1e-9 {
+			t.Errorf("%s beat NoPFS in 8e", name)
+		}
+	}
+}
+
+func TestFig8aAllPoliciesClose(t *testing.T) {
+	// MNIST fits in the first storage class: the paper reports little
+	// difference between policies except Naive (1.7x).
+	r := runPanel(t, "fig8a")
+	lb := r[NameLowerBound].ExecSeconds
+	for name, res := range r {
+		if res.Failed || name == NameNaive {
+			continue
+		}
+		if ratio := res.ExecSeconds / lb; ratio > 1.35 {
+			t.Errorf("%s/LB = %.2f on MNIST, want close to 1", name, ratio)
+		}
+	}
+	if ratio := r[NameNaive].ExecSeconds / lb; ratio < 1.3 {
+		t.Errorf("Naive/LB = %.2f on MNIST, want >= 1.3 (paper: 1.7)", ratio)
+	}
+}
+
+func TestNaiveStallDominates(t *testing.T) {
+	r := runPanel(t, "fig8b")
+	naive := r[NameNaive]
+	if naive.StallSeconds <= r[NameNoPFS].StallSeconds {
+		t.Error("Naive should stall more than NoPFS")
+	}
+	if naive.LocCount[perfmodel.LocPFS] == 0 {
+		t.Error("Naive never touched the PFS?")
+	}
+	if naive.LocCount[perfmodel.LocLocal] != 0 || naive.LocCount[perfmodel.LocRemote] != 0 {
+		t.Error("Naive must fetch exclusively from the PFS")
+	}
+}
+
+func TestNoPFSFetchMixShiftsOffPFS(t *testing.T) {
+	// After epoch 0, NoPFS serves most fetches from local/remote caches:
+	// its PFS fetch count must be well below the total.
+	r := runPanel(t, "fig8b")
+	nopfs := r[NameNoPFS]
+	total := nopfs.LocCount[perfmodel.LocPFS] + nopfs.LocCount[perfmodel.LocRemote] + nopfs.LocCount[perfmodel.LocLocal]
+	pfsFrac := float64(nopfs.LocCount[perfmodel.LocPFS]) / float64(total)
+	// 5 epochs: epoch 0 is all-PFS (~20% of accesses); beyond that the
+	// caches serve nearly everything in the 8b regime.
+	if pfsFrac > 0.35 {
+		t.Errorf("NoPFS PFS fetch fraction = %.2f, want <= 0.35", pfsFrac)
+	}
+	if nopfs.LocCount[perfmodel.LocLocal] == 0 {
+		t.Error("NoPFS never hit its local cache")
+	}
+}
+
+func TestEpochZeroSlowerThanSteadyState(t *testing.T) {
+	// Paper Fig. 11: the first epoch pays for cold caches. For NoPFS,
+	// epoch 0 must be the slowest epoch.
+	r := runPanel(t, "fig8b")
+	ep := r[NameNoPFS].EpochSeconds
+	if len(ep) < 2 {
+		t.Fatalf("expected multiple epochs, got %d", len(ep))
+	}
+	// Later epochs process different (random) sample subsets, so allow a
+	// small compute-total wobble; epoch 0 must still not be beaten by more
+	// than that.
+	for e := 1; e < len(ep); e++ {
+		if ep[e] > ep[0]*1.02 {
+			t.Errorf("epoch %d (%.2fs) slower than epoch 0 (%.2fs)", e, ep[e], ep[0])
+		}
+	}
+}
+
+func TestBatchAndEpochAccounting(t *testing.T) {
+	s, _ := ScenarioByID("fig8b")
+	cfg, err := s.Config(testScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(cfg, NewNoPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.EpochSeconds) != cfg.Work.Epochs {
+		t.Errorf("got %d epoch times, want %d", len(r.EpochSeconds), cfg.Work.Epochs)
+	}
+	var epochSum, batchSum float64
+	for _, e := range r.EpochSeconds {
+		epochSum += e
+	}
+	for _, b := range r.BatchSeconds {
+		batchSum += b
+	}
+	if math.Abs(epochSum-(r.ExecSeconds-r.SetupSeconds)) > 1e-6*r.ExecSeconds+1e-9 {
+		t.Errorf("epoch times sum to %.4f, exec-setup = %.4f", epochSum, r.ExecSeconds-r.SetupSeconds)
+	}
+	if math.Abs(batchSum-(r.ExecSeconds-r.SetupSeconds)) > 1e-6*r.ExecSeconds+1e-9 {
+		t.Errorf("batch times sum to %.4f, exec-setup = %.4f", batchSum, r.ExecSeconds-r.SetupSeconds)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	s, _ := ScenarioByID("fig8b")
+	cfg, _ := s.Config(testScale, 99)
+	a, err := Run(cfg, NewNoPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, NewNoPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecSeconds != b.ExecSeconds || a.StallSeconds != b.StallSeconds {
+		t.Error("same seed gave different results")
+	}
+}
+
+func TestPFSJitterAddsTail(t *testing.T) {
+	// With jitter, PFS-bound loaders develop a heavy batch-time tail
+	// (paper: "tail events an order of magnitude larger"); NoPFS, which
+	// rarely touches the PFS after epoch 0, stays tight.
+	s, _ := ScenarioByID("fig8b")
+	cfg, _ := s.Config(testScale, 3)
+	cfg.PFSJitter = 1.0
+
+	staging, err := Run(cfg, NewStagingBuffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nopfs, err := Run(cfg, NewNoPFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := func(r *Result) float64 {
+		// max/median of per-batch times, skipping epoch 0.
+		skip := len(r.BatchSeconds) / cfg.Work.Epochs
+		var xs []float64
+		xs = append(xs, r.BatchSeconds[skip:]...)
+		maxV, sum := 0.0, 0.0
+		for _, v := range xs {
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+		}
+		return maxV / (sum / float64(len(xs)))
+	}
+	if tail(staging) < tail(nopfs) {
+		t.Errorf("StagingBuffer tail (%.1fx) should exceed NoPFS tail (%.1fx)",
+			tail(staging), tail(nopfs))
+	}
+}
+
+func TestGammaAdapts(t *testing.T) {
+	env, err := newEnv(&Config{
+		Sys: hwspec.SmallCluster(), Work: hwspec.Sec61Workload(2),
+		DS:   dataset.MustNew(dataset.Spec{Name: "g", F: 1000, MeanSize: 1 << 20, Classes: 2, Seed: 1}),
+		Seed: 1, DropLast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Gamma() != 4 {
+		t.Errorf("initial gamma = %d, want N=4 (all-PFS start)", env.Gamma())
+	}
+	for i := 0; i < 500; i++ {
+		env.notePFS(false)
+	}
+	if env.Gamma() != 1 {
+		t.Errorf("gamma after all-cache phase = %d, want 1", env.Gamma())
+	}
+	for i := 0; i < 500; i++ {
+		env.notePFS(true)
+	}
+	if env.Gamma() != 4 {
+		t.Errorf("gamma after all-PFS phase = %d, want 4", env.Gamma())
+	}
+}
+
+func TestPolicyByNameRoundTrip(t *testing.T) {
+	for _, p := range AllPolicies() {
+		got, err := PolicyByName(p.Name())
+		if err != nil {
+			t.Errorf("PolicyByName(%q): %v", p.Name(), err)
+			continue
+		}
+		if got.Name() != p.Name() {
+			t.Errorf("round trip %q -> %q", p.Name(), got.Name())
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (&Config{}).Validate(); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := Config{
+		Sys: hwspec.SmallCluster(), Work: hwspec.Sec61Workload(2),
+		DS:   dataset.MustNew(dataset.Spec{Name: "v", F: 10, MeanSize: 1024, Classes: 1, Seed: 1}),
+		Seed: 1,
+	}
+	// Global batch 128 > F=10.
+	if err := cfg.Validate(); err == nil {
+		t.Error("config with batch > dataset accepted")
+	}
+}
+
+func TestFig9SweepMonotonicity(t *testing.T) {
+	points, err := Fig9Sweep(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 25 {
+		t.Fatalf("got %d sweep points, want 25", len(points))
+	}
+	byCfg := map[[2]int]float64{}
+	for _, p := range points {
+		if p.Result.Failed {
+			t.Fatalf("sweep point ram=%d ssd=%d failed: %s", p.RAMGB, p.SSDGB, p.Result.FailReason)
+		}
+		byCfg[[2]int{p.RAMGB, p.SSDGB}] = p.Result.ExecSeconds
+	}
+	// More RAM at fixed SSD must never hurt, and vice versa (Fig. 9's
+	// central observation).
+	rams := []int{32, 64, 128, 256, 512}
+	ssds := []int{0, 128, 256, 512, 1024}
+	for _, ssd := range ssds {
+		for i := 1; i < len(rams); i++ {
+			lo, hi := byCfg[[2]int{rams[i-1], ssd}], byCfg[[2]int{rams[i], ssd}]
+			if hi > lo*1.001 {
+				t.Errorf("ssd=%d: exec rose from %.2f to %.2f when RAM grew %d->%d GB",
+					ssd, lo, hi, rams[i-1], rams[i])
+			}
+		}
+	}
+	for _, ram := range rams {
+		for i := 1; i < len(ssds); i++ {
+			lo, hi := byCfg[[2]int{ram, ssds[i-1]}], byCfg[[2]int{ram, ssds[i]}]
+			if hi > lo*1.001 {
+				t.Errorf("ram=%d: exec rose from %.2f to %.2f when SSD grew %d->%d GB",
+					ram, lo, hi, ssds[i-1], ssds[i])
+			}
+		}
+	}
+	// SSD must matter when memory is small: 32 GB RAM + 1024 GB SSD beats
+	// 32 GB RAM alone ("if memory is expensive, it can be compensated for
+	// with additional SSD storage").
+	if byCfg[[2]int{32, 1024}] >= byCfg[[2]int{32, 0}] {
+		t.Error("adding SSD at 32 GB RAM did not help")
+	}
+}
+
+func TestFig9StagingCheck(t *testing.T) {
+	// Paper: staging buffers of 1-5 GB all produce the same runtime; the
+	// staging buffer is not the limiting factor.
+	res, err := Fig9StagingCheck(0.002, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res[1].ExecSeconds
+	for gb, r := range res {
+		if math.Abs(r.ExecSeconds-base) > 0.02*base {
+			t.Errorf("staging %d GB exec %.2f differs from 1 GB exec %.2f", gb, r.ExecSeconds, base)
+		}
+	}
+}
+
+func TestScaleSystemDoesNotAliasPreset(t *testing.T) {
+	base := hwspec.SmallCluster()
+	scaled := ScaleSystem(base, 0.5)
+	if scaled.Node.Classes[0].CapacityMB != base.Node.Classes[0].CapacityMB/2 {
+		t.Error("scaling wrong")
+	}
+	if hwspec.SmallCluster().Node.Classes[0].CapacityMB != 120000 {
+		t.Error("ScaleSystem mutated the preset's class slice")
+	}
+}
+
+func BenchmarkSimNoPFSImageNet1k(b *testing.B) {
+	s, _ := ScenarioByID("fig8b")
+	cfg, err := s.Config(0.01, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, NewNoPFS()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimAllPoliciesMNIST(b *testing.B) {
+	s, _ := ScenarioByID("fig8a")
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScenario(s, 0.02, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

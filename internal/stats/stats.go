@@ -1,0 +1,313 @@
+// Package stats provides the statistical utilities NoPFS relies on:
+// streaming moments, percentiles, histograms, confidence intervals, linear
+// regression (for interpolating PFS throughput curves), and the binomial
+// distribution used in the access-frequency analysis of Sec. 3.1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates running mean and variance in a single pass using
+// Welford's numerically stable recurrence.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the sample variance (n-1 denominator; 0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for fewer than 2).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks. xs need not be sorted; it is copied.
+// Returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// PercentileSorted is like Percentile but requires xs sorted ascending and
+// does not copy.
+func PercentileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return percentileSorted(xs, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary holds the descriptive statistics the benchmark harness reports for
+// a set of per-epoch or per-batch timings, mirroring the paper's "median with
+// 95% CI plus violin (percentile) plots".
+type Summary struct {
+	N               int
+	Mean, Stddev    float64
+	Min, Max        float64
+	P5, P25, Median float64
+	P75, P95, P99   float64
+	CILow, CIHigh   float64 // 95% CI on the median (order-statistic based)
+}
+
+// Summarize computes a Summary of xs. Returns a zero Summary for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum := Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Stddev: Stddev(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P5:     percentileSorted(s, 5),
+		P25:    percentileSorted(s, 25),
+		Median: percentileSorted(s, 50),
+		P75:    percentileSorted(s, 75),
+		P95:    percentileSorted(s, 95),
+		P99:    percentileSorted(s, 99),
+	}
+	sum.CILow, sum.CIHigh = MedianCI95(s)
+	return sum
+}
+
+// MedianCI95 returns a distribution-free 95% confidence interval for the
+// median based on binomial order statistics. xs must be sorted ascending.
+// For n < 6 the interval is the full range.
+func MedianCI95(xs []float64) (lo, hi float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if n < 6 {
+		return xs[0], xs[n-1]
+	}
+	// Normal approximation to the binomial(n, 0.5) order-statistic bounds.
+	z := 1.96
+	d := z * math.Sqrt(float64(n)) / 2
+	loIdx := int(math.Floor(float64(n)/2 - d))
+	hiIdx := int(math.Ceil(float64(n)/2+d)) - 1
+	if loIdx < 0 {
+		loIdx = 0
+	}
+	if hiIdx > n-1 {
+		hiIdx = n - 1
+	}
+	return xs[loIdx], xs[hiIdx]
+}
+
+// Histogram is a fixed-width-bucket histogram over integer values, used for
+// the access-frequency distribution plot (Fig. 3).
+type Histogram struct {
+	Counts []int // Counts[v] = number of observations equal to v
+	Total  int
+}
+
+// NewHistogram returns a histogram able to hold values in [0, maxValue].
+func NewHistogram(maxValue int) *Histogram {
+	return &Histogram{Counts: make([]int, maxValue+1)}
+}
+
+// Add records value v, growing the bucket slice if needed.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for v >= len(h.Counts) {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[v]++
+	h.Total++
+}
+
+// CountAbove returns the number of observations strictly greater than v.
+func (h *Histogram) CountAbove(v int) int {
+	n := 0
+	for i := v + 1; i < len(h.Counts); i++ {
+		n += h.Counts[i]
+	}
+	return n
+}
+
+// Mode returns the value with the highest count (lowest value wins ties).
+func (h *Histogram) Mode() int {
+	best, bestCount := 0, -1
+	for v, c := range h.Counts {
+		if c > bestCount {
+			best, bestCount = v, c
+		}
+	}
+	return best
+}
+
+// String renders a compact ASCII bar chart, one row per bucket value.
+func (h *Histogram) String() string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return "(empty histogram)\n"
+	}
+	out := ""
+	for v, c := range h.Counts {
+		bar := ""
+		if c > 0 {
+			width := c * 50 / maxC
+			if width == 0 {
+				width = 1
+			}
+			for i := 0; i < width; i++ {
+				bar += "#"
+			}
+		}
+		out += fmt.Sprintf("%4d | %-50s %d\n", v, bar, c)
+	}
+	return out
+}
+
+// LinearRegression fits y = a + b*x by ordinary least squares and returns
+// (a, b). It panics if len(x) != len(y) and returns (0,0) for < 2 points.
+// NoPFS uses this to interpolate PFS throughput t(γ) between measured client
+// counts, exactly as the paper's configuration manager does (Sec. 5.2.2).
+func LinearRegression(x, y []float64) (a, b float64) {
+	if len(x) != len(y) {
+		panic("stats: LinearRegression length mismatch")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / denom
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// InterpolateMonotone performs piecewise-linear interpolation of y at query
+// point q over the sorted knots (xs, ys), with flat extrapolation beyond the
+// ends. xs must be strictly increasing and non-empty.
+func InterpolateMonotone(xs, ys []float64, q float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("stats: InterpolateMonotone bad knots")
+	}
+	if q <= xs[0] {
+		return ys[0]
+	}
+	if q >= xs[len(xs)-1] {
+		return ys[len(ys)-1]
+	}
+	i := sort.SearchFloat64s(xs, q)
+	// xs[i-1] < q <= xs[i]
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	f := (q - x0) / (x1 - x0)
+	return y0 + f*(y1-y0)
+}

@@ -1,0 +1,55 @@
+// Package storage provides the live middleware's storage substrate: byte
+// backends for each storage class (memory, filesystem), token-bucket rate
+// limiting that emulates a class's aggregate bandwidth, and the ordered
+// staging buffer that hands samples to the trainer in access order.
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter emulates a storage class's aggregate bandwidth: concurrent
+// operations share the configured rate, exactly like p threads sharing
+// r_j(p). A zero/nil limiter is unlimited.
+type Limiter struct {
+	mu          sync.Mutex
+	bytesPerSec float64
+	next        time.Time
+}
+
+// NewLimiter returns a limiter enforcing the given aggregate rate in MB/s
+// (MB = 2^20 bytes). Rates <= 0 mean unlimited.
+func NewLimiter(mbps float64) *Limiter {
+	if mbps <= 0 {
+		return nil
+	}
+	return &Limiter{bytesPerSec: mbps * (1 << 20)}
+}
+
+// sleepQuantum bounds timer overhead: reservations shorter than this pass
+// immediately and are paid for by later callers once the backlog
+// accumulates past the quantum. Aggregate throughput still converges to the
+// configured rate; only burst granularity is affected.
+const sleepQuantum = 2 * time.Millisecond
+
+// Wait blocks until n bytes may pass. Serialising grants through a shared
+// reservation clock makes the aggregate throughput of all callers converge
+// to the configured rate regardless of concurrency.
+func (l *Limiter) Wait(n int64) {
+	if l == nil || n <= 0 {
+		return
+	}
+	dur := time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
+	l.mu.Lock()
+	now := time.Now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	release := l.next.Add(dur)
+	l.next = release
+	l.mu.Unlock()
+	if wait := time.Until(release); wait > sleepQuantum {
+		time.Sleep(wait)
+	}
+}

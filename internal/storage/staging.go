@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// Entry is one staged sample.
+type Entry struct {
+	Pos  int
+	ID   int32
+	Data []byte
+}
+
+// Staging is the staging buffer of paper Sec. 5.2.2: a byte-budget circular
+// buffer filled by concurrent prefetcher goroutines and drained in exact
+// access order by the trainer. Producers may complete out of order; Pop
+// always delivers position 0, 1, 2, ... Samples are dropped on Pop (the
+// paper's Rule 2-4 approximation: a consumed sample is the best eviction
+// candidate).
+type Staging struct {
+	capBytes int64
+
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	pending  map[int]Entry
+	used     int64
+	nextPop  int
+	closed   bool
+}
+
+// ErrClosed is returned by operations on a closed staging buffer.
+var ErrClosed = errors.New("storage: staging buffer closed")
+
+// NewStaging returns a staging buffer with the given byte budget.
+func NewStaging(capBytes int64) *Staging {
+	s := &Staging{capBytes: capBytes, pending: make(map[int]Entry)}
+	s.notFull = sync.NewCond(&s.mu)
+	s.notEmpty = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push inserts the sample fetched for stream position pos, blocking while
+// the byte budget is exhausted. The producer owning the next position to be
+// consumed is always admitted, so a sample larger than the whole budget
+// cannot deadlock the pipeline.
+func (s *Staging) Push(pos int, id int32, data []byte) error {
+	size := int64(len(data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed && s.used+size > s.capBytes && pos != s.nextPop {
+		s.notFull.Wait()
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.pending[pos]; dup {
+		return errors.New("storage: duplicate staging position")
+	}
+	s.pending[pos] = Entry{Pos: pos, ID: id, Data: data}
+	s.used += size
+	s.notEmpty.Broadcast()
+	return nil
+}
+
+// Pop removes and returns the entry for the next stream position, blocking
+// until it has been staged. It returns ErrClosed after Close once the
+// in-order prefix has drained.
+func (s *Staging) Pop() (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if e, ok := s.pending[s.nextPop]; ok {
+			delete(s.pending, s.nextPop)
+			s.nextPop++
+			s.used -= int64(len(e.Data))
+			s.notFull.Broadcast()
+			return e, nil
+		}
+		if s.closed {
+			return Entry{}, ErrClosed
+		}
+		s.notEmpty.Wait()
+	}
+}
+
+// Used returns the bytes currently staged.
+func (s *Staging) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Close wakes all waiters; Pop drains staged in-order entries then reports
+// ErrClosed, Push fails immediately.
+func (s *Staging) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.notFull.Broadcast()
+	s.notEmpty.Broadcast()
+}

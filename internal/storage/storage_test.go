@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/prng"
+)
+
+func TestMemoryPutGet(t *testing.T) {
+	m := NewMemory("ram", 1024, nil, nil)
+	ok, err := m.Put(1, []byte("hello"))
+	if err != nil || !ok {
+		t.Fatalf("Put: ok=%v err=%v", ok, err)
+	}
+	data, ok, err := m.Get(1)
+	if err != nil || !ok || string(data) != "hello" {
+		t.Fatalf("Get: %q ok=%v err=%v", data, ok, err)
+	}
+	if !m.Has(1) || m.Has(2) {
+		t.Error("Has wrong")
+	}
+	if m.Used() != 5 {
+		t.Errorf("Used = %d, want 5", m.Used())
+	}
+}
+
+func TestMemoryCapacity(t *testing.T) {
+	m := NewMemory("ram", 10, nil, nil)
+	if ok, _ := m.Put(1, make([]byte, 8)); !ok {
+		t.Fatal("first put rejected")
+	}
+	if ok, _ := m.Put(2, make([]byte, 8)); ok {
+		t.Fatal("over-capacity put accepted")
+	}
+	// Duplicate put of an existing id succeeds without double-counting.
+	if ok, _ := m.Put(1, make([]byte, 8)); !ok {
+		t.Fatal("duplicate put rejected")
+	}
+	if m.Used() != 8 {
+		t.Errorf("Used = %d after duplicate put, want 8", m.Used())
+	}
+}
+
+func TestMemoryGetMissing(t *testing.T) {
+	m := NewMemory("ram", 10, nil, nil)
+	if _, ok, err := m.Get(9); ok || err != nil {
+		t.Fatal("missing sample reported present")
+	}
+}
+
+func TestMemoryCopiesData(t *testing.T) {
+	m := NewMemory("ram", 100, nil, nil)
+	src := []byte("abc")
+	m.Put(1, src)
+	src[0] = 'X'
+	data, _, _ := m.Get(1)
+	if data[0] != 'a' {
+		t.Error("backend aliases caller's buffer")
+	}
+}
+
+func TestFSBackend(t *testing.T) {
+	f, err := NewFS("ssd", t.TempDir(), 1<<20, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("sample-bytes")
+	if ok, err := f.Put(7, payload); !ok || err != nil {
+		t.Fatalf("Put: ok=%v err=%v", ok, err)
+	}
+	data, ok, err := f.Get(7)
+	if err != nil || !ok || string(data) != string(payload) {
+		t.Fatalf("Get: %q ok=%v err=%v", data, ok, err)
+	}
+	if ok, _ := f.Put(8, make([]byte, 1<<21)); ok {
+		t.Error("over-capacity fs put accepted")
+	}
+	if f.Used() != int64(len(payload)) {
+		t.Errorf("Used = %d", f.Used())
+	}
+	if f.Name() != "ssd" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFSConcurrentPuts(t *testing.T) {
+	f, err := NewFS("ssd", t.TempDir(), 100, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(id int32) {
+			defer wg.Done()
+			f.Put(id, make([]byte, 10))
+		}(int32(i))
+	}
+	wg.Wait()
+	if f.Used() > 100 {
+		t.Errorf("capacity oversubscribed: %d > 100", f.Used())
+	}
+	count := 0
+	for i := int32(0); i < 20; i++ {
+		if f.Has(i) {
+			count++
+		}
+	}
+	if count != 10 {
+		t.Errorf("stored %d samples in 100 bytes, want exactly 10", count)
+	}
+}
+
+func TestLimiterRate(t *testing.T) {
+	// 8 MB/s limiter, 4 x 1 MB ops => ~0.5 s regardless of concurrency.
+	l := NewLimiter(8)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Wait(1 << 20)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < 350*time.Millisecond || elapsed > 1500*time.Millisecond {
+		t.Errorf("4 MB through 8 MB/s limiter took %v, want ~500ms", elapsed)
+	}
+}
+
+func TestLimiterNilAndZero(t *testing.T) {
+	var l *Limiter
+	l.Wait(1 << 30) // must not block or panic
+	if NewLimiter(0) != nil {
+		t.Error("zero-rate limiter should be unlimited (nil)")
+	}
+	NewLimiter(100).Wait(0) // zero bytes free
+}
+
+func TestStagingInOrderDelivery(t *testing.T) {
+	s := NewStaging(1 << 20)
+	const n = 100
+	// Push positions out of order from concurrent producers.
+	var wg sync.WaitGroup
+	g := prng.New(1)
+	order := g.Perm(n)
+	for _, pos := range order {
+		wg.Add(1)
+		go func(pos int) {
+			defer wg.Done()
+			if err := s.Push(pos, int32(pos*10), []byte{byte(pos)}); err != nil {
+				t.Errorf("push %d: %v", pos, err)
+			}
+		}(pos)
+	}
+	for i := 0; i < n; i++ {
+		e, err := s.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Pos != i || e.ID != int32(i*10) {
+			t.Fatalf("pop %d returned pos %d id %d", i, e.Pos, e.ID)
+		}
+	}
+	wg.Wait()
+	if s.Used() != 0 {
+		t.Errorf("Used = %d after draining", s.Used())
+	}
+}
+
+func TestStagingBudgetBlocks(t *testing.T) {
+	s := NewStaging(10)
+	if err := s.Push(0, 0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	pushed := make(chan struct{})
+	go func() {
+		s.Push(1, 1, make([]byte, 8)) // must block: 16 > 10
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push succeeded beyond byte budget")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := s.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-pushed:
+	case <-time.After(time.Second):
+		t.Fatal("push did not unblock after pop freed budget")
+	}
+}
+
+func TestStagingOversizedSampleNoDeadlock(t *testing.T) {
+	// A sample larger than the whole budget must still pass when it is the
+	// next to be consumed.
+	s := NewStaging(4)
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Push(0, 0, make([]byte, 64))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("oversized head-of-line sample deadlocked")
+	}
+	if e, err := s.Pop(); err != nil || len(e.Data) != 64 {
+		t.Fatalf("pop: %v", err)
+	}
+}
+
+func TestStagingClose(t *testing.T) {
+	s := NewStaging(100)
+	s.Push(0, 5, []byte("x"))
+	s.Close()
+	// Drains staged prefix first.
+	if e, err := s.Pop(); err != nil || e.ID != 5 {
+		t.Fatalf("pop after close: %v", err)
+	}
+	if _, err := s.Pop(); err != ErrClosed {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	if err := s.Push(1, 6, []byte("y")); err != ErrClosed {
+		t.Fatalf("push after close: %v", err)
+	}
+}
+
+func TestStagingDuplicatePosition(t *testing.T) {
+	s := NewStaging(100)
+	s.Push(0, 1, []byte("a"))
+	if err := s.Push(0, 2, []byte("b")); err == nil {
+		t.Fatal("duplicate position accepted")
+	}
+}
+
+func BenchmarkStagingThroughput(b *testing.B) {
+	s := NewStaging(1 << 24)
+	data := make([]byte, 4096)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			s.Push(i, int32(i), data)
+		}
+	}()
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Pop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryBackend(b *testing.B) {
+	m := NewMemory("ram", 1<<30, nil, nil)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		id := int32(i % 1000)
+		m.Put(id, data)
+		if _, ok, _ := m.Get(id); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

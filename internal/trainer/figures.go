@@ -1,0 +1,187 @@
+package trainer
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/hwspec"
+	"repro/internal/sim"
+)
+
+// Figure presets. At scale = 1 these match the paper's configurations;
+// tests and benchmarks pass smaller scales (and may trim GPUCounts, since a
+// scaled dataset cannot feed 1024 ranks a full global batch).
+
+// Fig10PizDaint: ResNet-50 / ImageNet-1k on Piz Daint, 32-256 GPUs,
+// PyTorch vs PyTorch+DALI vs NoPFS vs No-I/O. 10 measured epochs.
+func Fig10PizDaint(scale float64) Experiment {
+	return Experiment{
+		Name: "fig10-pizdaint",
+		Sys:  hwspec.PizDaint(),
+		Spec: dataset.ImageNet1kSpec(),
+		Workload: func(workers int) hwspec.Workload {
+			return hwspec.ResNet50PizDaint(workers, 10, 64)
+		},
+		GPUCounts: []int{32, 64, 128, 256},
+		Loaders:   []Loader{LoaderPyTorch, LoaderDALI, LoaderNoPFS, LoaderNoIO},
+		Scale:     scale, Seed: 0xF10, Jitter: 0.6,
+	}
+}
+
+// Fig10Lassen: ResNet-50 / ImageNet-1k on Lassen, 32-1024 GPUs,
+// PyTorch vs LBANN vs NoPFS vs No-I/O. Per-GPU batch 120.
+func Fig10Lassen(scale float64) Experiment {
+	return Experiment{
+		Name: "fig10-lassen",
+		Sys:  hwspec.Lassen(),
+		Spec: dataset.ImageNet1kSpec(),
+		Workload: func(workers int) hwspec.Workload {
+			return hwspec.ResNet50Lassen(workers, 10, 120)
+		},
+		GPUCounts: []int{32, 64, 128, 256, 512, 1024},
+		Loaders:   []Loader{LoaderPyTorch, LoaderLBANN, LoaderNoPFS, LoaderNoIO},
+		Scale:     scale, Seed: 0xF10, Jitter: 0.6,
+	}
+}
+
+// Fig13BatchSweep: ResNet-50 / ImageNet-1k on 128 Lassen GPUs with per-GPU
+// batch sizes 32-120, PyTorch vs NoPFS vs No-I/O.
+func Fig13BatchSweep(scale float64) []Experiment {
+	var out []Experiment
+	for _, batch := range []int{32, 64, 96, 120} {
+		b := batch
+		out = append(out, Experiment{
+			Name: fmt.Sprintf("fig13-b%d", b),
+			Sys:  hwspec.Lassen(),
+			Spec: dataset.ImageNet1kSpec(),
+			Workload: func(workers int) hwspec.Workload {
+				return hwspec.ResNet50Lassen(workers, 10, b)
+			},
+			GPUCounts: []int{128},
+			Loaders:   []Loader{LoaderPyTorch, LoaderNoPFS, LoaderNoIO},
+			Scale:     scale, Seed: 0xF13, Jitter: 0.6,
+		})
+	}
+	return out
+}
+
+// Fig14Lassen: ResNet-50 / ImageNet-22k on Lassen, 32-1024 GPUs, 3 epochs.
+func Fig14Lassen(scale float64) Experiment {
+	return Experiment{
+		Name: "fig14-imagenet22k",
+		Sys:  hwspec.Lassen(),
+		Spec: dataset.ImageNet22kSpec(),
+		Workload: func(workers int) hwspec.Workload {
+			return hwspec.ResNet50Lassen(workers, 3, 120)
+		},
+		GPUCounts: []int{32, 64, 128, 256, 512, 1024},
+		Loaders:   []Loader{LoaderPyTorch, LoaderNoPFS, LoaderNoIO},
+		Scale:     scale, Seed: 0xF14, Jitter: 0.6,
+	}
+}
+
+// Fig15Lassen: CosmoFlow on Lassen, 32-1024 GPUs, per-GPU batch 16.
+func Fig15Lassen(scale float64) Experiment {
+	return Experiment{
+		Name: "fig15-cosmoflow",
+		Sys:  hwspec.Lassen(),
+		Spec: dataset.CosmoFlowSpec(),
+		Workload: func(workers int) hwspec.Workload {
+			return hwspec.CosmoFlowLassen(workers, 10, 16)
+		},
+		GPUCounts: []int{32, 64, 128, 256, 512, 1024},
+		Loaders:   []Loader{LoaderPyTorch, LoaderNoPFS, LoaderNoIO},
+		Scale:     scale, Seed: 0xF15, Jitter: 0.6,
+	}
+}
+
+// Fig12CacheStats extracts the NoPFS stall time and fetch-location mix per
+// scale (paper Fig. 12) from a Fig. 10 run.
+func Fig12CacheStats(points []ScalePoint) []ScalePoint {
+	var out []ScalePoint
+	for _, p := range points {
+		if p.Loader == LoaderNoPFS.String() && !p.Failed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EndToEndPoint is one sample of the Fig. 16 accuracy-vs-time curves.
+type EndToEndPoint struct {
+	Epoch       int
+	Seconds     float64
+	Top1Percent float64
+}
+
+// EndToEndResult holds one loader's simulated 90-epoch training run.
+type EndToEndResult struct {
+	Loader       string
+	Curve        []EndToEndPoint
+	TotalSeconds float64
+	FinalTop1    float64
+}
+
+// Fig16EndToEnd reproduces the end-to-end comparison: ResNet-50 on
+// ImageNet-1k, 256 Lassen GPUs, per-GPU batch 32 (global 8192), 90 epochs
+// with the Goyal et al. schedule. NoPFS preserves full-dataset
+// randomization, so accuracy-vs-epoch is loader-independent; the loaders
+// differ only in how fast epochs complete — exactly the paper's framing.
+func Fig16EndToEnd(scale float64) ([]EndToEndResult, error) {
+	const epochs = 90
+	exp := Experiment{
+		Name: "fig16",
+		Sys:  hwspec.Lassen(),
+		Spec: dataset.ImageNet1kSpec(),
+		Workload: func(workers int) hwspec.Workload {
+			return hwspec.ResNet50Lassen(workers, epochs, 32)
+		},
+		GPUCounts: []int{256},
+		Loaders:   []Loader{LoaderPyTorch, LoaderNoPFS, LoaderNoIO},
+		Scale:     scale, Seed: 0xF16, Jitter: 0.4,
+	}
+	// Run the simulator directly so we keep per-epoch times.
+	spec := exp.Spec
+	sys := exp.Sys
+	if scale != 1 {
+		spec = spec.Scale(scale)
+		sys = sim.ScaleSystem(sys, scale)
+	}
+	ds, err := dataset.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out []EndToEndResult
+	for _, loader := range exp.Loaders {
+		work := loader.AdjustWorkload(exp.Workload(256))
+		cfg := sim.Config{Sys: sys, Work: work, DS: ds, Seed: exp.Seed, PFSJitter: exp.Jitter, DropLast: true}
+		pol, err := loader.Policy()
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.Run(cfg, pol)
+		if err != nil {
+			return nil, err
+		}
+		if r.Failed {
+			out = append(out, EndToEndResult{Loader: loader.String()})
+			continue
+		}
+		res := EndToEndResult{Loader: loader.String()}
+		elapsed := 0.0
+		for e, d := range r.EpochSeconds {
+			elapsed += d
+			res.Curve = append(res.Curve, EndToEndPoint{
+				Epoch:       e + 1,
+				Seconds:     elapsed,
+				Top1Percent: ResNet50Top1(float64(e + 1)),
+			})
+		}
+		res.TotalSeconds = elapsed
+		if n := len(res.Curve); n > 0 {
+			res.FinalTop1 = res.Curve[n-1].Top1Percent
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

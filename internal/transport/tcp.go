@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// TCPEndpoint is a Network over loopback TCP sockets, using a compact
+// length-prefixed binary protocol. It demonstrates that the middleware's
+// fabric needs nothing beyond the standard library: swap the channel fabric
+// for this one and real bytes cross real sockets.
+type TCPEndpoint struct {
+	rank     int
+	addrs    []string
+	listener net.Listener
+	limiter  *storage.Limiter
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+// NewTCPNetwork builds an n-worker fabric on 127.0.0.1 ephemeral ports.
+func NewTCPNetwork(n int, limiter *storage.Limiter) ([]*TCPEndpoint, error) {
+	eps := make([]*TCPEndpoint, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				eps[j].Close()
+			}
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		eps[i] = &TCPEndpoint{rank: i, listener: l, limiter: limiter}
+		addrs[i] = l.Addr().String()
+	}
+	for _, e := range eps {
+		e.addrs = addrs
+	}
+	return eps, nil
+}
+
+// Rank implements Network.
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+// Size implements Network.
+func (e *TCPEndpoint) Size() int { return len(e.addrs) }
+
+// SetHandler implements Network and starts the accept loop.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+	go func() {
+		for {
+			conn, err := e.listener.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go e.serve(conn)
+		}
+	}()
+}
+
+// Wire format, little endian:
+//
+//	request:  from(4) kind(1) sample(4) value(8)
+//	response: ok(1) value(8) len(4) data(len)
+const reqSize = 4 + 1 + 4 + 8
+
+func (e *TCPEndpoint) serve(conn net.Conn) {
+	defer conn.Close()
+	var buf [reqSize]byte
+	for {
+		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+			return
+		}
+		from := int(int32(binary.LittleEndian.Uint32(buf[0:4])))
+		req := Request{
+			Kind:   buf[4],
+			Sample: int32(binary.LittleEndian.Uint32(buf[5:9])),
+			Value:  binary.LittleEndian.Uint64(buf[9:17]),
+		}
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		resp := Response{}
+		if h != nil {
+			resp = h(from, req)
+		}
+		if len(resp.Data) > 0 {
+			e.limiter.Wait(int64(len(resp.Data)))
+		}
+		head := make([]byte, 1+8+4)
+		if resp.OK {
+			head[0] = 1
+		}
+		binary.LittleEndian.PutUint64(head[1:9], resp.Value)
+		binary.LittleEndian.PutUint32(head[9:13], uint32(len(resp.Data)))
+		if _, err := conn.Write(head); err != nil {
+			return
+		}
+		if len(resp.Data) > 0 {
+			if _, err := conn.Write(resp.Data); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Call implements Network. Connections are per-call: simple, correct, and
+// plenty for loopback validation (a production fabric would pool them).
+func (e *TCPEndpoint) Call(to int, req Request) (Response, error) {
+	if to < 0 || to >= len(e.addrs) {
+		return Response{}, fmt.Errorf("transport: rank %d out of range", to)
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return Response{}, ErrClosed
+	}
+	conn, err := net.Dial("tcp", e.addrs[to])
+	if err != nil {
+		return Response{}, fmt.Errorf("transport: dial rank %d: %w", to, err)
+	}
+	defer conn.Close()
+
+	var buf [reqSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.rank))
+	buf[4] = req.Kind
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(req.Sample))
+	binary.LittleEndian.PutUint64(buf[9:17], req.Value)
+	if _, err := conn.Write(buf[:]); err != nil {
+		return Response{}, err
+	}
+
+	head := make([]byte, 1+8+4)
+	if _, err := io.ReadFull(conn, head); err != nil {
+		return Response{}, err
+	}
+	resp := Response{
+		OK:    head[0] == 1,
+		Value: binary.LittleEndian.Uint64(head[1:9]),
+	}
+	if n := binary.LittleEndian.Uint32(head[9:13]); n > 0 {
+		resp.Data = make([]byte, n)
+		if _, err := io.ReadFull(conn, resp.Data); err != nil {
+			return Response{}, err
+		}
+	}
+	return resp, nil
+}
+
+// Close implements Network.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return e.listener.Close()
+}

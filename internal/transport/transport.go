@@ -1,0 +1,178 @@
+// Package transport is the communication substrate of the live middleware,
+// standing in for the paper's MPI layer. It provides the two operations
+// NoPFS needs — a setup allgather (exchanging plan digests) and
+// point-to-point sample fetches — over two interchangeable fabrics: an
+// in-process channel network (used by the cluster harness and tests) and a
+// TCP loopback network (real sockets, same protocol).
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Request kinds.
+const (
+	// KindFetch asks a peer for a cached sample.
+	KindFetch = uint8(iota + 1)
+	// KindValue exchanges a uint64 (plan digests, progress counters).
+	KindValue
+)
+
+// Request is one message to a peer.
+type Request struct {
+	Kind   uint8
+	Sample int32
+	Value  uint64
+}
+
+// Response is a peer's reply.
+type Response struct {
+	// OK is false for a fetch miss (the remote-progress heuristic's false
+	// positive, Sec. 5.2.2 — detected, not fatal).
+	OK    bool
+	Value uint64
+	Data  []byte
+}
+
+// Handler serves requests arriving at an endpoint.
+type Handler func(from int, req Request) Response
+
+// Network is one worker's view of the fabric.
+type Network interface {
+	// Rank is this worker's id in [0, Size).
+	Rank() int
+	// Size is the worker count.
+	Size() int
+	// SetHandler installs the request handler; it must be called before
+	// any peer Calls this endpoint.
+	SetHandler(Handler)
+	// Call sends a request to a peer and waits for its response.
+	Call(to int, req Request) (Response, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// AllgatherValue exchanges a uint64 with every peer: the returned slice
+// holds each rank's value (own value included). NoPFS uses this at setup to
+// verify that every worker derived the identical access plan.
+func AllgatherValue(n Network, mine uint64) ([]uint64, error) {
+	out := make([]uint64, n.Size())
+	out[n.Rank()] = mine
+	for peer := 0; peer < n.Size(); peer++ {
+		if peer == n.Rank() {
+			continue
+		}
+		resp, err := n.Call(peer, Request{Kind: KindValue, Value: mine})
+		if err != nil {
+			return nil, fmt.Errorf("transport: allgather with rank %d: %w", peer, err)
+		}
+		out[peer] = resp.Value
+	}
+	return out, nil
+}
+
+// ErrClosed is returned when calling through a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// chanCall is one in-flight request on the channel fabric.
+type chanCall struct {
+	from  int
+	req   Request
+	reply chan Response
+}
+
+// ChanEndpoint is an in-process Network. All endpoints of one fabric share
+// an optional bandwidth limiter modelling the interconnect b_c, and see
+// each other's shutdown state so a Call to a closed peer fails instead of
+// hanging.
+type ChanEndpoint struct {
+	rank    int
+	inboxes []chan chanCall
+	dones   []chan struct{}
+	handler Handler
+	limiter *storage.Limiter
+}
+
+// NewChanNetwork builds an n-worker in-process fabric. limiter (optional)
+// throttles response payload bytes at the configured aggregate rate.
+func NewChanNetwork(n int, limiter *storage.Limiter) []*ChanEndpoint {
+	inboxes := make([]chan chanCall, n)
+	dones := make([]chan struct{}, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan chanCall, 64)
+		dones[i] = make(chan struct{})
+	}
+	eps := make([]*ChanEndpoint, n)
+	for i := 0; i < n; i++ {
+		eps[i] = &ChanEndpoint{
+			rank: i, inboxes: inboxes, dones: dones, limiter: limiter,
+		}
+	}
+	return eps
+}
+
+// Rank implements Network.
+func (e *ChanEndpoint) Rank() int { return e.rank }
+
+// Size implements Network.
+func (e *ChanEndpoint) Size() int { return len(e.inboxes) }
+
+// SetHandler implements Network and starts the serve loop.
+func (e *ChanEndpoint) SetHandler(h Handler) {
+	e.handler = h
+	go func() {
+		for {
+			select {
+			case call := <-e.inboxes[e.rank]:
+				// Serve concurrently: a slow (bandwidth-limited) response
+				// must not convoy unrelated requests; the limiters already
+				// enforce aggregate rates.
+				go func(call chanCall) {
+					resp := e.handler(call.from, call.req)
+					if len(resp.Data) > 0 {
+						e.limiter.Wait(int64(len(resp.Data)))
+					}
+					call.reply <- resp
+				}(call)
+			case <-e.dones[e.rank]:
+				return
+			}
+		}
+	}()
+}
+
+// Call implements Network.
+func (e *ChanEndpoint) Call(to int, req Request) (Response, error) {
+	if to < 0 || to >= len(e.inboxes) {
+		return Response{}, fmt.Errorf("transport: rank %d out of range", to)
+	}
+	reply := make(chan Response, 1)
+	select {
+	case e.inboxes[to] <- chanCall{from: e.rank, req: req, reply: reply}:
+	case <-e.dones[e.rank]:
+		return Response{}, ErrClosed
+	case <-e.dones[to]:
+		return Response{}, ErrClosed
+	}
+	select {
+	case resp := <-reply:
+		return resp, nil
+	case <-e.dones[e.rank]:
+		return Response{}, ErrClosed
+	case <-e.dones[to]:
+		return Response{}, ErrClosed
+	}
+}
+
+// Close implements Network.
+func (e *ChanEndpoint) Close() error {
+	select {
+	case <-e.dones[e.rank]:
+	default:
+		close(e.dones[e.rank])
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package nopfs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// verifyPayload checks the integrity envelope of internal/dataset payloads.
+func verifyPayload(id int, data []byte) error {
+	return dataset.VerifySample(id, data)
+}
+
+// RunCluster executes an N-worker distributed training job in one process:
+// it builds the fabric (in-process channels, or loopback TCP with
+// Options.UseTCP), wires every worker's Job, runs fn concurrently for each
+// worker (the per-rank training loop), and returns per-worker stats.
+//
+// Every worker sees the dataset "at rest on a PFS" whose aggregate
+// bandwidth is Options.PFSAggregateMBps, matching the paper's MLPerf-HPC
+// starting condition.
+func RunCluster(ds Dataset, workers int, opts Options, fn func(job *Job) error) ([]Stats, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(ds, workers); err != nil {
+		return nil, err
+	}
+	shared := &pfs{ds: ds, limiter: storage.NewLimiter(opts.PFSAggregateMBps)}
+	bc := storage.NewLimiter(opts.InterconnectMBps)
+
+	nets := make([]transport.Network, workers)
+	if opts.UseTCP {
+		eps, err := transport.NewTCPNetwork(workers, bc)
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range eps {
+			nets[i] = e
+		}
+	} else {
+		for i, e := range transport.NewChanNetwork(workers, bc) {
+			nets[i] = e
+		}
+	}
+
+	jobs := make([]*Job, workers)
+	for rank := 0; rank < workers; rank++ {
+		j, err := newJob(ds, rank, workers, perRankOptions(opts, rank), nets[rank], shared)
+		if err != nil {
+			for r := 0; r < rank; r++ {
+				jobs[r].Close()
+			}
+			return nil, fmt.Errorf("nopfs: rank %d: %w", rank, err)
+		}
+		jobs[rank] = j
+	}
+	// Start after all handlers are installed (the allgather needs every
+	// endpoint serving).
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for rank := range jobs {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := jobs[rank].Start(); err != nil {
+				errs[rank] = err
+				return
+			}
+			errs[rank] = fn(jobs[rank])
+		}(rank)
+	}
+	wg.Wait()
+
+	stats := make([]Stats, workers)
+	for rank, j := range jobs {
+		stats[rank] = j.Stats()
+		j.Close()
+	}
+	for rank, err := range errs {
+		if err != nil {
+			return stats, fmt.Errorf("nopfs: rank %d: %w", rank, err)
+		}
+	}
+	return stats, nil
+}
+
+// perRankOptions gives each rank its own filesystem-backed class directory
+// (a shared Dir would make workers share one cache).
+func perRankOptions(opts Options, rank int) Options {
+	classes := make([]Class, len(opts.Classes))
+	copy(classes, opts.Classes)
+	for i := range classes {
+		if classes[i].Dir != "" {
+			classes[i].Dir = fmt.Sprintf("%s/rank%03d", classes[i].Dir, rank)
+		}
+	}
+	opts.Classes = classes
+	return opts
+}
+
+// DrainAll is a convenience training loop: it consumes the entire stream,
+// calling onSample (if non-nil) for every delivered sample.
+func DrainAll(onSample func(Sample) error) func(*Job) error {
+	return func(j *Job) error {
+		for {
+			s, ok, err := j.Get()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if onSample != nil {
+				if err := onSample(s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package nopfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/cachepolicy"
+	"repro/internal/hwspec"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Job is one worker's handle on a distributed training run: the paper's
+// Python `Job` class. It owns the worker's staging buffer, storage-class
+// prefetchers, and fabric endpoint, and delivers samples in exact schedule
+// order through Get.
+type Job struct {
+	rank int
+	opts Options
+	ds   Dataset
+	plan *access.Plan
+
+	assign   *cachepolicy.Assignment
+	stream   []access.SampleID
+	perEpoch int
+
+	backends []storage.Backend
+	staging  *storage.Staging
+	net      transport.Network
+	pfs      *pfs
+
+	progress atomic.Int64 // staging prefetch position (heuristic input)
+	pos      atomic.Int64 // next stream position to claim
+
+	fetchPFS    atomic.Int64
+	fetchRemote atomic.Int64
+	fetchLocal  atomic.Int64
+	falsePos    atomic.Int64
+	delivered   atomic.Int64
+	stallNanos  atomic.Int64
+
+	errOnce sync.Once
+	fatal   error
+
+	// sources records the fetch source per staged position so Get can
+	// report it alongside the sample.
+	sourceMu sync.Mutex
+	sources  map[int]Source
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// newJob wires one worker. The caller provides the fabric endpoint and the
+// shared PFS; placement is computed clairvoyantly from the options' seed.
+func newJob(ds Dataset, rank, workers int, opts Options, net transport.Network, shared *pfs) (*Job, error) {
+	plan := &access.Plan{
+		Seed: opts.Seed, F: ds.Len(), N: workers, E: opts.Epochs,
+		BatchPerWorker: opts.BatchPerWorker, DropLast: opts.DropLast,
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	node := nodeFromClasses(opts.Classes)
+	j := &Job{
+		rank: rank, opts: opts, ds: ds, plan: plan,
+		assign:   cachepolicy.BuildNoPFS(plan, sizerAdapter{ds}, node),
+		stream:   plan.WorkerStream(rank),
+		perEpoch: plan.SamplesPerEpoch(rank),
+		staging:  storage.NewStaging(opts.StagingBytes),
+		net:      net,
+		pfs:      shared,
+		closed:   make(chan struct{}),
+	}
+	for i, c := range opts.Classes {
+		read := storage.NewLimiter(c.ReadMBps)
+		write := storage.NewLimiter(c.WriteMBps)
+		if c.Dir != "" {
+			b, err := storage.NewFS(c.Name, c.Dir, c.CapacityBytes, read, write)
+			if err != nil {
+				return nil, err
+			}
+			j.backends = append(j.backends, b)
+		} else {
+			j.backends = append(j.backends, storage.NewMemory(c.Name, c.CapacityBytes, read, write))
+		}
+		_ = i
+	}
+	net.SetHandler(j.handle)
+	return j, nil
+}
+
+// sizerAdapter narrows Dataset to the cache policy's needs.
+type sizerAdapter struct{ ds Dataset }
+
+func (s sizerAdapter) Len() int          { return s.ds.Len() }
+func (s sizerAdapter) Size(id int) int64 { return s.ds.Size(id) }
+
+// nodeFromClasses builds the hwspec view of the configured classes (the
+// cache policy only consumes capacities).
+func nodeFromClasses(classes []Class) hwspec.Node {
+	node := hwspec.Node{
+		Staging:          hwspec.StorageClass{Name: "staging", CapacityMB: 1, Threads: 1, Read: hwspec.Flat(1), Write: hwspec.Flat(1)},
+		InterconnectMBps: 1,
+	}
+	for _, c := range classes {
+		node.Classes = append(node.Classes, hwspec.StorageClass{
+			Name:       c.Name,
+			CapacityMB: float64(c.CapacityBytes) / (1 << 20),
+			Threads:    c.Threads,
+			Read:       hwspec.Flat(1),
+			Write:      hwspec.Flat(1),
+		})
+	}
+	return node
+}
+
+// Start verifies plan agreement with all peers (allgather of plan digests)
+// and launches the prefetchers. It must be called once before Get.
+func (j *Job) Start() error {
+	digests, err := transport.AllgatherValue(j.net, j.plan.Hash())
+	if err != nil {
+		return fmt.Errorf("nopfs: plan allgather: %w", err)
+	}
+	for rank, d := range digests {
+		if d != j.plan.Hash() {
+			return fmt.Errorf("nopfs: rank %d derived a different access plan (digest %#x != %#x): seeds or parameters diverge",
+				rank, d, j.plan.Hash())
+		}
+	}
+	// Storage-class prefetchers: fill each class with its assigned
+	// samples in first-access order (Rule 1).
+	for c := range j.backends {
+		fill := j.assign.FillOrder[j.rank][c]
+		var next atomic.Int64
+		threads := j.opts.Classes[c].Threads
+		for t := 0; t < threads; t++ {
+			j.wg.Add(1)
+			go j.classPrefetcher(c, fill, &next)
+		}
+	}
+	// Staging prefetchers: walk the access stream R in order.
+	for t := 0; t < j.opts.StagingThreads; t++ {
+		j.wg.Add(1)
+		go j.stagingPrefetcher()
+	}
+	return nil
+}
+
+// errJobClosed aborts in-flight prefetch work during shutdown.
+var errJobClosed = errors.New("nopfs: job closed")
+
+// isClosed reports whether Close has begun.
+func (j *Job) isClosed() bool {
+	select {
+	case <-j.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail records the first fatal error and unblocks the consumer.
+func (j *Job) fail(err error) {
+	j.errOnce.Do(func() {
+		j.fatal = err
+		j.staging.Close()
+	})
+}
+
+// handle serves peer requests: sample fetches from local caches and plan
+// digest exchanges.
+func (j *Job) handle(from int, req transport.Request) transport.Response {
+	switch req.Kind {
+	case transport.KindValue:
+		return transport.Response{OK: true, Value: j.plan.Hash()}
+	case transport.KindFetch:
+		for _, b := range j.backends {
+			if data, ok, err := b.Get(req.Sample); err == nil && ok {
+				return transport.Response{OK: true, Data: data}
+			}
+		}
+		return transport.Response{OK: false}
+	}
+	return transport.Response{}
+}
+
+// prefetchLookahead is how far (in stream positions) a class prefetcher may
+// run ahead of the staging position. Running just ahead means the staging
+// path finds the sample locally — one PFS read per sample — instead of the
+// class and staging prefetchers racing each other to the filesystem.
+const prefetchLookahead = 512
+
+// classPrefetcher fills one storage class with its assigned samples, in
+// first-access order, pacing itself to stay a bounded window ahead of the
+// trainer's stream position.
+func (j *Job) classPrefetcher(class int, fill []access.SampleID, next *atomic.Int64) {
+	defer j.wg.Done()
+	backend := j.backends[class]
+	for {
+		i := next.Add(1) - 1
+		if int(i) >= len(fill) {
+			return
+		}
+		k := fill[i]
+		fp := j.assign.LocalPos(j.rank, k)
+		// Pace: wait until the trainer is within the lookahead window of
+		// this sample's first access.
+		for int64(fp) > j.progress.Load()+prefetchLookahead {
+			if j.isClosed() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if j.isClosed() {
+			return
+		}
+		if backend.Has(k) {
+			continue // the staging path self-healed it already
+		}
+		if int64(fp) < j.progress.Load() {
+			// Staging already passed the first access; it either cached
+			// the sample itself or will re-fetch on the next epoch.
+			continue
+		}
+		data, _, err := j.fetchFrom(k, int(j.progress.Load()), false)
+		if err == errJobClosed {
+			return
+		}
+		if err != nil {
+			j.fail(err)
+			return
+		}
+		if _, err := backend.Put(k, data); err != nil {
+			j.fail(err)
+			return
+		}
+	}
+}
+
+// stagingPrefetcher claims stream positions and stages samples in order.
+func (j *Job) stagingPrefetcher() {
+	defer j.wg.Done()
+	for {
+		select {
+		case <-j.closed:
+			return
+		default:
+		}
+		pos := int(j.pos.Add(1) - 1)
+		if pos >= len(j.stream) {
+			return
+		}
+		k := j.stream[pos]
+		data, src, err := j.fetchFrom(k, pos, true)
+		if err == errJobClosed {
+			return
+		}
+		if err != nil {
+			j.fail(err)
+			return
+		}
+		switch src {
+		case SourcePFS:
+			j.fetchPFS.Add(1)
+		case SourceRemote:
+			j.fetchRemote.Add(1)
+		case SourceLocal:
+			j.fetchLocal.Add(1)
+		}
+		j.sourceMu.Lock()
+		if j.sources == nil {
+			j.sources = map[int]Source{}
+		}
+		j.sources[pos] = src
+		j.sourceMu.Unlock()
+		if err := j.staging.Push(pos, k, data); err != nil {
+			if err != storage.ErrClosed {
+				j.fail(err)
+			}
+			return
+		}
+		j.progress.Store(int64(pos))
+	}
+}
+
+// fetchFrom retrieves sample k for stream position pos using the argmin
+// source rule: local class if cached, else the best peer estimated to hold
+// it (symmetric-progress heuristic), else the PFS. selfHeal additionally
+// caches PFS fetches into the sample's assigned local class so a lagging
+// class prefetcher is repaired opportunistically (paper Sec. 5.2.2).
+func (j *Job) fetchFrom(k access.SampleID, pos int, selfHeal bool) ([]byte, Source, error) {
+	if j.isClosed() {
+		return nil, SourcePFS, errJobClosed
+	}
+	// Local storage classes, fastest first.
+	for _, b := range j.backends {
+		if data, ok, err := b.Get(k); err != nil {
+			return nil, SourceLocal, err
+		} else if ok {
+			return data, SourceLocal, nil
+		}
+	}
+	// Best remote holder per the clairvoyant placement + progress
+	// heuristic.
+	if _, holder := j.assign.RemoteAvail(j.rank, k, int32(pos)); holder >= 0 {
+		resp, err := j.net.Call(holder, transport.Request{Kind: transport.KindFetch, Sample: k})
+		switch {
+		case err == nil && resp.OK:
+			return resp.Data, SourceRemote, nil
+		case err != nil:
+			// A fabric error (e.g. the peer shut down first) is treated
+			// like a miss: the PFS always remains available.
+			j.falsePos.Add(1)
+		default:
+			// Heuristic false positive: the holder has not cached it yet.
+			j.falsePos.Add(1)
+		}
+	}
+	if j.isClosed() {
+		return nil, SourcePFS, errJobClosed
+	}
+	data, err := j.pfs.read(k)
+	if err != nil {
+		return nil, SourcePFS, fmt.Errorf("nopfs: pfs read of %d: %w", k, err)
+	}
+	if selfHeal {
+		if c := j.assign.Local(j.rank, k); c >= 0 {
+			if _, err := j.backends[c].Put(k, data); err != nil {
+				return nil, SourcePFS, err
+			}
+		}
+	}
+	return data, SourcePFS, nil
+}
+
+// Get returns the next sample of this worker's schedule. It blocks until
+// the sample is staged and returns false when the run is complete. A fatal
+// prefetch error surfaces as err.
+func (j *Job) Get() (Sample, bool, error) {
+	start := time.Now()
+	e, err := j.staging.Pop()
+	j.stallNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		if j.fatal != nil {
+			return Sample{}, false, j.fatal
+		}
+		return Sample{}, false, nil
+	}
+	j.sourceMu.Lock()
+	src := j.sources[e.Pos]
+	delete(j.sources, e.Pos)
+	j.sourceMu.Unlock()
+
+	j.delivered.Add(1)
+	if j.opts.VerifySamples {
+		if err := verifyPayload(int(e.ID), e.Data); err != nil {
+			return Sample{}, false, err
+		}
+	}
+	s := Sample{
+		ID:        int(e.ID),
+		Label:     j.ds.Label(int(e.ID)),
+		Data:      e.Data,
+		Epoch:     e.Pos / j.perEpoch,
+		Iteration: (e.Pos % j.perEpoch) / j.opts.BatchPerWorker,
+		Source:    src,
+	}
+	if e.Pos == len(j.stream)-1 {
+		j.staging.Close()
+	}
+	return s, true, nil
+}
+
+// StreamLen returns the total number of samples this worker will consume.
+func (j *Job) StreamLen() int { return len(j.stream) }
+
+// IterationsPerEpoch returns the worker's batches per epoch.
+func (j *Job) IterationsPerEpoch() int { return j.perEpoch / j.opts.BatchPerWorker }
+
+// Stats snapshots the worker's counters.
+func (j *Job) Stats() Stats {
+	var cached int64
+	for _, b := range j.backends {
+		cached += b.Used()
+	}
+	return Stats{
+		Rank: j.rank,
+		Fetches: map[Source]int64{
+			SourcePFS:    j.fetchPFS.Load(),
+			SourceRemote: j.fetchRemote.Load(),
+			SourceLocal:  j.fetchLocal.Load(),
+		},
+		RemoteFalsePositives: j.falsePos.Load(),
+		StallSeconds:         float64(j.stallNanos.Load()) / 1e9,
+		Delivered:            j.delivered.Load(),
+		CachedBytes:          cached,
+	}
+}
+
+// Close stops the prefetchers and releases the fabric endpoint. Safe to
+// call after the stream is exhausted or mid-run.
+func (j *Job) Close() error {
+	select {
+	case <-j.closed:
+	default:
+		close(j.closed)
+	}
+	j.staging.Close()
+	j.pos.Store(int64(len(j.stream))) // stop claimers
+	j.wg.Wait()
+	return j.net.Close()
+}

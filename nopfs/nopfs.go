@@ -1,0 +1,210 @@
+// Package nopfs is a Go implementation of NoPFS, the clairvoyant
+// prefetching I/O middleware for distributed machine-learning training
+// ("Clairvoyant Prefetching for Distributed Machine Learning I/O",
+// SC 2021).
+//
+// Training with mini-batch SGD reads every sample exactly once per epoch in
+// an order that is a pure function of a PRNG seed. Given that seed, NoPFS
+// computes the entire access stream of every worker in advance and uses it
+// to (1) prefetch samples into a staging buffer in exact consumption order,
+// (2) place each worker's most frequently accessed samples in its fastest
+// local storage class, and (3) serve cache misses from whichever location —
+// local storage, a peer's cache, or the parallel filesystem — the
+// performance model predicts is fastest.
+//
+// The package exposes the paper's iterator-style interface (Fig. 7): create
+// a Job per worker and call Get until the run is exhausted. RunCluster runs
+// an N-worker training job in one process for experimentation; the same Job
+// runs over real TCP sockets via Options.UseTCP.
+package nopfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Dataset is the data source interface a Job ingests. Reading a sample by
+// id is the only byte-producing operation; the middleware never requires
+// directory listings or mutation. internal/dataset.Synthetic and FSDataset
+// both satisfy it.
+type Dataset interface {
+	// Len returns the number of samples.
+	Len() int
+	// Size returns the byte size of sample id.
+	Size(id int) int64
+	// Label returns the class label of sample id.
+	Label(id int) int
+	// ReadSample returns the payload of sample id (a PFS read).
+	ReadSample(id int) ([]byte, error)
+}
+
+// Class configures one local storage class, fastest first.
+type Class struct {
+	// Name labels the class in stats ("ram", "ssd").
+	Name string
+	// CapacityBytes bounds what the class may cache.
+	CapacityBytes int64
+	// Dir, when non-empty, makes the class filesystem-backed at that
+	// path; otherwise it is an in-memory store.
+	Dir string
+	// ReadMBps / WriteMBps emulate the class's aggregate bandwidth
+	// (0 = unlimited). Useful for experiments on laptop hardware.
+	ReadMBps, WriteMBps float64
+	// Threads is the class's prefetcher thread count p_j (default 1).
+	Threads int
+}
+
+// Options configures a training job.
+type Options struct {
+	// Seed generates every epoch's shuffle — the clairvoyance input. All
+	// workers must use the same seed; Job verifies this with an allgather
+	// of plan digests at startup.
+	Seed uint64
+	// Epochs is the number of passes over the dataset.
+	Epochs int
+	// BatchPerWorker is the per-worker mini-batch size.
+	BatchPerWorker int
+	// DropLast drops the trailing partial global batch each epoch.
+	DropLast bool
+
+	// StagingBytes is the staging-buffer budget (default 64 MiB).
+	StagingBytes int64
+	// StagingThreads is p0, the staging prefetcher width (default 4).
+	StagingThreads int
+	// Classes are the local cache levels, fastest first (may be empty:
+	// the job still prefetches into the staging buffer clairvoyantly).
+	Classes []Class
+
+	// PFSAggregateMBps emulates the shared filesystem's aggregate random
+	// read bandwidth across all workers (0 = unlimited).
+	PFSAggregateMBps float64
+	// InterconnectMBps emulates the fabric bandwidth (0 = unlimited).
+	InterconnectMBps float64
+
+	// VerifySamples CRC-checks every delivered payload against the
+	// dataset's integrity envelope (internal/dataset format).
+	VerifySamples bool
+	// UseTCP runs the cluster fabric over loopback TCP sockets instead of
+	// in-process channels.
+	UseTCP bool
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.StagingBytes <= 0 {
+		o.StagingBytes = 64 << 20
+	}
+	if o.StagingThreads <= 0 {
+		o.StagingThreads = 4
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 1
+	}
+	if o.BatchPerWorker <= 0 {
+		o.BatchPerWorker = 1
+	}
+	for i := range o.Classes {
+		if o.Classes[i].Threads <= 0 {
+			o.Classes[i].Threads = 1
+		}
+	}
+	return o
+}
+
+// Validate reports whether the options are usable for the dataset and
+// worker count.
+func (o Options) Validate(ds Dataset, workers int) error {
+	switch {
+	case ds == nil:
+		return errors.New("nopfs: nil dataset")
+	case ds.Len() == 0:
+		return errors.New("nopfs: empty dataset")
+	case workers <= 0:
+		return errors.New("nopfs: need at least one worker")
+	case workers*o.BatchPerWorker > ds.Len():
+		return fmt.Errorf("nopfs: global batch %d exceeds dataset size %d",
+			workers*o.BatchPerWorker, ds.Len())
+	}
+	for _, c := range o.Classes {
+		if c.CapacityBytes <= 0 {
+			return fmt.Errorf("nopfs: class %q needs positive capacity", c.Name)
+		}
+	}
+	return nil
+}
+
+// Sample is one training sample delivered by Job.Get.
+type Sample struct {
+	// ID is the dataset sample index.
+	ID int
+	// Label is the dataset-provided class label.
+	Label int
+	// Data is the sample payload. The buffer belongs to the caller.
+	Data []byte
+	// Epoch and Iteration locate the sample in the training schedule.
+	Epoch, Iteration int
+	// Source reports where the staging prefetcher found the sample.
+	Source Source
+}
+
+// Source identifies where a staged sample was fetched from.
+type Source int
+
+// Fetch sources, mirroring the paper's Fig. 12 categories.
+const (
+	// SourcePFS: read from the shared filesystem (the Dataset).
+	SourcePFS Source = iota
+	// SourceRemote: served from a peer worker's cache.
+	SourceRemote
+	// SourceLocal: served from this worker's own storage classes.
+	SourceLocal
+)
+
+// String returns the stats label.
+func (s Source) String() string {
+	switch s {
+	case SourcePFS:
+		return "pfs"
+	case SourceRemote:
+		return "remote"
+	case SourceLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// Stats summarises one worker's run.
+type Stats struct {
+	Rank int
+	// Fetches counts staging-buffer fetches by source.
+	Fetches map[Source]int64
+	// RemoteFalsePositives counts remote fetches the progress heuristic
+	// predicted would hit but missed (each fell back to the PFS).
+	RemoteFalsePositives int64
+	// StallSeconds is the total time Get waited on the staging buffer.
+	StallSeconds float64
+	// Delivered is the number of samples handed to the trainer.
+	Delivered int64
+	// CachedBytes is what this worker's classes held at shutdown.
+	CachedBytes int64
+}
+
+// pfs wraps the Dataset with the shared-bandwidth limiter: the live
+// system's parallel filesystem.
+type pfs struct {
+	ds      Dataset
+	limiter *storage.Limiter
+}
+
+// read performs one PFS sample read under the bandwidth model.
+func (p *pfs) read(id int32) ([]byte, error) {
+	data, err := p.ds.ReadSample(int(id))
+	if err != nil {
+		return nil, err
+	}
+	p.limiter.Wait(int64(len(data)))
+	return data, nil
+}

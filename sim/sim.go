@@ -1,0 +1,112 @@
+// Package sim is the public façade of the NoPFS I/O performance simulator
+// (paper Sec. 6): it re-exports scenario presets for every panel of Fig. 8,
+// the Fig. 9 environment sweep, and the policy registry, so downstream
+// users can compare I/O strategies for their own dataset/cluster
+// combinations without touching internal packages.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/perfmodel"
+	isim "repro/internal/sim"
+)
+
+// Re-exported core types.
+type (
+	// Config describes one simulation run.
+	Config = isim.Config
+	// Result summarises one policy's simulated execution.
+	Result = isim.Result
+	// Policy is one I/O strategy.
+	Policy = isim.Policy
+	// Scenario is a Fig. 8 panel preset.
+	Scenario = isim.Scenario
+	// SweepPoint is one Fig. 9 configuration.
+	SweepPoint = isim.SweepPoint
+)
+
+// Policy constructors and registry.
+var (
+	// NewNoPFS builds the paper's policy.
+	NewNoPFS = isim.NewNoPFS
+	// NewLowerBound builds the no-stall Perfect baseline.
+	NewLowerBound = isim.NewLowerBound
+	// NewNaive builds synchronous PFS loading.
+	NewNaive = isim.NewNaive
+	// NewStagingBuffer builds the double-buffering baseline.
+	NewStagingBuffer = isim.NewStagingBuffer
+	// AllPolicies returns every compared policy in Fig. 8 bar order.
+	AllPolicies = isim.AllPolicies
+	// PolicyByName resolves a Fig. 8 label.
+	PolicyByName = isim.PolicyByName
+	// Run simulates one policy under a config.
+	Run = isim.Run
+	// Fig8Scenarios returns the six Fig. 8 panels.
+	Fig8Scenarios = isim.Fig8Scenarios
+	// ScenarioByID resolves a panel id or dataset name.
+	ScenarioByID = isim.ScenarioByID
+	// RunScenario simulates all policies on one panel.
+	RunScenario = isim.RunScenario
+	// Fig9Sweep runs the environment study.
+	Fig9Sweep = isim.Fig9Sweep
+	// Fig9StagingCheck runs the staging-buffer-size preliminary.
+	Fig9StagingCheck = isim.Fig9StagingCheck
+)
+
+// PrintScenario renders one panel's results as the paper's bar chart, in
+// text: execution time per policy with the per-location time breakdown and
+// coverage flags.
+func PrintScenario(w io.Writer, s Scenario, results []*Result) {
+	fmt.Fprintf(w, "== %s: %s ==\n", s.ID, s.Label)
+	fmt.Fprintf(w, "%-20s %12s %10s %28s %s\n", "policy", "exec", "stall", "fetch time pfs/remote/local", "notes")
+	for _, r := range results {
+		if r.Failed {
+			fmt.Fprintf(w, "%-20s %12s %10s %28s %s\n", r.Policy, "-", "-", "-", r.FailReason)
+			continue
+		}
+		notes := ""
+		if r.Coverage < 0.999 {
+			notes = fmt.Sprintf("does not access entire dataset (%.0f%%)", 100*r.Coverage)
+		}
+		fmt.Fprintf(w, "%-20s %11.2fs %9.2fs %8.1f/%8.1f/%8.1fs  %s\n",
+			r.Policy, r.ExecSeconds, r.StallSeconds,
+			r.LocSeconds[perfmodel.LocPFS], r.LocSeconds[perfmodel.LocRemote],
+			r.LocSeconds[perfmodel.LocLocal], notes)
+	}
+}
+
+// PrintSweep renders the Fig. 9 grid: execution time by (RAM, SSD).
+func PrintSweep(w io.Writer, points []SweepPoint) {
+	ssds := map[int]bool{}
+	rams := map[int]bool{}
+	byCfg := map[[2]int]float64{}
+	for _, p := range points {
+		ssds[p.SSDGB] = true
+		rams[p.RAMGB] = true
+		byCfg[[2]int{p.RAMGB, p.SSDGB}] = p.Result.ExecSeconds
+	}
+	var ssdList, ramList []int
+	for v := range ssds {
+		ssdList = append(ssdList, v)
+	}
+	for v := range rams {
+		ramList = append(ramList, v)
+	}
+	sort.Ints(ssdList)
+	sort.Ints(ramList)
+	fmt.Fprintf(w, "exec seconds by RAM (rows) x SSD (cols), GB:\n%8s", "")
+	for _, s := range ssdList {
+		fmt.Fprintf(w, "%10d", s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range ramList {
+		fmt.Fprintf(w, "%8d", r)
+		for _, s := range ssdList {
+			fmt.Fprintf(w, "%10.1f", byCfg[[2]int{r, s}])
+		}
+		fmt.Fprintln(w)
+	}
+}

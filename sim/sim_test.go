@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeScenarioRoundTrip(t *testing.T) {
+	scenarios := Fig8Scenarios()
+	if len(scenarios) != 6 {
+		t.Fatalf("got %d scenarios, want 6", len(scenarios))
+	}
+	for _, s := range scenarios {
+		got, err := ScenarioByID(s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Label != s.Label {
+			t.Errorf("round trip %s: %q != %q", s.ID, got.Label, s.Label)
+		}
+	}
+}
+
+func TestFacadeRunAndPrint(t *testing.T) {
+	s, err := ScenarioByID("fig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunScenario(s, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	PrintScenario(&buf, s, results)
+	out := buf.String()
+	for _, want := range []string{"NoPFS", "LowerBound", "Naive", "fig8a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFacadeSweepAndPrint(t *testing.T) {
+	points, err := Fig9Sweep(0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	PrintSweep(&buf, points)
+	out := buf.String()
+	if !strings.Contains(out, "512") || !strings.Contains(out, "1024") {
+		t.Errorf("sweep grid missing row/column headers:\n%s", out)
+	}
+	// 5 RAM rows + header.
+	if lines := strings.Count(out, "\n"); lines < 6 {
+		t.Errorf("sweep grid too short: %d lines", lines)
+	}
+}
+
+func TestFacadePolicyRegistry(t *testing.T) {
+	if len(AllPolicies()) != 10 {
+		t.Errorf("expected 10 policies, got %d", len(AllPolicies()))
+	}
+	for _, ctor := range []func() Policy{NewNoPFS, NewLowerBound, NewNaive, NewStagingBuffer} {
+		p := ctor()
+		if _, err := PolicyByName(p.Name()); err != nil {
+			t.Errorf("constructor policy %q not in registry", p.Name())
+		}
+	}
+}
