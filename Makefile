@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet fmt bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Tier-1 verification (ROADMAP).
+verify: build test

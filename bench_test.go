@@ -15,7 +15,6 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/dataset"
-	isim "repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trainer"
 	"repro/nopfs"
@@ -99,11 +98,11 @@ func BenchmarkFig8eCosmoFlow(b *testing.B) { fig8(b, "fig8e") }
 // BenchmarkFig8fCosmoFlow512: ND < S, N=8, 1 GB samples.
 func BenchmarkFig8fCosmoFlow512(b *testing.B) { fig8(b, "fig8f") }
 
-// BenchmarkFig9EnvironmentSweep runs the 25-point RAM x SSD study and
-// reports the best/worst configuration spread.
-func BenchmarkFig9EnvironmentSweep(b *testing.B) {
+// fig9Sweep runs the 25-point RAM x SSD study through the sweep engine at
+// the given pool width and reports the best/worst configuration spread.
+func fig9Sweep(b *testing.B, parallel int) {
 	for i := 0; i < b.N; i++ {
-		points, err := sim.Fig9Sweep(0.002, 11)
+		points, err := sim.Fig9SweepParallel(0.002, 11, parallel)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,6 +117,19 @@ func BenchmarkFig9EnvironmentSweep(b *testing.B) {
 		b.ReportMetric(worst/best, "worst/best-config")
 	}
 }
+
+// BenchmarkFig9EnvironmentSweep is the Fig. 9 study on a GOMAXPROCS-wide
+// pool (the default engine configuration).
+func BenchmarkFig9EnvironmentSweep(b *testing.B) { fig9Sweep(b, 0) }
+
+// BenchmarkFig9EnvironmentSweepSerial pins the engine to one goroutine;
+// comparing against the parallel variants shows the sweep-engine speedup on
+// this host.
+func BenchmarkFig9EnvironmentSweepSerial(b *testing.B) { fig9Sweep(b, 1) }
+
+// BenchmarkFig9EnvironmentSweepParallel8 runs the same grid on an 8-wide
+// pool.
+func BenchmarkFig9EnvironmentSweepParallel8(b *testing.B) { fig9Sweep(b, 8) }
 
 // fig10 runs a scaling experiment and reports the PyTorch-vs-NoPFS epoch
 // ratio at the largest scale point.
@@ -247,36 +259,20 @@ func BenchmarkFig16EndToEnd(b *testing.B) {
 // BenchmarkAblations quantifies each NoPFS design choice on the Fig. 8d
 // regime (D < S < ND) under 5x compute — the operating point where I/O
 // genuinely binds, so placement quality, remote fetching, and prefetch
-// depth each become visible.
+// depth each become visible. The variant grid runs through the sweep
+// engine.
 func BenchmarkAblations(b *testing.B) {
-	s, err := sim.ScenarioByID("fig8d")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg, err := s.Config(benchScale, 42)
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg.Work.ComputeMBps *= 5
-	cfg.Work.PreprocMBps *= 5
-	variants := []isim.NoPFSVariant{
-		{},
-		{RandomPlacement: true},
-		{NoRemote: true},
-		{TinyStaging: true},
-	}
+	grid := sim.AblationGrid(benchScale, 42, 1)
+	runner := &sim.Runner{}
 	for i := 0; i < b.N; i++ {
-		var base float64
-		for _, v := range variants {
-			r, err := sim.Run(cfg, isim.NewNoPFSVariant(v))
-			if err != nil {
-				b.Fatal(err)
-			}
-			if !v.RandomPlacement && !v.NoRemote && !v.TinyStaging {
-				base = r.ExecSeconds
-				continue
-			}
-			b.ReportMetric(r.ExecSeconds/base, v.Name()+"/full")
+		rep, err := runner.Run(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		summaries := rep.Aggregate()
+		base := summaries[0].Exec.Mean // full NoPFS is the first column
+		for _, s := range summaries[1:] {
+			b.ReportMetric(s.Exec.Mean/base, s.Policy+"/full")
 		}
 	}
 }

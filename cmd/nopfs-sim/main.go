@@ -1,19 +1,24 @@
 // nopfs-sim runs the paper's I/O performance simulator (Sec. 6): the Fig. 8
 // policy comparison across dataset/storage regimes, the Fig. 9 environment
-// sweep, and the Table 1 framework-characteristics summary.
+// sweep, the NoPFS design ablation, and the Table 1 framework summary. All
+// simulation modes execute through the concurrent sweep engine.
 //
 // Usage:
 //
-//	nopfs-sim -scenario fig8b            # one Fig. 8 panel
-//	nopfs-sim -all                       # all six panels
-//	nopfs-sim -sweep                     # Fig. 9 environment study
-//	nopfs-sim -table1                    # Table 1 characteristics
-//	nopfs-sim -all -scale 1              # paper-scale datasets (slow)
+//	nopfs-sim -scenario fig8b                      # one Fig. 8 panel
+//	nopfs-sim -all                                 # all six panels
+//	nopfs-sim -sweep                               # Fig. 9 environment study
+//	nopfs-sim -ablation                            # NoPFS design ablation
+//	nopfs-sim -table1                              # Table 1 characteristics
+//	nopfs-sim -all -parallel 8 -replicas 5         # 8-wide pool, 5 seeds/cell
+//	nopfs-sim -all -format json                    # structured output
+//	nopfs-sim -all -scale 1                        # paper-scale datasets (slow)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/sim"
@@ -22,53 +27,110 @@ import (
 func main() {
 	scenario := flag.String("scenario", "", "Fig. 8 panel id (fig8a..fig8f) or dataset name")
 	all := flag.Bool("all", false, "run every Fig. 8 panel")
-	sweep := flag.Bool("sweep", false, "run the Fig. 9 environment sweep")
+	sweepFlag := flag.Bool("sweep", false, "run the Fig. 9 environment sweep")
+	ablation := flag.Bool("ablation", false, "run the NoPFS design ablation")
 	table1 := flag.Bool("table1", false, "print the Table 1 framework comparison")
 	scale := flag.Float64("scale", 0.02, "dataset/capacity scale (1 = paper size)")
 	seed := flag.Uint64("seed", 42, "training PRNG seed")
+	parallel := flag.Int("parallel", 0, "sweep-engine goroutine pool width (0 = GOMAXPROCS)")
+	replicas := flag.Int("replicas", 1, "replica seeds per (scenario, policy) cell")
+	format := flag.String("format", "text", "output format: text, json, or csv")
 	flag.Parse()
+
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
+	}
+	runner := &sim.Runner{Parallel: *parallel}
 
 	switch {
 	case *table1:
 		printTable1()
-	case *sweep:
-		points, err := sim.Fig9Sweep(*scale, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("Fig. 9: ImageNet-22k, NoPFS, 5x compute, 5 GB staging buffer")
-		sim.PrintSweep(os.Stdout, points)
-		staging, err := sim.Fig9StagingCheck(*scale, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("\nstaging-buffer preliminary (runtime vs staging GB, RAM=32, no SSD):")
-		for _, gb := range []int{1, 2, 4, 5} {
-			fmt.Printf("  %d GB: %.1fs\n", gb, staging[gb].ExecSeconds)
-		}
+	case *sweepFlag:
+		runSweep(runner, *scale, *seed, *replicas, *format)
+	case *ablation:
+		grid := sim.AblationGrid(*scale, *seed, *replicas)
+		emit(runner, grid, *format)
 	case *all:
-		for _, s := range sim.Fig8Scenarios() {
-			runOne(s, *scale, *seed)
-		}
+		grid := sim.Fig8Grid(*scale, *seed, *replicas)
+		emit(runner, grid, *format)
 	case *scenario != "":
 		s, err := sim.ScenarioByID(*scenario)
 		if err != nil {
 			fatal(err)
 		}
-		runOne(s, *scale, *seed)
+		emit(runner, sim.ScenarioGrid(s, *scale, *seed, *replicas), *format)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(s sim.Scenario, scale float64, seed uint64) {
-	results, err := sim.RunScenario(s, scale, seed)
+// emit runs the grid and writes it in the requested format.
+func emit(runner *sim.Runner, grid *sim.Grid, format string) {
+	rep, err := runner.Run(grid)
 	if err != nil {
 		fatal(err)
 	}
-	sim.PrintScenario(os.Stdout, s, results)
+	if err := write(os.Stdout, rep, format); err != nil {
+		fatal(err)
+	}
+}
+
+// write encodes one report.
+func write(w io.Writer, rep *sim.Report, format string) error {
+	switch format {
+	case "json":
+		return sim.WriteJSON(w, rep)
+	case "csv":
+		return sim.WriteCSV(w, rep)
+	default:
+		return sim.WriteText(w, rep)
+	}
+}
+
+// runSweep renders the Fig. 9 study: environment grid plus staging
+// preliminary as one engine run, so json/csv emit a single document and
+// every format honours -replicas. Text mode keeps the legacy RAM × SSD
+// matrix, with means when the grid ran multiple seeds per cell.
+func runSweep(runner *sim.Runner, scale float64, seed uint64, replicas int, format string) {
+	rep, err := runner.Run(sim.Fig9FullGrid(scale, seed, replicas))
+	if err != nil {
+		fatal(err)
+	}
+	if format != "text" {
+		if err := write(os.Stdout, rep, format); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	byID := map[string]sim.Summary{}
+	for _, s := range rep.Aggregate() {
+		byID[s.Scenario] = s
+	}
+	title := "Fig. 9: ImageNet-22k, NoPFS, 5x compute, 5 GB staging buffer"
+	if rep.Replicas > 1 {
+		title += fmt.Sprintf(" (mean of %d seeds)", rep.Replicas)
+	}
+	fmt.Println(title)
+	rams, ssds := sim.Fig9Axes()
+	fmt.Printf("exec seconds by RAM (rows) x SSD (cols), GB:\n%8s", "")
+	for _, ssd := range ssds {
+		fmt.Printf("%10d", ssd)
+	}
 	fmt.Println()
+	for _, ram := range rams {
+		fmt.Printf("%8d", ram)
+		for _, ssd := range ssds {
+			fmt.Printf("%10.1f", byID[sim.Fig9CellID(ram, ssd)].Exec.Mean)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nstaging-buffer preliminary (runtime vs staging GB, RAM=32, no SSD):")
+	for _, gb := range sim.Fig9StagingSizes() {
+		fmt.Printf("  %d GB: %.1fs\n", gb, byID[sim.Fig9StagingID(gb)].Exec.Mean)
+	}
 }
 
 // printTable1 reproduces Table 1: the qualitative capabilities of each

@@ -93,71 +93,11 @@ func (s Scenario) Config(scale float64, seed uint64) (Config, error) {
 	return cfg, nil
 }
 
-// RunScenario simulates every policy on the scenario and returns results in
-// bar order. Policies that cannot run the regime (e.g. LBANN with S >
-// aggregate RAM) return Failed results, matching the paper's missing bars.
-func RunScenario(s Scenario, scale float64, seed uint64) ([]*Result, error) {
-	cfg, err := s.Config(scale, seed)
-	if err != nil {
-		return nil, err
-	}
-	var out []*Result
-	for _, pol := range AllPolicies() {
-		r, err := Run(cfg, pol)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %s policy %s: %w", s.ID, pol.Name(), err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
-// SweepPoint is one configuration of the Fig. 9 environment study.
-type SweepPoint struct {
-	RAMGB, SSDGB int
-	StagingGB    int
-	Result       *Result
-}
-
-// Fig9Sweep reproduces the Fig. 9 environment evaluation: ImageNet-22k with
-// the NoPFS policy under 5× compute/preprocessing throughput, sweeping RAM
-// {32..512 GB} × SSD {0..1024 GB} with a fixed 5 GB staging buffer. scale
-// shrinks dataset and capacities together.
-func Fig9Sweep(scale float64, seed uint64) ([]SweepPoint, error) {
-	rams := []int{32, 64, 128, 256, 512}
-	ssds := []int{0, 128, 256, 512, 1024}
-	var out []SweepPoint
-	for _, ram := range rams {
-		for _, ssd := range ssds {
-			r, err := fig9Point(scale, seed, 5, ram, ssd)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepPoint{RAMGB: ram, SSDGB: ssd, StagingGB: 5, Result: r})
-		}
-	}
-	return out, nil
-}
-
-// Fig9StagingCheck reproduces the paper's preliminary staging-buffer sweep:
-// with 1, 2, 4, or 5 GB staging buffers (and no other cache levels) the
-// runtime is identical, showing the staging buffer is not the limiting
-// factor.
-func Fig9StagingCheck(scale float64, seed uint64) (map[int]*Result, error) {
-	out := map[int]*Result{}
-	for _, gb := range []int{1, 2, 4, 5} {
-		r, err := fig9Point(scale, seed, gb, 32, 0)
-		if err != nil {
-			return nil, err
-		}
-		out[gb] = r
-	}
-	return out, nil
-}
-
-// fig9Point runs NoPFS on ImageNet-22k with the given storage configuration
-// (sizes in GB at paper scale) and 5× compute.
-func fig9Point(scale float64, seed uint64, stagingGB, ramGB, ssdGB int) (*Result, error) {
+// Fig9Config builds the Fig. 9 environment-study configuration: NoPFS on
+// ImageNet-22k with the given storage configuration (sizes in GB at paper
+// scale) and 5× compute. Grid orchestration lives in internal/sweep; this
+// is the per-point config factory it consumes.
+func Fig9Config(scale float64, seed uint64, stagingGB, ramGB, ssdGB int) (Config, error) {
 	base := hwspec.SmallCluster()
 	sys := base
 	sys.Name = fmt.Sprintf("fig9-ram%d-ssd%d", ramGB, ssdGB)
@@ -187,7 +127,7 @@ func fig9Point(scale float64, seed uint64, stagingGB, ramGB, ssdGB int) (*Result
 	sys.Node.Staging.CapacityMB = float64(stagingGB) * 1000
 	ds, err := dataset.New(spec)
 	if err != nil {
-		return nil, err
+		return Config{}, err
 	}
 	work := hwspec.Workload{
 		Name:        "fig9-5x",
@@ -196,7 +136,7 @@ func fig9Point(scale float64, seed uint64, stagingGB, ramGB, ssdGB int) (*Result
 	}
 	cfg := Config{Sys: sys, Work: work, DS: ds, Seed: seed, DropLast: true}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return Config{}, err
 	}
-	return Run(cfg, NewNoPFS())
+	return cfg, nil
 }

@@ -19,12 +19,16 @@ func runPanel(t *testing.T, id string) map[string]*Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := RunScenario(s, testScale, 42)
+	cfg, err := s.Config(testScale, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := map[string]*Result{}
-	for _, r := range results {
+	for _, pol := range AllPolicies() {
+		r, err := Run(cfg, pol)
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol.Name(), err)
+		}
 		out[r.Policy] = r
 	}
 	return out
@@ -366,63 +370,28 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-func TestFig9SweepMonotonicity(t *testing.T) {
-	points, err := Fig9Sweep(0.002, 11)
+func TestFig9ConfigShapes(t *testing.T) {
+	// The Fig. 9 config factory must honour the storage knobs: RAM-only,
+	// RAM+SSD, and the unscaled staging buffer.
+	cfg, err := Fig9Config(0.002, 11, 5, 32, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 25 {
-		t.Fatalf("got %d sweep points, want 25", len(points))
+	if got := len(cfg.Sys.Node.Classes); got != 1 {
+		t.Errorf("RAM-only config has %d classes, want 1", got)
 	}
-	byCfg := map[[2]int]float64{}
-	for _, p := range points {
-		if p.Result.Failed {
-			t.Fatalf("sweep point ram=%d ssd=%d failed: %s", p.RAMGB, p.SSDGB, p.Result.FailReason)
-		}
-		byCfg[[2]int{p.RAMGB, p.SSDGB}] = p.Result.ExecSeconds
+	if cfg.Sys.Node.Staging.CapacityMB != 5000 {
+		t.Errorf("staging = %.0f MB, want 5000 (not scaled with dataset)", cfg.Sys.Node.Staging.CapacityMB)
 	}
-	// More RAM at fixed SSD must never hurt, and vice versa (Fig. 9's
-	// central observation).
-	rams := []int{32, 64, 128, 256, 512}
-	ssds := []int{0, 128, 256, 512, 1024}
-	for _, ssd := range ssds {
-		for i := 1; i < len(rams); i++ {
-			lo, hi := byCfg[[2]int{rams[i-1], ssd}], byCfg[[2]int{rams[i], ssd}]
-			if hi > lo*1.001 {
-				t.Errorf("ssd=%d: exec rose from %.2f to %.2f when RAM grew %d->%d GB",
-					ssd, lo, hi, rams[i-1], rams[i])
-			}
-		}
-	}
-	for _, ram := range rams {
-		for i := 1; i < len(ssds); i++ {
-			lo, hi := byCfg[[2]int{ram, ssds[i-1]}], byCfg[[2]int{ram, ssds[i]}]
-			if hi > lo*1.001 {
-				t.Errorf("ram=%d: exec rose from %.2f to %.2f when SSD grew %d->%d GB",
-					ram, lo, hi, ssds[i-1], ssds[i])
-			}
-		}
-	}
-	// SSD must matter when memory is small: 32 GB RAM + 1024 GB SSD beats
-	// 32 GB RAM alone ("if memory is expensive, it can be compensated for
-	// with additional SSD storage").
-	if byCfg[[2]int{32, 1024}] >= byCfg[[2]int{32, 0}] {
-		t.Error("adding SSD at 32 GB RAM did not help")
-	}
-}
-
-func TestFig9StagingCheck(t *testing.T) {
-	// Paper: staging buffers of 1-5 GB all produce the same runtime; the
-	// staging buffer is not the limiting factor.
-	res, err := Fig9StagingCheck(0.002, 11)
+	cfg, err = Fig9Config(0.002, 11, 2, 64, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := res[1].ExecSeconds
-	for gb, r := range res {
-		if math.Abs(r.ExecSeconds-base) > 0.02*base {
-			t.Errorf("staging %d GB exec %.2f differs from 1 GB exec %.2f", gb, r.ExecSeconds, base)
-		}
+	if got := len(cfg.Sys.Node.Classes); got != 2 {
+		t.Errorf("RAM+SSD config has %d classes, want 2", got)
+	}
+	if cfg.Sys.Node.Staging.CapacityMB != 2000 {
+		t.Errorf("staging = %.0f MB, want 2000", cfg.Sys.Node.Staging.CapacityMB)
 	}
 }
 
@@ -454,9 +423,15 @@ func BenchmarkSimNoPFSImageNet1k(b *testing.B) {
 
 func BenchmarkSimAllPoliciesMNIST(b *testing.B) {
 	s, _ := ScenarioByID("fig8a")
+	cfg, err := s.Config(0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		if _, err := RunScenario(s, 0.02, 1); err != nil {
-			b.Fatal(err)
+		for _, pol := range AllPolicies() {
+			if _, err := Run(cfg, pol); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

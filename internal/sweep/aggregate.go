@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+)
+
+// Summary folds the replicas of one (scenario, policy) cell group into
+// descriptive statistics: mean, spread, and a distribution-free 95% CI on
+// the median (see stats.Summarize). With one replica the mean is the value
+// and the CI collapses onto it.
+type Summary struct {
+	Scenario string `json:"scenario"`
+	Policy   string `json:"policy"`
+	Replicas int    `json:"replicas"`
+	// Failed is set when every replica failed (policies fail a scenario
+	// deterministically, so mixed outcomes indicate a bug).
+	Failed     bool   `json:"failed"`
+	FailReason string `json:"failReason,omitempty"`
+
+	Exec  stats.Summary `json:"execSeconds"`
+	Stall stats.Summary `json:"stallSeconds"`
+	Setup stats.Summary `json:"setupSeconds"`
+	// Coverage is the mean fraction of dataset bytes read (< 1 flags the
+	// paper's "does not access entire dataset").
+	Coverage float64 `json:"coverage"`
+	// Mean per-location fetch seconds across replicas.
+	PFSSeconds    float64 `json:"pfsSeconds"`
+	RemoteSeconds float64 `json:"remoteSeconds"`
+	LocalSeconds  float64 `json:"localSeconds"`
+}
+
+// Aggregate groups the report's cells by (scenario, policy) in grid order
+// and summarises each group's replicas.
+func (rep *Report) Aggregate() []Summary {
+	type key struct{ scenario, policy string }
+	order := []key{}
+	groups := map[key][]CellResult{}
+	for _, c := range rep.Cells {
+		k := key{c.Scenario, c.Policy}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+
+	out := make([]Summary, 0, len(order))
+	for _, k := range order {
+		cells := groups[k]
+		s := Summary{Scenario: k.scenario, Policy: k.policy, Replicas: len(cells)}
+		var exec, stall, setup []float64
+		var cov, pfs, remote, local float64
+		n := 0
+		for _, c := range cells {
+			r := c.Result
+			if r.Failed {
+				s.Failed = true
+				s.FailReason = r.FailReason
+				continue
+			}
+			exec = append(exec, r.ExecSeconds)
+			stall = append(stall, r.StallSeconds)
+			setup = append(setup, r.SetupSeconds)
+			cov += r.Coverage
+			pfs += r.LocSeconds[perfmodel.LocPFS]
+			remote += r.LocSeconds[perfmodel.LocRemote]
+			local += r.LocSeconds[perfmodel.LocLocal]
+			n++
+		}
+		if n > 0 {
+			s.Failed = false
+			s.FailReason = ""
+			s.Exec = stats.Summarize(exec)
+			s.Stall = stats.Summarize(stall)
+			s.Setup = stats.Summarize(setup)
+			s.Coverage = cov / float64(n)
+			s.PFSSeconds = pfs / float64(n)
+			s.RemoteSeconds = remote / float64(n)
+			s.LocalSeconds = local / float64(n)
+		}
+		out = append(out, s)
+	}
+	return out
+}

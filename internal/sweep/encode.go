@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonReport is the stable on-wire shape: the raw cells plus the aggregated
+// summaries, so consumers get both without re-deriving either.
+type jsonReport struct {
+	*Report
+	Summaries []Summary `json:"summaries"`
+}
+
+// WriteJSON emits the full report (cells + aggregated summaries) as
+// indented JSON. Encoding is deterministic: struct fields are emitted in
+// declaration order and map keys sorted, so equal grids produce equal bytes
+// at any parallelism.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Report: rep, Summaries: rep.Aggregate()})
+}
+
+// WriteCSV emits one row per aggregated (scenario, policy) summary.
+func WriteCSV(w io.Writer, rep *Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"grid", "scenario", "policy", "replicas", "failed", "fail_reason",
+		"exec_mean_s", "exec_median_s", "exec_ci_lo_s", "exec_ci_hi_s",
+		"stall_mean_s", "setup_mean_s", "coverage",
+		"pfs_s", "remote_s", "local_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range rep.Aggregate() {
+		row := []string{
+			rep.Grid, s.Scenario, s.Policy, strconv.Itoa(s.Replicas),
+			strconv.FormatBool(s.Failed), s.FailReason,
+			f(s.Exec.Mean), f(s.Exec.Median), f(s.Exec.CILow), f(s.Exec.CIHigh),
+			f(s.Stall.Mean), f(s.Setup.Mean), f(s.Coverage),
+			f(s.PFSSeconds), f(s.RemoteSeconds), f(s.LocalSeconds),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText renders the report in the repo's existing bar-chart style: one
+// block per scenario, one row per policy, with a ±CI column when the grid
+// ran more than one replica.
+func WriteText(w io.Writer, rep *Report) error {
+	summaries := rep.Aggregate()
+	multi := rep.Replicas > 1
+
+	var scenarios []string
+	seen := map[string]bool{}
+	for _, s := range summaries {
+		if !seen[s.Scenario] {
+			seen[s.Scenario] = true
+			scenarios = append(scenarios, s.Scenario)
+		}
+	}
+	for _, sc := range scenarios {
+		title := sc
+		if label := rep.Labels[sc]; label != "" {
+			title = fmt.Sprintf("%s: %s", sc, label)
+		}
+		if _, err := fmt.Fprintf(w, "== %s ==\n", title); err != nil {
+			return err
+		}
+		if multi {
+			fmt.Fprintf(w, "%-20s %12s %20s %10s %28s %s\n",
+				"policy", "exec", "95% CI", "stall", "fetch time pfs/remote/local", "notes")
+		} else {
+			fmt.Fprintf(w, "%-20s %12s %10s %28s %s\n",
+				"policy", "exec", "stall", "fetch time pfs/remote/local", "notes")
+		}
+		for _, s := range summaries {
+			if s.Scenario != sc {
+				continue
+			}
+			if s.Failed {
+				if multi {
+					fmt.Fprintf(w, "%-20s %12s %20s %10s %28s %s\n", s.Policy, "-", "-", "-", "-", s.FailReason)
+				} else {
+					fmt.Fprintf(w, "%-20s %12s %10s %28s %s\n", s.Policy, "-", "-", "-", s.FailReason)
+				}
+				continue
+			}
+			notes := ""
+			if s.Coverage < 0.999 {
+				notes = fmt.Sprintf("does not access entire dataset (%.0f%%)", 100*s.Coverage)
+			}
+			if multi {
+				ci := fmt.Sprintf("[%8.2f,%8.2f]", s.Exec.CILow, s.Exec.CIHigh)
+				fmt.Fprintf(w, "%-20s %11.2fs %20s %9.2fs %8.1f/%8.1f/%8.1fs  %s\n",
+					s.Policy, s.Exec.Mean, ci, s.Stall.Mean,
+					s.PFSSeconds, s.RemoteSeconds, s.LocalSeconds, notes)
+			} else {
+				fmt.Fprintf(w, "%-20s %11.2fs %9.2fs %8.1f/%8.1f/%8.1fs  %s\n",
+					s.Policy, s.Exec.Mean, s.Stall.Mean,
+					s.PFSSeconds, s.RemoteSeconds, s.LocalSeconds, notes)
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

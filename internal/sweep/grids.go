@@ -1,0 +1,225 @@
+package sweep
+
+import (
+	"fmt"
+
+	isim "repro/internal/sim"
+)
+
+// This file holds the repo's standard grid definitions: every orchestration
+// path that used to be a bespoke serial loop (RunScenario, Fig9Sweep,
+// Fig9StagingCheck, the ablation) is now a Grid value plus a thin
+// legacy-shaped wrapper.
+
+// scenarioSpec adapts one Fig. 8 scenario preset into a grid row.
+func scenarioSpec(s isim.Scenario, scale float64) ScenarioSpec {
+	return ScenarioSpec{
+		ID: s.ID, Label: s.Label,
+		Config: func(seed uint64) (isim.Config, error) { return s.Config(scale, seed) },
+	}
+}
+
+// ScenarioGrid is one Fig. 8 panel × every policy.
+func ScenarioGrid(s isim.Scenario, scale float64, baseSeed uint64, replicas int) *Grid {
+	return &Grid{
+		Name:      s.ID,
+		Scenarios: []ScenarioSpec{scenarioSpec(s, scale)},
+		Policies:  AllPolicySpecs(),
+		Replicas:  replicas, BaseSeed: baseSeed,
+	}
+}
+
+// Fig8Grid is all six Fig. 8 panels × every policy.
+func Fig8Grid(scale float64, baseSeed uint64, replicas int) *Grid {
+	var rows []ScenarioSpec
+	for _, s := range isim.Fig8Scenarios() {
+		rows = append(rows, scenarioSpec(s, scale))
+	}
+	return &Grid{
+		Name: "fig8", Scenarios: rows, Policies: AllPolicySpecs(),
+		Replicas: replicas, BaseSeed: baseSeed,
+	}
+}
+
+// Fig9 sweep axes (GB at paper scale).
+var (
+	fig9RAMs       = []int{32, 64, 128, 256, 512}
+	fig9SSDs       = []int{0, 128, 256, 512, 1024}
+	fig9StagingGBs = []int{1, 2, 4, 5}
+)
+
+// Fig9Axes returns copies of the RAM × SSD axes (GB at paper scale), in the
+// grid's row enumeration order (RAM-major).
+func Fig9Axes() (rams, ssds []int) {
+	return append([]int(nil), fig9RAMs...), append([]int(nil), fig9SSDs...)
+}
+
+// Fig9StagingSizes returns the staging-buffer preliminary sizes (GB).
+func Fig9StagingSizes() []int {
+	return append([]int(nil), fig9StagingGBs...)
+}
+
+// Fig9CellID names one environment-study grid row; presenters key
+// aggregated summaries by it.
+func Fig9CellID(ramGB, ssdGB int) string {
+	return fmt.Sprintf("ram%d-ssd%d", ramGB, ssdGB)
+}
+
+// Fig9StagingID names one staging-preliminary grid row.
+func Fig9StagingID(gb int) string {
+	return fmt.Sprintf("staging%d", gb)
+}
+
+// nopfsOnly is the single-policy column set of the Fig. 9 study.
+func nopfsOnly() []PolicySpec {
+	return []PolicySpec{{Name: "NoPFS", New: func() isim.Policy { return isim.NewNoPFS() }}}
+}
+
+// Fig9Grid is the 25-point RAM × SSD environment study: ImageNet-22k, NoPFS
+// under 5× compute, 5 GB staging buffer.
+func Fig9Grid(scale float64, baseSeed uint64, replicas int) *Grid {
+	var rows []ScenarioSpec
+	for _, ram := range fig9RAMs {
+		for _, ssd := range fig9SSDs {
+			ram, ssd := ram, ssd
+			rows = append(rows, ScenarioSpec{
+				ID:    Fig9CellID(ram, ssd),
+				Label: fmt.Sprintf("ImageNet-22k, NoPFS 5x compute, RAM %d GB, SSD %d GB", ram, ssd),
+				Config: func(seed uint64) (isim.Config, error) {
+					return isim.Fig9Config(scale, seed, 5, ram, ssd)
+				},
+			})
+		}
+	}
+	return &Grid{
+		Name: "fig9", Scenarios: rows, Policies: nopfsOnly(),
+		Replicas: replicas, BaseSeed: baseSeed,
+	}
+}
+
+// Fig9StagingGrid is the staging-buffer preliminary: 1-5 GB staging windows
+// on the smallest Fig. 9 configuration perform identically.
+func Fig9StagingGrid(scale float64, baseSeed uint64) *Grid {
+	var rows []ScenarioSpec
+	for _, gb := range fig9StagingGBs {
+		gb := gb
+		rows = append(rows, ScenarioSpec{
+			ID:    Fig9StagingID(gb),
+			Label: fmt.Sprintf("staging buffer %d GB, RAM 32 GB, no SSD", gb),
+			Config: func(seed uint64) (isim.Config, error) {
+				return isim.Fig9Config(scale, seed, gb, 32, 0)
+			},
+		})
+	}
+	return &Grid{
+		Name: "fig9-staging", Scenarios: rows, Policies: nopfsOnly(),
+		Replicas: 1, BaseSeed: baseSeed,
+	}
+}
+
+// Fig9FullGrid is the environment study plus the staging preliminary as one
+// grid, so presenters emit a single report (one JSON document, one CSV
+// table) for the whole Fig. 9 study.
+func Fig9FullGrid(scale float64, baseSeed uint64, replicas int) *Grid {
+	env := Fig9Grid(scale, baseSeed, replicas)
+	stag := Fig9StagingGrid(scale, baseSeed)
+	return &Grid{
+		Name:      "fig9",
+		Scenarios: append(env.Scenarios, stag.Scenarios...),
+		Policies:  env.Policies,
+		Replicas:  replicas, BaseSeed: baseSeed,
+	}
+}
+
+// AblationGrid isolates each NoPFS design choice on the Fig. 8d regime
+// (D < S < ND) under 5× compute — the operating point where placement
+// quality, remote fetching, and prefetch depth each become visible.
+func AblationGrid(scale float64, baseSeed uint64, replicas int) *Grid {
+	s, err := isim.ScenarioByID("fig8d")
+	if err != nil {
+		panic(err) // fig8d is a compiled-in preset
+	}
+	row := ScenarioSpec{
+		ID: "fig8d-5x", Label: s.Label + ", 5x compute",
+		Config: func(seed uint64) (isim.Config, error) {
+			cfg, err := s.Config(scale, seed)
+			if err != nil {
+				return isim.Config{}, err
+			}
+			cfg.Work.ComputeMBps *= 5
+			cfg.Work.PreprocMBps *= 5
+			return cfg, nil
+		},
+	}
+	var cols []PolicySpec
+	for _, v := range []isim.NoPFSVariant{
+		{},
+		{RandomPlacement: true},
+		{NoRemote: true},
+		{TinyStaging: true},
+	} {
+		v := v
+		cols = append(cols, PolicySpec{Name: v.Name(), New: func() isim.Policy {
+			return isim.NewNoPFSVariant(v)
+		}})
+	}
+	return &Grid{
+		Name: "ablation", Scenarios: []ScenarioSpec{row}, Policies: cols,
+		Replicas: replicas, BaseSeed: baseSeed,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Legacy-shaped wrappers. These preserve the signatures of the former serial
+// drivers while routing through the engine, so the façade, CLI, examples and
+// benchmarks all exercise the parallel path.
+
+// RunScenario simulates every policy on the scenario and returns results in
+// Fig. 8 bar order, exactly as the old serial driver did. parallel <= 0
+// means GOMAXPROCS.
+func RunScenario(s isim.Scenario, scale float64, seed uint64, parallel int) ([]*isim.Result, error) {
+	rep, err := (&Runner{Parallel: parallel}).Run(ScenarioGrid(s, scale, seed, 1))
+	if err != nil {
+		return nil, err
+	}
+	return rep.Results(), nil
+}
+
+// SweepPoint is one configuration of the Fig. 9 environment study.
+type SweepPoint struct {
+	RAMGB, SSDGB int
+	StagingGB    int
+	Result       *isim.Result
+}
+
+// Fig9Sweep runs the Fig. 9 environment evaluation through the engine and
+// returns points in the legacy RAM-major order.
+func Fig9Sweep(scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
+	rep, err := (&Runner{Parallel: parallel}).Run(Fig9Grid(scale, seed, 1))
+	if err != nil {
+		return nil, err
+	}
+	// One policy, one replica: cell i is scenario i, enumerated RAM-major.
+	points := make([]SweepPoint, len(rep.Cells))
+	for i, c := range rep.Cells {
+		points[i] = SweepPoint{
+			RAMGB: fig9RAMs[i/len(fig9SSDs)], SSDGB: fig9SSDs[i%len(fig9SSDs)],
+			StagingGB: 5, Result: c.Result,
+		}
+	}
+	return points, nil
+}
+
+// Fig9StagingCheck runs the staging-buffer preliminary through the engine,
+// keyed by staging-buffer GB.
+func Fig9StagingCheck(scale float64, seed uint64, parallel int) (map[int]*isim.Result, error) {
+	rep, err := (&Runner{Parallel: parallel}).Run(Fig9StagingGrid(scale, seed))
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]*isim.Result{}
+	for i, c := range rep.Cells {
+		out[fig9StagingGBs[i]] = c.Result
+	}
+	return out, nil
+}

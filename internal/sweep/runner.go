@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	isim "repro/internal/sim"
+)
+
+// Runner executes a Grid's cells on a bounded goroutine pool. The zero value
+// runs with GOMAXPROCS workers; Parallel=1 is fully serial.
+type Runner struct {
+	// Parallel is the worker count; values below 1 mean GOMAXPROCS.
+	Parallel int
+}
+
+// workers returns the effective pool width for a grid of n cells.
+func (r *Runner) workers(n int) int {
+	w := r.Parallel
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CellResult pairs a cell with its simulated outcome. Result.Failed marks
+// policies that cannot run the scenario (a legitimate paper outcome, e.g.
+// LBANN when the dataset exceeds aggregate RAM); Err marks configuration or
+// engine errors that abort the whole run.
+type CellResult struct {
+	Cell
+	Result *isim.Result `json:"result"`
+}
+
+// Report is the raw outcome of one grid execution, cells in enumeration
+// order regardless of scheduling.
+type Report struct {
+	Grid string `json:"grid"`
+	// Parallel records the pool width that produced the report. It is
+	// excluded from encodings: serialised reports are a pure function of
+	// the grid, bit-identical at any parallelism.
+	Parallel int    `json:"-"`
+	Replicas int    `json:"replicas"`
+	BaseSeed uint64 `json:"baseSeed"`
+	// Labels maps scenario IDs to their human captions for text reports.
+	Labels map[string]string `json:"labels,omitempty"`
+	Cells  []CellResult      `json:"cells"`
+}
+
+// Run executes every cell of the grid and returns the Report. The report is
+// a pure function of the grid: identical at any Parallel setting.
+func (r *Runner) Run(g *Grid) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.Cells()
+	results := make([]CellResult, len(cells))
+	errs := make([]error, len(cells))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(len(cells)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := runCell(g, cells[i])
+				results[i] = CellResult{Cell: cells[i], Result: res}
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Surface the lowest-index error so the failure reported is itself
+	// deterministic.
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("sweep: grid %q cell %s/%s replica %d: %w",
+				g.Name, c.Scenario, c.Policy, c.Replica, err)
+		}
+	}
+	labels := map[string]string{}
+	for _, s := range g.Scenarios {
+		if s.Label != "" {
+			labels[s.ID] = s.Label
+		}
+	}
+	return &Report{
+		Grid: g.Name, Parallel: r.Parallel, Replicas: g.replicas(),
+		BaseSeed: g.BaseSeed, Labels: labels, Cells: results,
+	}, nil
+}
+
+// runCell materialises and simulates one cell.
+func runCell(g *Grid, c Cell) (*isim.Result, error) {
+	cfg, err := g.Scenarios[c.ScenarioIdx].Config(c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pol := g.Policies[c.PolicyIdx].New()
+	if pol == nil {
+		return nil, fmt.Errorf("policy %q constructor returned nil", c.Policy)
+	}
+	return isim.Run(cfg, pol)
+}
+
+// Results returns the report's per-cell simulator results in cell order —
+// the shape the legacy serial paths produced for 1-replica grids.
+func (rep *Report) Results() []*isim.Result {
+	out := make([]*isim.Result, len(rep.Cells))
+	for i, c := range rep.Cells {
+		out[i] = c.Result
+	}
+	return out
+}

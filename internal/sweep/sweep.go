@@ -1,0 +1,171 @@
+// Package sweep is the concurrent orchestration layer of the simulator: it
+// runs (scenario × policy × replica-seed) grids on a bounded goroutine pool
+// and folds replica results into mean/CI summaries.
+//
+// The paper's headline artifacts — the Fig. 8 panels, the Fig. 9 environment
+// study, and the ablation — are all grids of independent simulator runs.
+// Before this package each had its own serial driver; now every one is a
+// Grid value executed by the same Runner, following the "one interface,
+// many execution modes" shape of the resource-manager pattern.
+//
+// Determinism is a hard invariant: each cell's PRNG seed is a pure function
+// of the grid's base seed and the cell's replica index, never of execution
+// order, so the same Grid produces bit-identical Reports at any parallelism
+// level. Policies within one (scenario, replica) share the seed — the paper
+// compares policies on identical training access streams.
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+	isim "repro/internal/sim"
+)
+
+// ScenarioSpec is one row of a Grid: a named configuration factory. Config
+// must be a pure function of the seed (no shared mutable state) so cells can
+// be materialised concurrently.
+type ScenarioSpec struct {
+	// ID labels the row in reports ("fig8b", "ram64-ssd256", ...).
+	ID string
+	// Label is an optional human caption carried into text reports.
+	Label string
+	// Config materialises the simulator configuration for one cell seed.
+	Config func(seed uint64) (isim.Config, error)
+}
+
+// PolicySpec is one column of a Grid. New must return a fresh policy
+// instance per call: policies carry per-run placement state.
+type PolicySpec struct {
+	Name string
+	New  func() isim.Policy
+}
+
+// AllPolicySpecs returns a column set covering every policy of the Fig. 8
+// comparison, in bar order.
+func AllPolicySpecs() []PolicySpec {
+	var specs []PolicySpec
+	for _, p := range isim.AllPolicies() {
+		name := p.Name()
+		specs = append(specs, PolicySpec{Name: name, New: func() isim.Policy {
+			pol, err := isim.PolicyByName(name)
+			if err != nil {
+				return nil
+			}
+			return pol
+		}})
+	}
+	return specs
+}
+
+// PolicySpecByName resolves a single registry column.
+func PolicySpecByName(name string) (PolicySpec, error) {
+	if _, err := isim.PolicyByName(name); err != nil {
+		return PolicySpec{}, err
+	}
+	return PolicySpec{Name: name, New: func() isim.Policy {
+		pol, err := isim.PolicyByName(name)
+		if err != nil {
+			return nil
+		}
+		return pol
+	}}, nil
+}
+
+// Grid is a (scenario × policy × replica) experiment plan. It is pure data:
+// nothing runs until a Runner executes it.
+type Grid struct {
+	// Name labels the whole grid in reports.
+	Name string
+	// Scenarios are the rows; Policies the columns.
+	Scenarios []ScenarioSpec
+	Policies  []PolicySpec
+	// Replicas is the number of seeds per (scenario, policy) cell; values
+	// below 1 mean 1.
+	Replicas int
+	// BaseSeed derives every replica seed. Replica 0 uses BaseSeed itself,
+	// so a 1-replica grid reproduces the legacy serial paths bit for bit.
+	BaseSeed uint64
+}
+
+// Cell identifies one simulator run within a grid.
+type Cell struct {
+	// Index is the cell's position in the deterministic enumeration order
+	// (scenario-major, then policy, then replica).
+	Index int `json:"index"`
+	// Scenario and Policy are report labels; the *Idx fields index into the
+	// grid's spec slices.
+	Scenario    string `json:"scenario"`
+	Policy      string `json:"policy"`
+	Replica     int    `json:"replica"`
+	Seed        uint64 `json:"seed"`
+	ScenarioIdx int    `json:"-"`
+	PolicyIdx   int    `json:"-"`
+}
+
+// ReplicaSeed derives the seed for replica r from the grid base seed.
+// Replica 0 is the base seed unchanged (legacy-path compatibility); later
+// replicas are SplitMix64-derived so they are uncorrelated. The result
+// depends only on (base, r) — never on execution order — which is what
+// makes Reports bit-identical at any parallelism.
+func ReplicaSeed(base uint64, r int) uint64 {
+	if r <= 0 {
+		return base
+	}
+	h := prng.NewSplitMix64(base).Next()
+	return prng.NewSplitMix64(h + uint64(r)).Next()
+}
+
+// replicas returns the effective replica count.
+func (g *Grid) replicas() int {
+	if g.Replicas < 1 {
+		return 1
+	}
+	return g.Replicas
+}
+
+// Size returns the number of cells in the grid.
+func (g *Grid) Size() int {
+	return len(g.Scenarios) * len(g.Policies) * g.replicas()
+}
+
+// Cells enumerates the grid in deterministic order: scenario-major, then
+// policy, then replica. All parallelism downstream preserves this order in
+// the Report, so output is independent of scheduling.
+func (g *Grid) Cells() []Cell {
+	cells := make([]Cell, 0, g.Size())
+	for si, s := range g.Scenarios {
+		for pi, p := range g.Policies {
+			for r := 0; r < g.replicas(); r++ {
+				cells = append(cells, Cell{
+					Index:    len(cells),
+					Scenario: s.ID, Policy: p.Name,
+					Replica: r, Seed: ReplicaSeed(g.BaseSeed, r),
+					ScenarioIdx: si, PolicyIdx: pi,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Validate reports whether the grid is runnable.
+func (g *Grid) Validate() error {
+	if len(g.Scenarios) == 0 {
+		return fmt.Errorf("sweep: grid %q has no scenarios", g.Name)
+	}
+	if len(g.Policies) == 0 {
+		return fmt.Errorf("sweep: grid %q has no policies", g.Name)
+	}
+	for _, s := range g.Scenarios {
+		if s.Config == nil {
+			return fmt.Errorf("sweep: scenario %q has no config factory", s.ID)
+		}
+	}
+	for _, p := range g.Policies {
+		if p.New == nil {
+			return fmt.Errorf("sweep: policy %q has no constructor", p.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	isim "repro/internal/sim"
+)
+
+// testScale keeps grids fast while preserving dataset-vs-storage regimes.
+const testScale = 0.005
+
+// testGrid is two Fig. 8 panels × every policy × two replicas — small
+// enough for fast tests, wide enough to exercise scenario, policy, and
+// replica enumeration plus a Failed cell group (LBANN on fig8d).
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	a, err := isim.ScenarioByID("fig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := isim.ScenarioByID("fig8d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Grid{
+		Name:      "test",
+		Scenarios: []ScenarioSpec{scenarioSpec(a, testScale), scenarioSpec(d, testScale)},
+		Policies:  AllPolicySpecs(),
+		Replicas:  2, BaseSeed: 42,
+	}
+}
+
+func TestReplicaSeedDerivation(t *testing.T) {
+	if got := ReplicaSeed(42, 0); got != 42 {
+		t.Errorf("replica 0 seed = %d, want the base seed unchanged", got)
+	}
+	seen := map[uint64]int{42: 0}
+	for r := 1; r <= 16; r++ {
+		s := ReplicaSeed(42, r)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("replica %d seed %d collides with replica %d", r, s, prev)
+		}
+		seen[s] = r
+		if again := ReplicaSeed(42, r); again != s {
+			t.Errorf("replica %d seed not stable: %d vs %d", r, s, again)
+		}
+	}
+	if ReplicaSeed(42, 1) == ReplicaSeed(43, 1) {
+		t.Error("different base seeds produced the same replica-1 seed")
+	}
+}
+
+func TestGridEnumeration(t *testing.T) {
+	g := testGrid(t)
+	cells := g.Cells()
+	if len(cells) != g.Size() || g.Size() != 2*10*2 {
+		t.Fatalf("got %d cells, want %d", len(cells), 2*10*2)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d carries index %d", i, c.Index)
+		}
+		if c.Seed != ReplicaSeed(g.BaseSeed, c.Replica) {
+			t.Errorf("cell %d seed %d != ReplicaSeed(%d, %d)", i, c.Seed, g.BaseSeed, c.Replica)
+		}
+	}
+	// Scenario-major, then policy, then replica.
+	if cells[0].Scenario != "fig8a" || cells[0].Policy != "Naive" || cells[0].Replica != 0 {
+		t.Errorf("unexpected first cell %+v", cells[0])
+	}
+	if c := cells[1]; c.Replica != 1 || c.Policy != "Naive" {
+		t.Errorf("replica should vary fastest, got %+v", c)
+	}
+	if c := cells[len(cells)-1]; c.Scenario != "fig8d" || c.Policy != "LowerBound" || c.Replica != 1 {
+		t.Errorf("unexpected last cell %+v", c)
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	if err := (&Grid{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty grid accepted")
+	}
+	g := testGrid(t)
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid grid rejected: %v", err)
+	}
+	bad := *g
+	bad.Policies = []PolicySpec{{Name: "broken"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("policy without constructor accepted")
+	}
+}
+
+// TestDeterminismAcrossParallelism is the engine's core invariant: the same
+// grid and base seed produce byte-identical JSON and CSV reports whether
+// cells run serially or on an 8-wide pool.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	encode := func(parallel int) (jsonB, csvB []byte) {
+		t.Helper()
+		rep, err := (&Runner{Parallel: parallel}).Run(testGrid(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := WriteJSON(&j, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&c, rep); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes()
+	}
+	j1, c1 := encode(1)
+	j8, c8 := encode(8)
+	if !bytes.Equal(j1, j8) {
+		t.Error("JSON reports differ between -parallel 1 and -parallel 8")
+	}
+	if !bytes.Equal(c1, c8) {
+		t.Error("CSV reports differ between -parallel 1 and -parallel 8")
+	}
+	// And across repeated runs at the same width.
+	j8b, _ := encode(8)
+	if !bytes.Equal(j8, j8b) {
+		t.Error("repeated -parallel 8 runs differ")
+	}
+}
+
+// TestEngineMatchesDirectRun pins the engine to the Run primitive: a
+// 1-replica scenario grid must reproduce a hand-rolled serial loop exactly.
+func TestEngineMatchesDirectRun(t *testing.T) {
+	s, err := isim.ScenarioByID("fig8b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunScenario(s, testScale, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config(testScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := isim.AllPolicies()
+	if len(got) != len(pols) {
+		t.Fatalf("got %d results, want %d", len(got), len(pols))
+	}
+	for i, pol := range pols {
+		want, err := isim.Run(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Policy != want.Policy {
+			t.Errorf("result %d is %q, want %q (bar order)", i, got[i].Policy, want.Policy)
+		}
+		if got[i].ExecSeconds != want.ExecSeconds || got[i].StallSeconds != want.StallSeconds {
+			t.Errorf("%s: engine exec/stall %.6f/%.6f != direct %.6f/%.6f",
+				want.Policy, got[i].ExecSeconds, got[i].StallSeconds,
+				want.ExecSeconds, want.StallSeconds)
+		}
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	// Policy registry: every Fig. 8 policy resolves to a working spec whose
+	// constructor yields a fresh instance with the same name.
+	specs := AllPolicySpecs()
+	if len(specs) != len(isim.AllPolicies()) {
+		t.Fatalf("%d policy specs, want %d", len(specs), len(isim.AllPolicies()))
+	}
+	for _, spec := range specs {
+		byName, err := PolicySpecByName(spec.Name)
+		if err != nil {
+			t.Errorf("PolicySpecByName(%q): %v", spec.Name, err)
+			continue
+		}
+		a, b := spec.New(), byName.New()
+		if a == nil || b == nil {
+			t.Errorf("%q constructor returned nil", spec.Name)
+			continue
+		}
+		if a.Name() != spec.Name || b.Name() != spec.Name {
+			t.Errorf("round trip %q -> %q / %q", spec.Name, a.Name(), b.Name())
+		}
+		// Stateful policies (pointer receivers) must come out fresh;
+		// stateless value types may compare equal, which is harmless.
+	}
+	if _, err := PolicySpecByName("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	// Scenario registry: the Fig. 8 grid covers every panel preset.
+	g := Fig8Grid(testScale, 1, 1)
+	panels := isim.Fig8Scenarios()
+	if len(g.Scenarios) != len(panels) {
+		t.Fatalf("Fig8Grid has %d rows, want %d", len(g.Scenarios), len(panels))
+	}
+	for i, row := range g.Scenarios {
+		if row.ID != panels[i].ID {
+			t.Errorf("row %d is %q, want %q", i, row.ID, panels[i].ID)
+		}
+		if _, err := isim.ScenarioByID(row.ID); err != nil {
+			t.Errorf("grid row %q not in scenario registry: %v", row.ID, err)
+		}
+	}
+}
+
+func TestAggregateReplicas(t *testing.T) {
+	s, err := isim.ScenarioByID("fig8d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ScenarioGrid(s, testScale, 7, 3)
+	rep, err := (&Runner{Parallel: 4}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := rep.Aggregate()
+	if len(summaries) != len(g.Policies) {
+		t.Fatalf("%d summaries, want %d", len(summaries), len(g.Policies))
+	}
+	bySummary := map[string]Summary{}
+	for _, sm := range summaries {
+		bySummary[sm.Policy] = sm
+		if sm.Replicas != 3 {
+			t.Errorf("%s: %d replicas aggregated, want 3", sm.Policy, sm.Replicas)
+		}
+	}
+	nopfs := bySummary["NoPFS"]
+	if nopfs.Failed {
+		t.Fatalf("NoPFS failed: %s", nopfs.FailReason)
+	}
+	if nopfs.Exec.N != 3 {
+		t.Errorf("NoPFS exec summary over %d values, want 3", nopfs.Exec.N)
+	}
+	if nopfs.Exec.Mean <= 0 || nopfs.Exec.CILow > nopfs.Exec.Median || nopfs.Exec.CIHigh < nopfs.Exec.Median {
+		t.Errorf("implausible exec summary: %+v", nopfs.Exec)
+	}
+	// LBANN cannot run the fig8d regime (dataset exceeds aggregate RAM);
+	// the aggregate must carry the failure, not hide it.
+	lbann := bySummary["LBANN (Dynamic)"]
+	if !lbann.Failed || lbann.FailReason == "" {
+		t.Error("LBANN failure not propagated to its summary")
+	}
+	// Replicas must actually differ: identical seeds would collapse the
+	// spread to zero for a policy whose runtime depends on the shuffle.
+	if nopfs.Exec.Min == nopfs.Exec.Max {
+		t.Logf("note: NoPFS replica spread is zero (min=max=%.6f)", nopfs.Exec.Min)
+	}
+	seeds := map[uint64]bool{}
+	for _, c := range rep.Cells {
+		seeds[c.Seed] = true
+	}
+	if len(seeds) != 3 {
+		t.Errorf("%d distinct seeds across 3 replicas", len(seeds))
+	}
+}
+
+// TestFig9SweepMonotonicity migrates the legacy serial-path test onto the
+// engine: more RAM at fixed SSD must never hurt, and vice versa (Fig. 9's
+// central observation).
+func TestFig9SweepMonotonicity(t *testing.T) {
+	points, err := Fig9Sweep(0.002, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 25 {
+		t.Fatalf("got %d sweep points, want 25", len(points))
+	}
+	byCfg := map[[2]int]float64{}
+	for _, p := range points {
+		if p.Result.Failed {
+			t.Fatalf("sweep point ram=%d ssd=%d failed: %s", p.RAMGB, p.SSDGB, p.Result.FailReason)
+		}
+		byCfg[[2]int{p.RAMGB, p.SSDGB}] = p.Result.ExecSeconds
+	}
+	for _, ssd := range fig9SSDs {
+		for i := 1; i < len(fig9RAMs); i++ {
+			lo, hi := byCfg[[2]int{fig9RAMs[i-1], ssd}], byCfg[[2]int{fig9RAMs[i], ssd}]
+			if hi > lo*1.001 {
+				t.Errorf("ssd=%d: exec rose from %.2f to %.2f when RAM grew %d->%d GB",
+					ssd, lo, hi, fig9RAMs[i-1], fig9RAMs[i])
+			}
+		}
+	}
+	for _, ram := range fig9RAMs {
+		for i := 1; i < len(fig9SSDs); i++ {
+			lo, hi := byCfg[[2]int{ram, fig9SSDs[i-1]}], byCfg[[2]int{ram, fig9SSDs[i]}]
+			if hi > lo*1.001 {
+				t.Errorf("ram=%d: exec rose from %.2f to %.2f when SSD grew %d->%d GB",
+					ram, lo, hi, fig9SSDs[i-1], fig9SSDs[i])
+			}
+		}
+	}
+	// SSD must matter when memory is small ("if memory is expensive, it can
+	// be compensated for with additional SSD storage").
+	if byCfg[[2]int{32, 1024}] >= byCfg[[2]int{32, 0}] {
+		t.Error("adding SSD at 32 GB RAM did not help")
+	}
+}
+
+// TestFig9StagingCheck migrates the staging-buffer preliminary: 1-5 GB
+// staging windows all produce the same runtime.
+func TestFig9StagingCheck(t *testing.T) {
+	res, err := Fig9StagingCheck(0.002, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res[1].ExecSeconds
+	for gb, r := range res {
+		if math.Abs(r.ExecSeconds-base) > 0.02*base {
+			t.Errorf("staging %d GB exec %.2f differs from 1 GB exec %.2f", gb, r.ExecSeconds, base)
+		}
+	}
+}
+
+// TestParallelSpeedup checks that the pool actually buys wall-clock time on
+// multi-core hosts. Skipped below 4 CPUs, where the comparison is noise.
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("only %d CPUs; speedup is measured by the Fig9EnvironmentSweep benchmarks", runtime.NumCPU())
+	}
+	run := func(parallel int) time.Duration {
+		start := time.Now()
+		if _, err := Fig9Sweep(0.002, 11, parallel); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	run(1) // warm caches
+	serial := run(1)
+	parallel := run(4)
+	t.Logf("fig9 grid: serial %v, 4-wide %v (%.2fx)", serial, parallel, float64(serial)/float64(parallel))
+	if parallel > serial*9/10 {
+		t.Errorf("4-wide pool (%v) not measurably faster than serial (%v)", parallel, serial)
+	}
+}
+
+func TestWriteTextShape(t *testing.T) {
+	rep, err := (&Runner{Parallel: 2}).Run(testGrid(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig8a", "fig8d", "NoPFS", "LowerBound", "95% CI", "exceeds aggregate RAM"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 // Package sim is the public façade of the NoPFS I/O performance simulator
 // (paper Sec. 6): it re-exports scenario presets for every panel of Fig. 8,
-// the Fig. 9 environment sweep, and the policy registry, so downstream
-// users can compare I/O strategies for their own dataset/cluster
-// combinations without touching internal packages.
+// the Fig. 9 environment sweep, the policy registry, and the concurrent
+// sweep engine, so downstream users can compare I/O strategies for their own
+// dataset/cluster combinations without touching internal packages.
 package sim
 
 import (
@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/perfmodel"
 	isim "repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Re-exported core types.
@@ -25,7 +26,25 @@ type (
 	// Scenario is a Fig. 8 panel preset.
 	Scenario = isim.Scenario
 	// SweepPoint is one Fig. 9 configuration.
-	SweepPoint = isim.SweepPoint
+	SweepPoint = sweep.SweepPoint
+)
+
+// Re-exported sweep-engine types: a Grid of (scenario × policy × replica)
+// cells executed by a Runner on a bounded goroutine pool, reported as raw
+// cells plus mean/CI Summaries.
+type (
+	// Grid is a (scenario × policy × replica) experiment plan.
+	Grid = sweep.Grid
+	// GridScenario is one grid row: a named config factory.
+	GridScenario = sweep.ScenarioSpec
+	// GridPolicy is one grid column: a named policy constructor.
+	GridPolicy = sweep.PolicySpec
+	// Runner executes grids; Parallel bounds the goroutine pool.
+	Runner = sweep.Runner
+	// Report is the deterministic raw outcome of one grid execution.
+	Report = sweep.Report
+	// Summary is the per-(scenario, policy) replica aggregate.
+	Summary = sweep.Summary
 )
 
 // Policy constructors and registry.
@@ -48,13 +67,61 @@ var (
 	Fig8Scenarios = isim.Fig8Scenarios
 	// ScenarioByID resolves a panel id or dataset name.
 	ScenarioByID = isim.ScenarioByID
-	// RunScenario simulates all policies on one panel.
-	RunScenario = isim.RunScenario
-	// Fig9Sweep runs the environment study.
-	Fig9Sweep = isim.Fig9Sweep
-	// Fig9StagingCheck runs the staging-buffer-size preliminary.
-	Fig9StagingCheck = isim.Fig9StagingCheck
 )
+
+// Sweep-engine grid presets and encoders.
+var (
+	// ScenarioGrid is one Fig. 8 panel × every policy.
+	ScenarioGrid = sweep.ScenarioGrid
+	// Fig8Grid is all six panels × every policy.
+	Fig8Grid = sweep.Fig8Grid
+	// Fig9Grid is the 25-point RAM × SSD environment study.
+	Fig9Grid = sweep.Fig9Grid
+	// Fig9StagingGrid is the staging-buffer preliminary.
+	Fig9StagingGrid = sweep.Fig9StagingGrid
+	// Fig9FullGrid is the environment study plus the staging preliminary
+	// as one grid (one report, one document).
+	Fig9FullGrid = sweep.Fig9FullGrid
+	// Fig9Axes / Fig9StagingSizes / Fig9CellID / Fig9StagingID expose the
+	// Fig. 9 grid geometry so presenters can key summaries by row.
+	Fig9Axes         = sweep.Fig9Axes
+	Fig9StagingSizes = sweep.Fig9StagingSizes
+	Fig9CellID       = sweep.Fig9CellID
+	Fig9StagingID    = sweep.Fig9StagingID
+	// AblationGrid isolates each NoPFS design choice.
+	AblationGrid = sweep.AblationGrid
+	// AllPolicySpecs is the full policy column set.
+	AllPolicySpecs = sweep.AllPolicySpecs
+	// ReplicaSeed derives deterministic per-replica seeds.
+	ReplicaSeed = sweep.ReplicaSeed
+	// WriteJSON / WriteCSV / WriteText encode a Report.
+	WriteJSON = sweep.WriteJSON
+	WriteCSV  = sweep.WriteCSV
+	WriteText = sweep.WriteText
+)
+
+// RunScenario simulates every policy on one panel through the sweep engine
+// (GOMAXPROCS-wide pool) and returns results in Fig. 8 bar order.
+func RunScenario(s Scenario, scale float64, seed uint64) ([]*Result, error) {
+	return sweep.RunScenario(s, scale, seed, 0)
+}
+
+// Fig9Sweep runs the environment study through the sweep engine.
+func Fig9Sweep(scale float64, seed uint64) ([]SweepPoint, error) {
+	return sweep.Fig9Sweep(scale, seed, 0)
+}
+
+// Fig9SweepParallel is Fig9Sweep with an explicit pool width (0 =
+// GOMAXPROCS, 1 = serial).
+func Fig9SweepParallel(scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
+	return sweep.Fig9Sweep(scale, seed, parallel)
+}
+
+// Fig9StagingCheck runs the staging-buffer-size preliminary through the
+// sweep engine.
+func Fig9StagingCheck(scale float64, seed uint64) (map[int]*Result, error) {
+	return sweep.Fig9StagingCheck(scale, seed, 0)
+}
 
 // PrintScenario renders one panel's results as the paper's bar chart, in
 // text: execution time per policy with the per-location time breakdown and
