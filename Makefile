@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt bench verify
+.PHONY: all build test test-race vet fmt bench verify
 
 all: build
 
@@ -9,6 +9,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

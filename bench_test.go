@@ -164,6 +164,45 @@ func BenchmarkFig10ImageNet1kScalingLassen(b *testing.B) {
 	fig10(b, trainer.Fig10Lassen(0.1), 256)
 }
 
+// benchFig10TrainerGrid runs the full Fig. 10 Piz Daint grid (4 GPU counts
+// × 4 loaders) through the sweep engine at a fixed pool width. Comparing
+// the Serial and Parallel8 variants shows the engine's wall-clock speedup
+// on trainer grids, mirroring the Fig9EnvironmentSweep pair for the
+// simulator grids.
+func benchFig10TrainerGrid(b *testing.B, parallel int) {
+	exp := trainer.Fig10PizDaint(0.05)
+	runner := &sim.Runner{Parallel: parallel}
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.Run(exp.Grid(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err := trainer.PointsFromReport(rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pytorch, nopfsT float64
+		for _, p := range points {
+			if p.GPUs != 256 {
+				continue
+			}
+			switch p.Loader {
+			case "PyTorch":
+				pytorch = p.MedianEpoch
+			case "NoPFS":
+				nopfsT = p.MedianEpoch
+			}
+		}
+		b.ReportMetric(pytorch/nopfsT, "PyTorch/NoPFS")
+	}
+}
+
+// BenchmarkFig10TrainerGridSerial pins the trainer grid to one goroutine.
+func BenchmarkFig10TrainerGridSerial(b *testing.B) { benchFig10TrainerGrid(b, 1) }
+
+// BenchmarkFig10TrainerGridParallel8 runs the same grid on an 8-wide pool.
+func BenchmarkFig10TrainerGridParallel8(b *testing.B) { benchFig10TrainerGrid(b, 8) }
+
 // BenchmarkFig11Epoch0 reports the epoch-0 / steady-state batch-time ratio
 // for NoPFS (cold caches make epoch 0 slower).
 func BenchmarkFig11Epoch0(b *testing.B) {
@@ -270,34 +309,40 @@ func BenchmarkAblations(b *testing.B) {
 			b.Fatal(err)
 		}
 		summaries := rep.Aggregate()
-		base := summaries[0].Exec.Mean // full NoPFS is the first column
+		base := summaries[0].Metric(sim.MetricExec).Mean // full NoPFS is the first column
 		for _, s := range summaries[1:] {
-			b.ReportMetric(s.Exec.Mean/base, s.Policy+"/full")
+			b.ReportMetric(s.Metric(sim.MetricExec).Mean/base, s.Policy+"/full")
 		}
 	}
 }
 
-// BenchmarkLiveClusterThroughput measures the real middleware end to end:
-// samples per second delivered by a 4-worker in-process cluster.
+// BenchmarkLiveClusterThroughput measures the real middleware end to end —
+// samples delivered by a 4-worker in-process cluster — with the run
+// orchestrated as a one-cell grid through the sweep engine, like every
+// other experiment path.
 func BenchmarkLiveClusterThroughput(b *testing.B) {
 	ds := dataset.MustNew(dataset.Spec{
 		Name: "bench-live", F: 512, MeanSize: 8 << 10, Classes: 10, Seed: 3,
 	})
-	opts := nopfs.Options{
-		Seed: 9, Epochs: 2, BatchPerWorker: 8,
-		StagingBytes: 4 << 20, StagingThreads: 4,
-		Classes: []nopfs.Class{{Name: "ram", CapacityBytes: 8 << 20, Threads: 2}},
-	}
+	grid := nopfs.ClusterGrid("bench-live",
+		[]nopfs.ClusterScenario{{
+			ID: "w4", Workers: 4,
+			Dataset: func() (nopfs.Dataset, error) { return ds, nil },
+			Options: nopfs.Options{
+				Epochs: 2, BatchPerWorker: 8,
+				StagingBytes: 4 << 20, StagingThreads: 4,
+				Classes: []nopfs.Class{{Name: "ram", CapacityBytes: 8 << 20, Threads: 2}},
+			},
+		}},
+		nopfs.ChanFabric(), 1, 9)
+	runner := &sim.Runner{Parallel: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		stats, err := nopfs.RunCluster(ds, 4, opts, nopfs.DrainAll(nil))
+		rep, err := runner.Run(grid)
 		if err != nil {
 			b.Fatal(err)
 		}
-		var n int64
-		for _, s := range stats {
-			n += s.Delivered
-		}
+		n := int64(rep.Cells[0].Outcome.Values[nopfs.MetricDelivered])
 		b.SetBytes(n * 8 << 10 / int64(b.N+1))
 	}
 }

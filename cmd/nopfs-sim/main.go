@@ -123,13 +123,13 @@ func runSweep(runner *sim.Runner, scale float64, seed uint64, replicas int, form
 	for _, ram := range rams {
 		fmt.Printf("%8d", ram)
 		for _, ssd := range ssds {
-			fmt.Printf("%10.1f", byID[sim.Fig9CellID(ram, ssd)].Exec.Mean)
+			fmt.Printf("%10.1f", byID[sim.Fig9CellID(ram, ssd)].Metric(sim.MetricExec).Mean)
 		}
 		fmt.Println()
 	}
 	fmt.Println("\nstaging-buffer preliminary (runtime vs staging GB, RAM=32, no SSD):")
 	for _, gb := range sim.Fig9StagingSizes() {
-		fmt.Printf("  %d GB: %.1fs\n", gb, byID[sim.Fig9StagingID(gb)].Exec.Mean)
+		fmt.Printf("  %d GB: %.1fs\n", gb, byID[sim.Fig9StagingID(gb)].Metric(sim.MetricExec).Mean)
 	}
 }
 

@@ -1,37 +1,38 @@
 package sweep
 
 import (
-	"repro/internal/perfmodel"
+	"fmt"
+
 	"repro/internal/stats"
 )
 
 // Summary folds the replicas of one (scenario, policy) cell group into
-// descriptive statistics: mean, spread, and a distribution-free 95% CI on
-// the median (see stats.Summarize). With one replica the mean is the value
-// and the CI collapses onto it.
+// descriptive statistics per metric: mean, spread, and a distribution-free
+// 95% CI on the median (see stats.Summarize). With one replica the mean is
+// the value and the CI collapses onto it.
 type Summary struct {
 	Scenario string `json:"scenario"`
 	Policy   string `json:"policy"`
 	Replicas int    `json:"replicas"`
-	// Failed is set when every replica failed (policies fail a scenario
+	// Failed is set when every replica failed (cells fail a configuration
 	// deterministically, so mixed outcomes indicate a bug).
 	Failed     bool   `json:"failed"`
 	FailReason string `json:"failReason,omitempty"`
+	// Note carries the first non-empty cell note of the group into text
+	// reports.
+	Note string `json:"note,omitempty"`
+	// Metrics summarises each schema metric across the group's replicas.
+	Metrics map[string]stats.Summary `json:"metrics"`
+}
 
-	Exec  stats.Summary `json:"execSeconds"`
-	Stall stats.Summary `json:"stallSeconds"`
-	Setup stats.Summary `json:"setupSeconds"`
-	// Coverage is the mean fraction of dataset bytes read (< 1 flags the
-	// paper's "does not access entire dataset").
-	Coverage float64 `json:"coverage"`
-	// Mean per-location fetch seconds across replicas.
-	PFSSeconds    float64 `json:"pfsSeconds"`
-	RemoteSeconds float64 `json:"remoteSeconds"`
-	LocalSeconds  float64 `json:"localSeconds"`
+// Metric returns the named metric's replica summary (zero if absent), a
+// convenience for presenters reading aggregated reports.
+func (s Summary) Metric(name string) stats.Summary {
+	return s.Metrics[name]
 }
 
 // Aggregate groups the report's cells by (scenario, policy) in grid order
-// and summarises each group's replicas.
+// and summarises each group's replicas metric by metric.
 func (rep *Report) Aggregate() []Summary {
 	type key struct{ scenario, policy string }
 	order := []key{}
@@ -47,36 +48,43 @@ func (rep *Report) Aggregate() []Summary {
 	out := make([]Summary, 0, len(order))
 	for _, k := range order {
 		cells := groups[k]
-		s := Summary{Scenario: k.scenario, Policy: k.policy, Replicas: len(cells)}
-		var exec, stall, setup []float64
-		var cov, pfs, remote, local float64
+		s := Summary{
+			Scenario: k.scenario, Policy: k.policy, Replicas: len(cells),
+			Metrics: map[string]stats.Summary{},
+		}
+		values := map[string][]float64{}
 		n := 0
 		for _, c := range cells {
-			r := c.Result
-			if r.Failed {
+			o := c.Outcome
+			if o.Failed {
 				s.Failed = true
-				s.FailReason = r.FailReason
+				s.FailReason = o.FailReason
 				continue
 			}
-			exec = append(exec, r.ExecSeconds)
-			stall = append(stall, r.StallSeconds)
-			setup = append(setup, r.SetupSeconds)
-			cov += r.Coverage
-			pfs += r.LocSeconds[perfmodel.LocPFS]
-			remote += r.LocSeconds[perfmodel.LocRemote]
-			local += r.LocSeconds[perfmodel.LocLocal]
+			if s.Note == "" {
+				s.Note = o.Note
+			}
+			for _, m := range rep.Metrics {
+				if v, ok := o.Values[m.Name]; ok {
+					values[m.Name] = append(values[m.Name], v)
+				}
+			}
 			n++
 		}
 		if n > 0 {
 			s.Failed = false
 			s.FailReason = ""
-			s.Exec = stats.Summarize(exec)
-			s.Stall = stats.Summarize(stall)
-			s.Setup = stats.Summarize(setup)
-			s.Coverage = cov / float64(n)
-			s.PFSSeconds = pfs / float64(n)
-			s.RemoteSeconds = remote / float64(n)
-			s.LocalSeconds = local / float64(n)
+			for _, m := range rep.Metrics {
+				if vs := values[m.Name]; len(vs) > 0 {
+					s.Metrics[m.Name] = stats.Summarize(vs)
+				}
+			}
+			// The coverage note is a group property: derive it from the
+			// mean across replicas (as the legacy serial reports did), not
+			// from whichever replica happened to carry a note.
+			if cov, ok := s.Metrics[MetricCoverage]; ok && cov.N > 0 && cov.Mean < 0.999 {
+				s.Note = fmt.Sprintf("does not access entire dataset (%.0f%%)", 100*cov.Mean)
+			}
 		}
 		out = append(out, s)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // jsonReport is the stable on-wire shape: the raw cells plus the aggregated
@@ -25,14 +26,14 @@ func WriteJSON(w io.Writer, rep *Report) error {
 	return enc.Encode(jsonReport{Report: rep, Summaries: rep.Aggregate()})
 }
 
-// WriteCSV emits one row per aggregated (scenario, policy) summary.
+// WriteCSV emits one row per aggregated (scenario, policy) summary, with
+// four columns (mean, median, 95% CI bounds) per schema metric.
 func WriteCSV(w io.Writer, rep *Report) error {
 	cw := csv.NewWriter(w)
-	header := []string{
-		"grid", "scenario", "policy", "replicas", "failed", "fail_reason",
-		"exec_mean_s", "exec_median_s", "exec_ci_lo_s", "exec_ci_hi_s",
-		"stall_mean_s", "setup_mean_s", "coverage",
-		"pfs_s", "remote_s", "local_s",
+	header := []string{"grid", "scenario", "policy", "replicas", "failed", "fail_reason", "note"}
+	for _, m := range rep.Metrics {
+		header = append(header,
+			m.Name+"_mean", m.Name+"_median", m.Name+"_ci_lo", m.Name+"_ci_hi")
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -41,10 +42,11 @@ func WriteCSV(w io.Writer, rep *Report) error {
 	for _, s := range rep.Aggregate() {
 		row := []string{
 			rep.Grid, s.Scenario, s.Policy, strconv.Itoa(s.Replicas),
-			strconv.FormatBool(s.Failed), s.FailReason,
-			f(s.Exec.Mean), f(s.Exec.Median), f(s.Exec.CILow), f(s.Exec.CIHigh),
-			f(s.Stall.Mean), f(s.Setup.Mean), f(s.Coverage),
-			f(s.PFSSeconds), f(s.RemoteSeconds), f(s.LocalSeconds),
+			strconv.FormatBool(s.Failed), s.FailReason, s.Note,
+		}
+		for _, m := range rep.Metrics {
+			sm := s.Metrics[m.Name]
+			row = append(row, f(sm.Mean), f(sm.Median), f(sm.CILow), f(sm.CIHigh))
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -54,12 +56,22 @@ func WriteCSV(w io.Writer, rep *Report) error {
 	return cw.Error()
 }
 
-// WriteText renders the report in the repo's existing bar-chart style: one
-// block per scenario, one row per policy, with a ±CI column when the grid
-// ran more than one replica.
+// textColWidth is the text-report column width for metric values.
+const textColWidth = 13
+
+// WriteText renders the report in the repo's bar-chart style: one block per
+// scenario, one row per policy, one column per visible schema metric, with a
+// ±CI column on the first metric when the grid ran more than one replica.
 func WriteText(w io.Writer, rep *Report) error {
 	summaries := rep.Aggregate()
 	multi := rep.Replicas > 1
+
+	var visible []Metric
+	for _, m := range rep.Metrics {
+		if !m.Hide {
+			visible = append(visible, m)
+		}
+	}
 
 	var scenarios []string
 	seen := map[string]bool{}
@@ -69,6 +81,9 @@ func WriteText(w io.Writer, rep *Report) error {
 			scenarios = append(scenarios, s.Scenario)
 		}
 	}
+	val := func(m Metric, v float64) string {
+		return fmt.Sprintf("%.3f%s", v, m.Unit)
+	}
 	for _, sc := range scenarios {
 		title := sc
 		if label := rep.Labels[sc]; label != "" {
@@ -77,39 +92,39 @@ func WriteText(w io.Writer, rep *Report) error {
 		if _, err := fmt.Fprintf(w, "== %s ==\n", title); err != nil {
 			return err
 		}
-		if multi {
-			fmt.Fprintf(w, "%-20s %12s %20s %10s %28s %s\n",
-				"policy", "exec", "95% CI", "stall", "fetch time pfs/remote/local", "notes")
-		} else {
-			fmt.Fprintf(w, "%-20s %12s %10s %28s %s\n",
-				"policy", "exec", "stall", "fetch time pfs/remote/local", "notes")
+		var head strings.Builder
+		fmt.Fprintf(&head, "%-20s", "policy")
+		for i, m := range visible {
+			fmt.Fprintf(&head, " %*s", textColWidth, m.label())
+			if i == 0 && multi {
+				fmt.Fprintf(&head, " %*s", 2*textColWidth+3, "95% CI")
+			}
 		}
+		fmt.Fprintln(w, head.String()+"  notes")
 		for _, s := range summaries {
 			if s.Scenario != sc {
 				continue
 			}
-			if s.Failed {
-				if multi {
-					fmt.Fprintf(w, "%-20s %12s %20s %10s %28s %s\n", s.Policy, "-", "-", "-", "-", s.FailReason)
-				} else {
-					fmt.Fprintf(w, "%-20s %12s %10s %28s %s\n", s.Policy, "-", "-", "-", s.FailReason)
+			var row strings.Builder
+			fmt.Fprintf(&row, "%-20s", s.Policy)
+			for i, m := range visible {
+				cell := "-"
+				ci := "-"
+				if !s.Failed {
+					sm := s.Metrics[m.Name]
+					cell = val(m, sm.Mean)
+					ci = fmt.Sprintf("[%s, %s]", val(m, sm.CILow), val(m, sm.CIHigh))
 				}
-				continue
+				fmt.Fprintf(&row, " %*s", textColWidth, cell)
+				if i == 0 && multi {
+					fmt.Fprintf(&row, " %*s", 2*textColWidth+3, ci)
+				}
 			}
-			notes := ""
-			if s.Coverage < 0.999 {
-				notes = fmt.Sprintf("does not access entire dataset (%.0f%%)", 100*s.Coverage)
+			notes := s.Note
+			if s.Failed {
+				notes = s.FailReason
 			}
-			if multi {
-				ci := fmt.Sprintf("[%8.2f,%8.2f]", s.Exec.CILow, s.Exec.CIHigh)
-				fmt.Fprintf(w, "%-20s %11.2fs %20s %9.2fs %8.1f/%8.1f/%8.1fs  %s\n",
-					s.Policy, s.Exec.Mean, ci, s.Stall.Mean,
-					s.PFSSeconds, s.RemoteSeconds, s.LocalSeconds, notes)
-			} else {
-				fmt.Fprintf(w, "%-20s %11.2fs %9.2fs %8.1f/%8.1f/%8.1fs  %s\n",
-					s.Policy, s.Exec.Mean, s.Stall.Mean,
-					s.PFSSeconds, s.RemoteSeconds, s.LocalSeconds, notes)
-			}
+			fmt.Fprintln(w, row.String()+"  "+notes)
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err

@@ -1,0 +1,98 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/sweep -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the encoder golden files")
+
+// goldenGrid is a fixed 2×2×2 grid of pure synthetic cells: metric values
+// are a hash of (scenario, policy, seed), one cell group fails, one carries
+// a note. It exercises every encoder feature without depending on the
+// simulator, so the goldens pin the *report formats* and nothing else.
+func goldenGrid() *Grid {
+	return &Grid{
+		Name: "golden",
+		Scenarios: []ScenarioSpec{
+			{ID: "s1", Label: "first scenario"},
+			{ID: "s2"},
+		},
+		Policies: []PolicySpec{{Name: "alpha"}, {Name: "beta"}},
+		Replicas: 2, BaseSeed: 42,
+		Metrics: []Metric{
+			{Name: "exec_s", Label: "exec", Unit: "s"},
+			{Name: "ratio", Label: "ratio"},
+			{Name: "aux", Hide: true},
+		},
+		Cell: func(si, pi int) CellFunc {
+			return func(seed uint64) (*Outcome, error) {
+				if si == 1 && pi == 1 {
+					return &Outcome{Failed: true, FailReason: "beta cannot run s2"}, nil
+				}
+				h := prng.NewSplitMix64(seed ^ uint64(1+si*17+pi*3)).Next()
+				o := &Outcome{Values: map[string]float64{
+					"exec_s": 100 + float64(h%10000)/100,
+					"ratio":  float64(h%7) / 8,
+					"aux":    float64(si*10 + pi),
+				}}
+				if si == 0 && pi == 1 {
+					o.Note = "partial coverage"
+				}
+				return o, nil
+			}
+		},
+	}
+}
+
+// TestGoldenEncoders compares the JSON, CSV, and text encodings of the
+// fixed grid byte-for-byte against checked-in goldens, so encoder changes
+// cannot silently drift report formats. Regenerate with -update.
+func TestGoldenEncoders(t *testing.T) {
+	rep, err := (&Runner{Parallel: 3}).Run(goldenGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		file   string
+		encode func(*bytes.Buffer) error
+	}{
+		{"golden_report.json", func(b *bytes.Buffer) error { return WriteJSON(b, rep) }},
+		{"golden_report.csv", func(b *bytes.Buffer) error { return WriteCSV(b, rep) }},
+		{"golden_report.txt", func(b *bytes.Buffer) error { return WriteText(b, rep) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s drifted from golden.\n-- got --\n%s\n-- want --\n%s",
+					tc.file, buf.Bytes(), want)
+			}
+		})
+	}
+}

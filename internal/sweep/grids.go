@@ -3,13 +3,84 @@ package sweep
 import (
 	"fmt"
 
+	"repro/internal/perfmodel"
 	isim "repro/internal/sim"
 )
 
-// This file holds the repo's standard grid definitions: every orchestration
-// path that used to be a bespoke serial loop (RunScenario, Fig9Sweep,
-// Fig9StagingCheck, the ablation) is now a Grid value plus a thin
-// legacy-shaped wrapper.
+// This file holds the simulator's cell binding — the engine default — and
+// the repo's standard simulator grid definitions: every orchestration path
+// that used to be a bespoke serial loop (RunScenario, Fig9Sweep,
+// Fig9StagingCheck, the ablation) is a Grid value plus a thin legacy-shaped
+// wrapper.
+
+// Simulator metric names (the default schema's Outcome.Values keys).
+const (
+	MetricExec     = "exec_s"
+	MetricStall    = "stall_s"
+	MetricSetup    = "setup_s"
+	MetricCoverage = "coverage"
+	MetricPFS      = "pfs_s"
+	MetricRemote   = "remote_s"
+	MetricLocal    = "local_s"
+)
+
+// SimMetrics is the simulator grids' result schema: execution/stall/setup
+// time, dataset coverage, and the per-location fetch-time breakdown.
+func SimMetrics() []Metric {
+	return []Metric{
+		{Name: MetricExec, Label: "exec", Unit: "s"},
+		{Name: MetricStall, Label: "stall", Unit: "s"},
+		{Name: MetricSetup, Unit: "s", Hide: true},
+		{Name: MetricCoverage, Hide: true},
+		{Name: MetricPFS, Label: "pfs", Unit: "s"},
+		{Name: MetricRemote, Label: "remote", Unit: "s"},
+		{Name: MetricLocal, Label: "local", Unit: "s"},
+	}
+}
+
+// SimOutcome converts one simulator result into the engine's cell outcome,
+// keeping the raw result as the payload.
+func SimOutcome(r *isim.Result) *Outcome {
+	o := &Outcome{Payload: r}
+	if r.Failed {
+		o.Failed = true
+		o.FailReason = r.FailReason
+		return o
+	}
+	o.Values = map[string]float64{
+		MetricExec:     r.ExecSeconds,
+		MetricStall:    r.StallSeconds,
+		MetricSetup:    r.SetupSeconds,
+		MetricCoverage: r.Coverage,
+		MetricPFS:      r.LocSeconds[perfmodel.LocPFS],
+		MetricRemote:   r.LocSeconds[perfmodel.LocRemote],
+		MetricLocal:    r.LocSeconds[perfmodel.LocLocal],
+	}
+	if r.Coverage < 0.999 {
+		o.Note = fmt.Sprintf("does not access entire dataset (%.0f%%)", 100*r.Coverage)
+	}
+	return o
+}
+
+// simCellFunc is the default cell binding: materialise the scenario's
+// simulator configuration for the seed, build a fresh policy, and simulate.
+func simCellFunc(s ScenarioSpec, p PolicySpec) CellFunc {
+	return func(seed uint64) (*Outcome, error) {
+		cfg, err := s.Config(seed)
+		if err != nil {
+			return nil, err
+		}
+		pol := p.New()
+		if pol == nil {
+			return nil, fmt.Errorf("policy %q constructor returned nil", p.Name)
+		}
+		r, err := isim.Run(cfg, pol)
+		if err != nil {
+			return nil, err
+		}
+		return SimOutcome(r), nil
+	}
+}
 
 // scenarioSpec adapts one Fig. 8 scenario preset into a grid row.
 func scenarioSpec(s isim.Scenario, scale float64) ScenarioSpec {
@@ -200,11 +271,12 @@ func Fig9Sweep(scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
 		return nil, err
 	}
 	// One policy, one replica: cell i is scenario i, enumerated RAM-major.
-	points := make([]SweepPoint, len(rep.Cells))
-	for i, c := range rep.Cells {
+	results := rep.Results()
+	points := make([]SweepPoint, len(results))
+	for i, r := range results {
 		points[i] = SweepPoint{
 			RAMGB: fig9RAMs[i/len(fig9SSDs)], SSDGB: fig9SSDs[i%len(fig9SSDs)],
-			StagingGB: 5, Result: c.Result,
+			StagingGB: 5, Result: r,
 		}
 	}
 	return points, nil
@@ -218,8 +290,8 @@ func Fig9StagingCheck(scale float64, seed uint64, parallel int) (map[int]*isim.R
 		return nil, err
 	}
 	out := map[int]*isim.Result{}
-	for i, c := range rep.Cells {
-		out[fig9StagingGBs[i]] = c.Result
+	for i, r := range rep.Results() {
+		out[fig9StagingGBs[i]] = r
 	}
 	return out, nil
 }

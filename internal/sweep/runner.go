@@ -30,13 +30,13 @@ func (r *Runner) workers(n int) int {
 	return w
 }
 
-// CellResult pairs a cell with its simulated outcome. Result.Failed marks
-// policies that cannot run the scenario (a legitimate paper outcome, e.g.
-// LBANN when the dataset exceeds aggregate RAM); Err marks configuration or
-// engine errors that abort the whole run.
+// CellResult pairs a cell with its outcome. Outcome.Failed marks
+// configurations that cannot run (a legitimate experimental result); an
+// error from the cell func marks configuration or engine errors that abort
+// the whole run.
 type CellResult struct {
 	Cell
-	Result *isim.Result `json:"result"`
+	Outcome *Outcome `json:"outcome"`
 }
 
 // Report is the raw outcome of one grid execution, cells in enumeration
@@ -49,13 +49,16 @@ type Report struct {
 	Parallel int    `json:"-"`
 	Replicas int    `json:"replicas"`
 	BaseSeed uint64 `json:"baseSeed"`
+	// Metrics is the grid's result schema, in column order.
+	Metrics []Metric `json:"metrics"`
 	// Labels maps scenario IDs to their human captions for text reports.
 	Labels map[string]string `json:"labels,omitempty"`
 	Cells  []CellResult      `json:"cells"`
 }
 
 // Run executes every cell of the grid and returns the Report. The report is
-// a pure function of the grid: identical at any Parallel setting.
+// a pure function of the grid (for deterministic cells): identical at any
+// Parallel setting.
 func (r *Runner) Run(g *Grid) (*Report, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -71,8 +74,8 @@ func (r *Runner) Run(g *Grid) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := runCell(g, cells[i])
-				results[i] = CellResult{Cell: cells[i], Result: res}
+				out, err := runCell(g, cells[i])
+				results[i] = CellResult{Cell: cells[i], Outcome: out}
 				errs[i] = err
 			}
 		}()
@@ -100,29 +103,36 @@ func (r *Runner) Run(g *Grid) (*Report, error) {
 	}
 	return &Report{
 		Grid: g.Name, Parallel: r.Parallel, Replicas: g.replicas(),
-		BaseSeed: g.BaseSeed, Labels: labels, Cells: results,
+		BaseSeed: g.BaseSeed, Metrics: g.metrics(), Labels: labels,
+		Cells: results,
 	}, nil
 }
 
-// runCell materialises and simulates one cell.
-func runCell(g *Grid, c Cell) (*isim.Result, error) {
-	cfg, err := g.Scenarios[c.ScenarioIdx].Config(c.Seed)
+// runCell resolves and executes one cell.
+func runCell(g *Grid, c Cell) (*Outcome, error) {
+	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx)
 	if err != nil {
 		return nil, err
 	}
-	pol := g.Policies[c.PolicyIdx].New()
-	if pol == nil {
-		return nil, fmt.Errorf("policy %q constructor returned nil", c.Policy)
+	out, err := fn(c.Seed)
+	if err != nil {
+		return nil, err
 	}
-	return isim.Run(cfg, pol)
+	if out == nil {
+		return nil, fmt.Errorf("cell returned neither outcome nor error")
+	}
+	return out, nil
 }
 
 // Results returns the report's per-cell simulator results in cell order —
-// the shape the legacy serial paths produced for 1-replica grids.
+// the shape the legacy serial paths produced for 1-replica simulator grids.
+// Cells whose payload is not a simulator result yield nil entries.
 func (rep *Report) Results() []*isim.Result {
 	out := make([]*isim.Result, len(rep.Cells))
 	for i, c := range rep.Cells {
-		out[i] = c.Result
+		if r, ok := c.Outcome.Payload.(*isim.Result); ok {
+			out[i] = r
+		}
 	}
 	return out
 }

@@ -1,18 +1,25 @@
-// Package sweep is the concurrent orchestration layer of the simulator: it
-// runs (scenario × policy × replica-seed) grids on a bounded goroutine pool
-// and folds replica results into mean/CI summaries.
+// Package sweep is the repo's single experiment-orchestration layer: it runs
+// (scenario × policy × replica-seed) grids of independent cells on a bounded
+// goroutine pool and folds replica results into mean/median/CI summaries.
 //
-// The paper's headline artifacts — the Fig. 8 panels, the Fig. 9 environment
-// study, and the ablation — are all grids of independent simulator runs.
-// Before this package each had its own serial driver; now every one is a
-// Grid value executed by the same Runner, following the "one interface,
-// many execution modes" shape of the resource-manager pattern.
+// The engine is generic over what a cell *is*. A cell is any function of a
+// derived seed that returns an Outcome — a named bag of scalar metrics plus
+// an optional domain payload. Three cell families flow through it today:
+//
+//   - simulator runs (the Fig. 8 panels, the Fig. 9 environment study, and
+//     the ablation — the default binding, see grids.go),
+//   - trainer experiment points (internal/trainer builds grids whose cells
+//     simulate one (machine, loader, GPU count) measurement), and
+//   - live cluster jobs (package nopfs builds grids whose cells execute a
+//     real RunCluster over the channel or TCP fabric).
 //
 // Determinism is a hard invariant: each cell's PRNG seed is a pure function
 // of the grid's base seed and the cell's replica index, never of execution
 // order, so the same Grid produces bit-identical Reports at any parallelism
-// level. Policies within one (scenario, replica) share the seed — the paper
-// compares policies on identical training access streams.
+// level (for cells that are themselves deterministic; live-cluster cells
+// measure wall-clock effects and are deterministic only in their schedule-
+// derived metrics). Policies within one (scenario, replica) share the seed —
+// the paper compares policies on identical training access streams.
 package sweep
 
 import (
@@ -22,20 +29,68 @@ import (
 	isim "repro/internal/sim"
 )
 
-// ScenarioSpec is one row of a Grid: a named configuration factory. Config
-// must be a pure function of the seed (no shared mutable state) so cells can
-// be materialised concurrently.
+// Metric declares one column of a grid's result schema. Every cell of the
+// grid reports its scalar results under these names in Outcome.Values.
+type Metric struct {
+	// Name is the stable key into Outcome.Values and the CSV column stem.
+	Name string `json:"name"`
+	// Label is the short text-report column header (defaults to Name).
+	Label string `json:"label,omitempty"`
+	// Unit is appended to text-report values ("s" for seconds).
+	Unit string `json:"unit,omitempty"`
+	// Hide omits the metric from text reports; it is still present in JSON
+	// and CSV encodings.
+	Hide bool `json:"-"`
+}
+
+// label returns the text-report header for the metric.
+func (m Metric) label() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return m.Name
+}
+
+// Outcome is the engine-visible result of executing one cell.
+type Outcome struct {
+	// Failed marks a cell whose configuration cannot run at all (a
+	// legitimate experimental outcome, e.g. LBANN when the dataset exceeds
+	// aggregate RAM) — distinct from an error, which aborts the whole grid.
+	Failed     bool   `json:"failed,omitempty"`
+	FailReason string `json:"failReason,omitempty"`
+	// Note is a human remark carried into text reports ("does not access
+	// entire dataset (61%)").
+	Note string `json:"note,omitempty"`
+	// Values holds the cell's scalar metrics, keyed by Metric.Name.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Payload is the cell's domain-specific result (*isim.Result for
+	// simulator cells, trainer.ScalePoint for trainer cells, []nopfs.Stats
+	// for live cells). It is never encoded; presenters that need more than
+	// the scalar metrics read it back out of the report cells.
+	Payload any `json:"-"`
+}
+
+// CellFunc executes one cell of a grid from its deterministically derived
+// seed. It must be safe to call concurrently with other cells' funcs.
+type CellFunc func(seed uint64) (*Outcome, error)
+
+// ScenarioSpec is one row of a Grid. For simulator grids, Config
+// materialises the cell's simulator configuration (the default binding);
+// grids with a custom Cell binding use the spec purely as a report label.
 type ScenarioSpec struct {
 	// ID labels the row in reports ("fig8b", "ram64-ssd256", ...).
 	ID string
 	// Label is an optional human caption carried into text reports.
 	Label string
 	// Config materialises the simulator configuration for one cell seed.
+	// It must be a pure function of the seed (no shared mutable state) so
+	// cells can be materialised concurrently. Nil for non-simulator grids.
 	Config func(seed uint64) (isim.Config, error)
 }
 
-// PolicySpec is one column of a Grid. New must return a fresh policy
-// instance per call: policies carry per-run placement state.
+// PolicySpec is one column of a Grid. For simulator grids, New must return a
+// fresh policy instance per call (policies carry per-run placement state);
+// grids with a custom Cell binding use the spec purely as a report label.
 type PolicySpec struct {
 	Name string
 	New  func() isim.Policy
@@ -86,9 +141,16 @@ type Grid struct {
 	// BaseSeed derives every replica seed. Replica 0 uses BaseSeed itself,
 	// so a 1-replica grid reproduces the legacy serial paths bit for bit.
 	BaseSeed uint64
+	// Metrics is the result schema shared by every cell. Nil means the
+	// simulator schema (SimMetrics).
+	Metrics []Metric
+	// Cell binds the (scenario, policy) pair at the given indices to an
+	// executable cell. Nil means the simulator binding: Scenarios[si].Config
+	// × Policies[pi].New × isim.Run.
+	Cell func(scenario, policy int) CellFunc
 }
 
-// Cell identifies one simulator run within a grid.
+// Cell identifies one run within a grid.
 type Cell struct {
 	// Index is the cell's position in the deterministic enumeration order
 	// (scenario-major, then policy, then replica).
@@ -124,6 +186,14 @@ func (g *Grid) replicas() int {
 	return g.Replicas
 }
 
+// metrics returns the effective result schema.
+func (g *Grid) metrics() []Metric {
+	if len(g.Metrics) > 0 {
+		return g.Metrics
+	}
+	return SimMetrics()
+}
+
 // Size returns the number of cells in the grid.
 func (g *Grid) Size() int {
 	return len(g.Scenarios) * len(g.Policies) * g.replicas()
@@ -149,6 +219,20 @@ func (g *Grid) Cells() []Cell {
 	return cells
 }
 
+// cellFunc resolves the executable cell for (scenario, policy) indices,
+// applying the simulator default when the grid carries no custom binding.
+func (g *Grid) cellFunc(si, pi int) (CellFunc, error) {
+	if g.Cell != nil {
+		fn := g.Cell(si, pi)
+		if fn == nil {
+			return nil, fmt.Errorf("sweep: grid %q cell binding returned nil for %s/%s",
+				g.Name, g.Scenarios[si].ID, g.Policies[pi].Name)
+		}
+		return fn, nil
+	}
+	return simCellFunc(g.Scenarios[si], g.Policies[pi]), nil
+}
+
 // Validate reports whether the grid is runnable.
 func (g *Grid) Validate() error {
 	if len(g.Scenarios) == 0 {
@@ -156,6 +240,15 @@ func (g *Grid) Validate() error {
 	}
 	if len(g.Policies) == 0 {
 		return fmt.Errorf("sweep: grid %q has no policies", g.Name)
+	}
+	if g.Cell != nil {
+		// Custom binding: specs are labels only, but the grid must declare
+		// its own schema — falling back to the simulator metric names would
+		// aggregate nothing and emit zero-filled reports.
+		if len(g.Metrics) == 0 {
+			return fmt.Errorf("sweep: grid %q has a custom cell binding but no metric schema", g.Name)
+		}
+		return nil
 	}
 	for _, s := range g.Scenarios {
 		if s.Config == nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/prng"
 	isim "repro/internal/sim"
 )
 
@@ -232,11 +233,12 @@ func TestAggregateReplicas(t *testing.T) {
 	if nopfs.Failed {
 		t.Fatalf("NoPFS failed: %s", nopfs.FailReason)
 	}
-	if nopfs.Exec.N != 3 {
-		t.Errorf("NoPFS exec summary over %d values, want 3", nopfs.Exec.N)
+	exec := nopfs.Metric(MetricExec)
+	if exec.N != 3 {
+		t.Errorf("NoPFS exec summary over %d values, want 3", exec.N)
 	}
-	if nopfs.Exec.Mean <= 0 || nopfs.Exec.CILow > nopfs.Exec.Median || nopfs.Exec.CIHigh < nopfs.Exec.Median {
-		t.Errorf("implausible exec summary: %+v", nopfs.Exec)
+	if exec.Mean <= 0 || exec.CILow > exec.Median || exec.CIHigh < exec.Median {
+		t.Errorf("implausible exec summary: %+v", exec)
 	}
 	// LBANN cannot run the fig8d regime (dataset exceeds aggregate RAM);
 	// the aggregate must carry the failure, not hide it.
@@ -246,8 +248,8 @@ func TestAggregateReplicas(t *testing.T) {
 	}
 	// Replicas must actually differ: identical seeds would collapse the
 	// spread to zero for a policy whose runtime depends on the shuffle.
-	if nopfs.Exec.Min == nopfs.Exec.Max {
-		t.Logf("note: NoPFS replica spread is zero (min=max=%.6f)", nopfs.Exec.Min)
+	if exec.Min == exec.Max {
+		t.Logf("note: NoPFS replica spread is zero (min=max=%.6f)", exec.Min)
 	}
 	seeds := map[uint64]bool{}
 	for _, c := range rep.Cells {
@@ -335,6 +337,105 @@ func TestParallelSpeedup(t *testing.T) {
 	t.Logf("fig9 grid: serial %v, 4-wide %v (%.2fx)", serial, parallel, float64(serial)/float64(parallel))
 	if parallel > serial*9/10 {
 		t.Errorf("4-wide pool (%v) not measurably faster than serial (%v)", parallel, serial)
+	}
+}
+
+// funcGrid is a pure function-cell grid (no simulator involved): metrics
+// are a deterministic hash of (scenario, policy, seed).
+func funcGrid(replicas int) *Grid {
+	return &Grid{
+		Name: "func",
+		Scenarios: []ScenarioSpec{
+			{ID: "rowA", Label: "first row"},
+			{ID: "rowB"},
+		},
+		Policies: []PolicySpec{{Name: "colX"}, {Name: "colY"}},
+		Replicas: replicas, BaseSeed: 99,
+		Metrics: []Metric{
+			{Name: "score", Label: "score"},
+			{Name: "aux", Hide: true},
+		},
+		Cell: func(si, pi int) CellFunc {
+			return func(seed uint64) (*Outcome, error) {
+				if si == 1 && pi == 1 {
+					return &Outcome{Failed: true, FailReason: "colY cannot run rowB"}, nil
+				}
+				h := prng.NewSplitMix64(seed + uint64(si*31+pi)).Next()
+				return &Outcome{Values: map[string]float64{
+					"score": float64(h%1000) / 10,
+					"aux":   float64(si + pi),
+				}}, nil
+			}
+		},
+	}
+}
+
+// TestFunctionCellGrid exercises the engine on a non-simulator grid: custom
+// metric schema, custom cell binding, a Failed cell, and bit-identical
+// encodings at any parallelism.
+func TestFunctionCellGrid(t *testing.T) {
+	encode := func(parallel int) (jsonB, csvB, textB []byte) {
+		t.Helper()
+		rep, err := (&Runner{Parallel: parallel}).Run(funcGrid(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c, x bytes.Buffer
+		if err := WriteJSON(&j, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&c, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteText(&x, rep); err != nil {
+			t.Fatal(err)
+		}
+		return j.Bytes(), c.Bytes(), x.Bytes()
+	}
+	j1, c1, x1 := encode(1)
+	j8, c8, x8 := encode(8)
+	if !bytes.Equal(j1, j8) || !bytes.Equal(c1, c8) || !bytes.Equal(x1, x8) {
+		t.Error("function-cell grid encodings differ across parallelism")
+	}
+
+	rep, err := (&Runner{Parallel: 4}).Run(funcGrid(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := rep.Aggregate()
+	if len(summaries) != 4 {
+		t.Fatalf("%d summaries, want 4", len(summaries))
+	}
+	byKey := map[string]Summary{}
+	for _, s := range summaries {
+		byKey[s.Scenario+"/"+s.Policy] = s
+	}
+	if s := byKey["rowB/colY"]; !s.Failed || s.FailReason == "" {
+		t.Error("failed function cell not propagated to its summary")
+	}
+	if s := byKey["rowA/colX"]; s.Metric("score").N != 3 || s.Metric("aux").N != 3 {
+		t.Errorf("metric summaries not aggregated over 3 replicas: %+v", s.Metrics)
+	}
+	// The custom schema must flow into the report and text rendering: the
+	// hidden metric stays out of the text table but in the CSV header.
+	if len(rep.Metrics) != 2 || rep.Metrics[0].Name != "score" {
+		t.Errorf("report metrics = %+v", rep.Metrics)
+	}
+	if !bytes.Contains(x1, []byte("score")) || bytes.Contains(x1, []byte("aux")) {
+		t.Errorf("text report visibility wrong:\n%s", x1)
+	}
+	if !bytes.Contains(c1, []byte("aux_mean")) {
+		t.Errorf("CSV missing hidden metric column:\n%s", c1)
+	}
+}
+
+// TestNilCellBinding pins the error path: a custom binding returning nil
+// must abort the grid with a descriptive error, not panic.
+func TestNilCellBinding(t *testing.T) {
+	g := funcGrid(1)
+	g.Cell = func(si, pi int) CellFunc { return nil }
+	if _, err := (&Runner{Parallel: 2}).Run(g); err == nil {
+		t.Error("nil cell binding accepted")
 	}
 }
 

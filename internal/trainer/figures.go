@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/hwspec"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Figure presets. At scale = 1 these match the paper's configurations;
@@ -122,14 +123,26 @@ type EndToEndResult struct {
 	FinalTop1    float64
 }
 
-// Fig16EndToEnd reproduces the end-to-end comparison: ResNet-50 on
-// ImageNet-1k, 256 Lassen GPUs, per-GPU batch 32 (global 8192), 90 epochs
-// with the Goyal et al. schedule. NoPFS preserves full-dataset
-// randomization, so accuracy-vs-epoch is loader-independent; the loaders
-// differ only in how fast epochs complete — exactly the paper's framing.
-func Fig16EndToEnd(scale float64) ([]EndToEndResult, error) {
+// Fig16 metric names and schema: the end-to-end grid reports total training
+// time and the final top-1 accuracy; the full curve rides in the payload.
+const (
+	MetricTotalS    = "total_s"
+	MetricFinalTop1 = "final_top1"
+)
+
+// Fig16Metrics is the end-to-end grid's result schema.
+func Fig16Metrics() []sweep.Metric {
+	return []sweep.Metric{
+		{Name: MetricTotalS, Label: "total", Unit: "s"},
+		{Name: MetricFinalTop1, Label: "top1%"},
+	}
+}
+
+// Fig16Experiment is the Fig. 16 configuration: ResNet-50 on ImageNet-1k,
+// 256 Lassen GPUs, per-GPU batch 32 (global 8192), 90 epochs.
+func Fig16Experiment(scale float64) Experiment {
 	const epochs = 90
-	exp := Experiment{
+	return Experiment{
 		Name: "fig16",
 		Sys:  hwspec.Lassen(),
 		Spec: dataset.ImageNet1kSpec(),
@@ -140,48 +153,105 @@ func Fig16EndToEnd(scale float64) ([]EndToEndResult, error) {
 		Loaders:   []Loader{LoaderPyTorch, LoaderNoPFS, LoaderNoIO},
 		Scale:     scale, Seed: 0xF16, Jitter: 0.4,
 	}
-	// Run the simulator directly so we keep per-epoch times.
-	spec := exp.Spec
-	sys := exp.Sys
-	if scale != 1 {
-		spec = spec.Scale(scale)
-		sys = sim.ScaleSystem(sys, scale)
+}
+
+// fig16Cell simulates one loader's 90-epoch run and folds the per-epoch
+// times into the accuracy-vs-time curve (the Goyal et al. schedule).
+func fig16Cell(exp Experiment, ds *dataset.Synthetic, sys hwspec.System, loader Loader, seed uint64) (EndToEndResult, error) {
+	work := loader.AdjustWorkload(exp.Workload(exp.GPUCounts[0]))
+	cfg := sim.Config{Sys: sys, Work: work, DS: ds, Seed: seed, PFSJitter: exp.Jitter, DropLast: true}
+	pol, err := loader.Policy()
+	if err != nil {
+		return EndToEndResult{}, err
 	}
-	ds, err := dataset.New(spec)
+	r, err := sim.Run(cfg, pol)
+	if err != nil {
+		return EndToEndResult{}, err
+	}
+	res := EndToEndResult{Loader: loader.String()}
+	if r.Failed {
+		return res, nil
+	}
+	elapsed := 0.0
+	for e, d := range r.EpochSeconds {
+		elapsed += d
+		res.Curve = append(res.Curve, EndToEndPoint{
+			Epoch:       e + 1,
+			Seconds:     elapsed,
+			Top1Percent: ResNet50Top1(float64(e + 1)),
+		})
+	}
+	res.TotalSeconds = elapsed
+	if n := len(res.Curve); n > 0 {
+		res.FinalTop1 = res.Curve[n-1].Top1Percent
+	}
+	return res, nil
+}
+
+// Fig16Grid plans the end-to-end comparison as a sweep grid: one row (256
+// GPUs), one column per loader, cells carrying EndToEndResult payloads.
+func Fig16Grid(scale float64, replicas int) *sweep.Grid {
+	exp := Fig16Experiment(scale)
+	cols := make([]sweep.PolicySpec, len(exp.Loaders))
+	for i, l := range exp.Loaders {
+		cols[i] = sweep.PolicySpec{Name: l.String()}
+	}
+	loaders := exp.Loaders
+	env := sharedEnv(exp)
+	return &sweep.Grid{
+		Name: exp.Name,
+		Scenarios: []sweep.ScenarioSpec{{
+			ID:    fmt.Sprintf("%s-g%d", exp.Name, exp.GPUCounts[0]),
+			Label: "ResNet-50/ImageNet-1k, 256 Lassen GPUs, 90 epochs",
+		}},
+		Policies: cols,
+		Replicas: replicas, BaseSeed: exp.Seed,
+		Metrics: Fig16Metrics(),
+		Cell: func(si, pi int) sweep.CellFunc {
+			l := loaders[pi]
+			return func(seed uint64) (*sweep.Outcome, error) {
+				ds, sys, err := env()
+				if err != nil {
+					return nil, err
+				}
+				res, err := fig16Cell(exp, ds, sys, l, seed)
+				if err != nil {
+					return nil, err
+				}
+				o := &sweep.Outcome{Payload: res}
+				if len(res.Curve) == 0 {
+					o.Failed = true
+					o.FailReason = fmt.Sprintf("%s cannot run fig16", res.Loader)
+					return o, nil
+				}
+				o.Values = map[string]float64{
+					MetricTotalS:    res.TotalSeconds,
+					MetricFinalTop1: res.FinalTop1,
+				}
+				return o, nil
+			}
+		},
+	}
+}
+
+// Fig16EndToEnd reproduces the end-to-end comparison: ResNet-50 on
+// ImageNet-1k, 256 Lassen GPUs, per-GPU batch 32 (global 8192), 90 epochs
+// with the Goyal et al. schedule. NoPFS preserves full-dataset
+// randomization, so accuracy-vs-epoch is loader-independent; the loaders
+// differ only in how fast epochs complete — exactly the paper's framing.
+// The loaders run concurrently through the sweep engine.
+func Fig16EndToEnd(scale float64) ([]EndToEndResult, error) {
+	rep, err := (&sweep.Runner{}).Run(Fig16Grid(scale, 1))
 	if err != nil {
 		return nil, err
 	}
-	var out []EndToEndResult
-	for _, loader := range exp.Loaders {
-		work := loader.AdjustWorkload(exp.Workload(256))
-		cfg := sim.Config{Sys: sys, Work: work, DS: ds, Seed: exp.Seed, PFSJitter: exp.Jitter, DropLast: true}
-		pol, err := loader.Policy()
-		if err != nil {
-			return nil, err
+	out := make([]EndToEndResult, len(rep.Cells))
+	for i, c := range rep.Cells {
+		res, ok := c.Outcome.Payload.(EndToEndResult)
+		if !ok {
+			return nil, fmt.Errorf("trainer: fig16 cell %d carries no end-to-end result", i)
 		}
-		r, err := sim.Run(cfg, pol)
-		if err != nil {
-			return nil, err
-		}
-		if r.Failed {
-			out = append(out, EndToEndResult{Loader: loader.String()})
-			continue
-		}
-		res := EndToEndResult{Loader: loader.String()}
-		elapsed := 0.0
-		for e, d := range r.EpochSeconds {
-			elapsed += d
-			res.Curve = append(res.Curve, EndToEndPoint{
-				Epoch:       e + 1,
-				Seconds:     elapsed,
-				Top1Percent: ResNet50Top1(float64(e + 1)),
-			})
-		}
-		res.TotalSeconds = elapsed
-		if n := len(res.Curve); n > 0 {
-			res.FinalTop1 = res.Curve[n-1].Top1Percent
-		}
-		out = append(out, res)
+		out[i] = res
 	}
 	return out, nil
 }

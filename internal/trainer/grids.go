@@ -1,0 +1,224 @@
+package trainer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/hwspec"
+	"repro/internal/perfmodel"
+	"repro/internal/sweep"
+)
+
+// This file plans the real-system experiment grids — (machine × loader ×
+// GPU count × replica seed) — as sweep-engine grids, so the trainer's
+// scaling studies run through the same concurrent orchestration layer as
+// the simulator's Fig. 8/9 grids: rows are GPU counts (or experiments),
+// columns are loaders, and each cell simulates one measurement.
+
+// Trainer metric names (the trainer grids' Outcome.Values keys).
+const (
+	MetricMedianEpoch = "median_epoch_s"
+	MetricEpoch0      = "epoch0_s"
+	MetricBatchMedian = "batch_median_s"
+	MetricBatchP95    = "batch_p95_s"
+	MetricBatchMax    = "batch_max_s"
+	MetricBatch0Med   = "batch0_median_s"
+	MetricBatch0P95   = "batch0_p95_s"
+	MetricBatch0Max   = "batch0_max_s"
+	MetricStallS      = "stall_s"
+	MetricExecS       = "exec_s"
+	MetricPFSFrac     = "pfs_frac"
+	MetricRemoteFrac  = "remote_frac"
+	MetricLocalFrac   = "local_frac"
+)
+
+// GridMetrics is the trainer grids' result schema: the paper's headline
+// per-epoch and per-batch statistics plus the Fig. 12 stall/fetch-mix data
+// (hidden from text tables, present in JSON/CSV).
+func GridMetrics() []sweep.Metric {
+	return []sweep.Metric{
+		{Name: MetricMedianEpoch, Label: "med-epoch", Unit: "s"},
+		{Name: MetricEpoch0, Label: "epoch0", Unit: "s"},
+		{Name: MetricBatchP95, Label: "batch-p95", Unit: "s"},
+		{Name: MetricBatchMax, Label: "batch-max", Unit: "s"},
+		{Name: MetricBatchMedian, Unit: "s", Hide: true},
+		{Name: MetricBatch0Med, Unit: "s", Hide: true},
+		{Name: MetricBatch0P95, Unit: "s", Hide: true},
+		{Name: MetricBatch0Max, Unit: "s", Hide: true},
+		{Name: MetricStallS, Unit: "s", Hide: true},
+		{Name: MetricExecS, Unit: "s", Hide: true},
+		{Name: MetricPFSFrac, Hide: true},
+		{Name: MetricRemoteFrac, Hide: true},
+		{Name: MetricLocalFrac, Hide: true},
+	}
+}
+
+// PointOutcome converts one scaling measurement into an engine cell
+// outcome, keeping the full ScalePoint as the payload.
+func PointOutcome(p ScalePoint) *sweep.Outcome {
+	o := &sweep.Outcome{Payload: p}
+	if p.Failed {
+		o.Failed = true
+		o.FailReason = p.Reason
+		return o
+	}
+	o.Values = map[string]float64{
+		MetricMedianEpoch: p.MedianEpoch,
+		MetricEpoch0:      p.Epoch0Seconds,
+		MetricBatchMedian: p.Batch.Median,
+		MetricBatchP95:    p.Batch.P95,
+		MetricBatchMax:    p.Batch.Max,
+		MetricBatch0Med:   p.Batch0.Median,
+		MetricBatch0P95:   p.Batch0.P95,
+		MetricBatch0Max:   p.Batch0.Max,
+		MetricStallS:      p.StallSeconds,
+		MetricExecS:       p.ExecSeconds,
+		MetricPFSFrac:     p.LocFraction[perfmodel.LocPFS],
+		MetricRemoteFrac:  p.LocFraction[perfmodel.LocRemote],
+		MetricLocalFrac:   p.LocFraction[perfmodel.LocLocal],
+	}
+	return o
+}
+
+// sharedEnv lazily builds the experiment's scaled dataset and system
+// exactly once: materialising the O(F) size table per cell would dominate
+// large grids, and Synthetic datasets are immutable after construction, so
+// every cell of the experiment can read the same instance concurrently.
+func sharedEnv(e Experiment) func() (*dataset.Synthetic, hwspec.System, error) {
+	type env struct {
+		ds  *dataset.Synthetic
+		sys hwspec.System
+	}
+	build := sync.OnceValues(func() (env, error) {
+		spec, sys := e.scaled()
+		ds, err := dataset.New(spec)
+		return env{ds, sys}, err
+	})
+	return func() (*dataset.Synthetic, hwspec.System, error) {
+		v, err := build()
+		return v.ds, v.sys, err
+	}
+}
+
+// sharedCells returns a cell executor over one shared environment.
+func sharedCells(e Experiment) func(gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+	env := sharedEnv(e)
+	return func(gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+		ds, sys, err := env()
+		if err != nil {
+			return ScalePoint{}, err
+		}
+		return e.cell(ds, sys, gpus, loader, seed)
+	}
+}
+
+// Grid plans the experiment as a sweep grid: one row per GPU count, one
+// column per loader, BaseSeed = the experiment's seed (so replica 0
+// reproduces the legacy serial loop bit for bit).
+func (e Experiment) Grid(replicas int) *sweep.Grid {
+	rows := make([]sweep.ScenarioSpec, len(e.GPUCounts))
+	for i, gpus := range e.GPUCounts {
+		rows[i] = sweep.ScenarioSpec{
+			ID:    fmt.Sprintf("%s-g%d", e.Name, gpus),
+			Label: fmt.Sprintf("%s, %d GPUs", e.Name, gpus),
+		}
+	}
+	cols := make([]sweep.PolicySpec, len(e.Loaders))
+	for i, l := range e.Loaders {
+		cols[i] = sweep.PolicySpec{Name: l.String()}
+	}
+	gpus, loaders := e.GPUCounts, e.Loaders
+	run := sharedCells(e)
+	return &sweep.Grid{
+		Name: e.Name, Scenarios: rows, Policies: cols,
+		Replicas: replicas, BaseSeed: e.Seed,
+		Metrics: GridMetrics(),
+		Cell: func(si, pi int) sweep.CellFunc {
+			g, l := gpus[si], loaders[pi]
+			return func(seed uint64) (*sweep.Outcome, error) {
+				p, err := run(g, l, seed)
+				if err != nil {
+					return nil, err
+				}
+				return PointOutcome(p), nil
+			}
+		},
+	}
+}
+
+// MultiGrid plans several experiments as one grid — one row per
+// (experiment, GPU count), shared loader columns — so studies like the
+// Fig. 13 batch-size sweep emit a single report. Every experiment must use
+// the same loaders and base seed (the presets do).
+func MultiGrid(name string, exps []Experiment, replicas int) (*sweep.Grid, error) {
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("trainer: grid %q has no experiments", name)
+	}
+	for _, e := range exps {
+		if len(e.Loaders) != len(exps[0].Loaders) {
+			return nil, fmt.Errorf("trainer: grid %q mixes loader sets (%s)", name, e.Name)
+		}
+		for i, l := range e.Loaders {
+			if l != exps[0].Loaders[i] {
+				return nil, fmt.Errorf("trainer: grid %q mixes loader sets (%s)", name, e.Name)
+			}
+		}
+		if e.Seed != exps[0].Seed {
+			return nil, fmt.Errorf("trainer: grid %q mixes base seeds (%s)", name, e.Name)
+		}
+	}
+	type rowKey struct {
+		exp  int
+		gpus int
+	}
+	var rows []sweep.ScenarioSpec
+	var keys []rowKey
+	for ei, e := range exps {
+		for _, gpus := range e.GPUCounts {
+			rows = append(rows, sweep.ScenarioSpec{
+				ID:    fmt.Sprintf("%s-g%d", e.Name, gpus),
+				Label: fmt.Sprintf("%s, %d GPUs", e.Name, gpus),
+			})
+			keys = append(keys, rowKey{ei, gpus})
+		}
+	}
+	cols := make([]sweep.PolicySpec, len(exps[0].Loaders))
+	for i, l := range exps[0].Loaders {
+		cols[i] = sweep.PolicySpec{Name: l.String()}
+	}
+	loaders := exps[0].Loaders
+	runs := make([]func(int, Loader, uint64) (ScalePoint, error), len(exps))
+	for i, e := range exps {
+		runs[i] = sharedCells(e)
+	}
+	return &sweep.Grid{
+		Name: name, Scenarios: rows, Policies: cols,
+		Replicas: replicas, BaseSeed: exps[0].Seed,
+		Metrics: GridMetrics(),
+		Cell: func(si, pi int) sweep.CellFunc {
+			k, l := keys[si], loaders[pi]
+			return func(seed uint64) (*sweep.Outcome, error) {
+				p, err := runs[k.exp](k.gpus, l, seed)
+				if err != nil {
+					return nil, err
+				}
+				return PointOutcome(p), nil
+			}
+		},
+	}, nil
+}
+
+// PointsFromReport recovers the per-cell ScalePoints of a trainer grid
+// report, in deterministic cell order.
+func PointsFromReport(rep *sweep.Report) ([]ScalePoint, error) {
+	points := make([]ScalePoint, len(rep.Cells))
+	for i, c := range rep.Cells {
+		p, ok := c.Outcome.Payload.(ScalePoint)
+		if !ok {
+			return nil, fmt.Errorf("trainer: report %q cell %d carries no scale point", rep.Grid, i)
+		}
+		points[i] = p
+	}
+	return points, nil
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Loader identifies one of the compared data-loading frameworks.
@@ -166,41 +167,68 @@ type Experiment struct {
 	Jitter float64
 }
 
-// Run executes the experiment: every loader at every GPU count.
-func (e Experiment) Run() ([]ScalePoint, error) {
+// scaled returns the experiment's dataset spec and system at its Scale.
+func (e Experiment) scaled() (dataset.Spec, hwspec.System) {
 	spec := e.Spec
 	sys := e.Sys
 	if e.Scale != 1 {
 		spec = spec.Scale(e.Scale)
 		sys = sim.ScaleSystem(sys, e.Scale)
 	}
+	return spec, sys
+}
+
+// Cell simulates one (GPU count, loader) point of the experiment with the
+// given shuffle seed. It is a pure function of its arguments — no shared
+// mutable state — so the sweep engine may execute cells concurrently.
+func (e Experiment) Cell(gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+	spec, sys := e.scaled()
 	ds, err := dataset.New(spec)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	return e.cell(ds, sys, gpus, loader, seed)
+}
+
+// cell is Cell against a pre-built dataset: grid closures build the O(F)
+// dataset once per experiment and share it across cells (datasets are
+// read-only after construction and safe for concurrent readers).
+func (e Experiment) cell(ds *dataset.Synthetic, sys hwspec.System, gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+	work := loader.AdjustWorkload(e.Workload(gpus))
+	cfg := sim.Config{
+		Sys: sys, Work: work, DS: ds,
+		Seed: seed, PFSJitter: e.Jitter, DropLast: true,
+	}
+	if err := cfg.Validate(); err != nil {
+		return ScalePoint{}, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)
+	}
+	pol, err := loader.Policy()
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	r, err := sim.Run(cfg, pol)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)
+	}
+	plan := cfg.Plan()
+	batchesPerEpoch := plan.SamplesPerEpoch(0) / work.BatchPerWorker
+	return pointFromResult(loader.String(), gpus, work.Epochs, batchesPerEpoch, r), nil
+}
+
+// Run executes the experiment — every loader at every GPU count — through
+// the sweep engine on a GOMAXPROCS-wide pool. Results are in (GPU count,
+// loader) order, exactly as the former serial loop produced them, and are
+// bit-identical at any pool width.
+func (e Experiment) Run() ([]ScalePoint, error) {
+	return e.RunParallel(0)
+}
+
+// RunParallel is Run with an explicit engine pool width (0 = GOMAXPROCS,
+// 1 = serial).
+func (e Experiment) RunParallel(parallel int) ([]ScalePoint, error) {
+	rep, err := (&sweep.Runner{Parallel: parallel}).Run(e.Grid(1))
 	if err != nil {
 		return nil, err
 	}
-	var out []ScalePoint
-	for _, gpus := range e.GPUCounts {
-		for _, loader := range e.Loaders {
-			work := loader.AdjustWorkload(e.Workload(gpus))
-			cfg := sim.Config{
-				Sys: sys, Work: work, DS: ds,
-				Seed: e.Seed, PFSJitter: e.Jitter, DropLast: true,
-			}
-			if err := cfg.Validate(); err != nil {
-				return nil, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)
-			}
-			pol, err := loader.Policy()
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.Run(cfg, pol)
-			if err != nil {
-				return nil, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)
-			}
-			plan := cfg.Plan()
-			batchesPerEpoch := plan.SamplesPerEpoch(0) / work.BatchPerWorker
-			out = append(out, pointFromResult(loader.String(), gpus, work.Epochs, batchesPerEpoch, r))
-		}
-	}
-	return out, nil
+	return PointsFromReport(rep)
 }

@@ -23,6 +23,36 @@ type TCPEndpoint struct {
 	mu      sync.Mutex
 	handler Handler
 	closed  bool
+	// conns tracks every open connection — accepted and dialled — so Close
+	// can sever them: an in-flight Call returns a clean error instead of
+	// hanging on a peer that will never respond.
+	conns map[net.Conn]struct{}
+	// acceptOnce ensures one accept loop no matter how often the handler
+	// is replaced, matching ChanEndpoint.
+	acceptOnce sync.Once
+}
+
+// track registers an open connection; it reports false (and closes the
+// connection) when the endpoint is already closed.
+func (e *TCPEndpoint) track(conn net.Conn) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		conn.Close()
+		return false
+	}
+	if e.conns == nil {
+		e.conns = make(map[net.Conn]struct{})
+	}
+	e.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack forgets a connection once its owner is done with it.
+func (e *TCPEndpoint) untrack(conn net.Conn) {
+	e.mu.Lock()
+	delete(e.conns, conn)
+	e.mu.Unlock()
 }
 
 // NewTCPNetwork builds an n-worker fabric on 127.0.0.1 ephemeral ports.
@@ -52,20 +82,23 @@ func (e *TCPEndpoint) Rank() int { return e.rank }
 // Size implements Network.
 func (e *TCPEndpoint) Size() int { return len(e.addrs) }
 
-// SetHandler implements Network and starts the accept loop.
+// SetHandler implements Network and starts the accept loop on first call;
+// later calls just replace the handler (latest wins).
 func (e *TCPEndpoint) SetHandler(h Handler) {
 	e.mu.Lock()
 	e.handler = h
 	e.mu.Unlock()
-	go func() {
-		for {
-			conn, err := e.listener.Accept()
-			if err != nil {
-				return // listener closed
+	e.acceptOnce.Do(func() {
+		go func() {
+			for {
+				conn, err := e.listener.Accept()
+				if err != nil {
+					return // listener closed
+				}
+				go e.serve(conn)
 			}
-			go e.serve(conn)
-		}
-	}()
+		}()
+	})
 }
 
 // Wire format, little endian:
@@ -75,6 +108,10 @@ func (e *TCPEndpoint) SetHandler(h Handler) {
 const reqSize = 4 + 1 + 4 + 8
 
 func (e *TCPEndpoint) serve(conn net.Conn) {
+	if !e.track(conn) {
+		return
+	}
+	defer e.untrack(conn)
 	defer conn.Close()
 	var buf [reqSize]byte
 	for {
@@ -130,6 +167,13 @@ func (e *TCPEndpoint) Call(to int, req Request) (Response, error) {
 	if err != nil {
 		return Response{}, fmt.Errorf("transport: dial rank %d: %w", to, err)
 	}
+	// Register the outgoing connection so closing this endpoint severs
+	// in-flight calls; Close may have raced the dial, in which case track
+	// already closed the connection.
+	if !e.track(conn) {
+		return Response{}, ErrClosed
+	}
+	defer e.untrack(conn)
 	defer conn.Close()
 
 	var buf [reqSize]byte
@@ -158,10 +202,20 @@ func (e *TCPEndpoint) Call(to int, req Request) (Response, error) {
 	return resp, nil
 }
 
-// Close implements Network.
+// Close implements Network: it stops accepting, severs every open
+// connection (unblocking in-flight Calls and serve loops on both sides),
+// and marks the endpoint so later Calls fail fast with ErrClosed.
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.conns = nil
 	e.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 	return e.listener.Close()
 }

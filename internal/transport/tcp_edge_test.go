@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// callResult carries a Call's outcome across the watchdog goroutine.
+type callResult struct {
+	resp Response
+	err  error
+}
+
+// callWithin runs fn and fails the test if it has not returned within the
+// deadline — the edge cases below must produce clean errors, never hangs.
+func callWithin(t *testing.T, d time.Duration, fn func() (Response, error)) callResult {
+	t.Helper()
+	done := make(chan callResult, 1)
+	go func() {
+		resp, err := fn()
+		done <- callResult{resp, err}
+	}()
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(d):
+		t.Fatalf("call did not return within %v", d)
+		return callResult{}
+	}
+}
+
+// TestTCPProtocolEdgeCases covers the length-prefixed protocol's failure
+// modes: truncated frames on either side, a peer closing mid-fetch, and
+// fetches against closed endpoints. Every case must resolve to a clean
+// error (or a served response for the surviving endpoint) without hanging.
+func TestTCPProtocolEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{
+			// A client that dies mid-request must not wedge the server:
+			// the serve loop drops the connection and keeps accepting.
+			name: "truncated request frame",
+			run: func(t *testing.T) {
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[0].Close()
+				defer eps[1].Close()
+				eps[0].SetHandler(echoHandler(0))
+				eps[1].SetHandler(echoHandler(1))
+
+				raw, err := net.Dial("tcp", eps[0].addrs[0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := raw.Write([]byte{1, 2, 3}); err != nil {
+					t.Fatal(err)
+				}
+				raw.Close()
+
+				// The endpoint must still serve well-formed requests.
+				r := callWithin(t, 5*time.Second, func() (Response, error) {
+					return eps[1].Call(0, Request{Kind: KindFetch, Sample: 4})
+				})
+				if r.err != nil || !r.resp.OK || string(r.resp.Data) != "r0-s4" {
+					t.Fatalf("call after truncated frame: resp=%+v err=%v", r.resp, r.err)
+				}
+			},
+		},
+		{
+			// A peer that answers with a truncated response header must
+			// surface as an error on the caller, not a hang or a garbage
+			// response.
+			name: "truncated response frame",
+			run: func(t *testing.T) {
+				lying, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer lying.Close()
+				go func() {
+					for {
+						conn, err := lying.Accept()
+						if err != nil {
+							return
+						}
+						go func(conn net.Conn) {
+							defer conn.Close()
+							var buf [reqSize]byte
+							if _, err := io.ReadFull(conn, buf[:]); err != nil {
+								return
+							}
+							conn.Write([]byte{1, 0, 0}) // 3 of 13 header bytes
+						}(conn)
+					}
+				}()
+
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[0].Close()
+				defer eps[1].Close()
+				eps[0].SetHandler(echoHandler(0))
+				eps[1].SetHandler(echoHandler(1))
+				eps[0].addrs[1] = lying.Addr().String() // addrs slice is shared
+
+				r := callWithin(t, 5*time.Second, func() (Response, error) {
+					return eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+				})
+				if r.err == nil {
+					t.Fatalf("truncated response accepted: %+v", r.resp)
+				}
+			},
+		},
+		{
+			// Closing a peer while it is serving a fetch must unblock the
+			// caller with an error: Close severs open connections.
+			name: "peer closes mid-fetch",
+			run: func(t *testing.T) {
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[0].Close()
+				defer eps[1].Close()
+				eps[0].SetHandler(echoHandler(0))
+
+				entered := make(chan struct{})
+				release := make(chan struct{})
+				eps[1].SetHandler(func(from int, req Request) Response {
+					close(entered)
+					<-release
+					return Response{OK: true}
+				})
+				defer close(release)
+
+				done := make(chan callResult, 1)
+				go func() {
+					resp, err := eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+					done <- callResult{resp, err}
+				}()
+				<-entered
+				eps[1].Close()
+				select {
+				case r := <-done:
+					if r.err == nil {
+						t.Fatalf("call against mid-fetch-closed peer succeeded: %+v", r.resp)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("call hung after peer closed mid-fetch")
+				}
+			},
+		},
+		{
+			// A fetch issued after the peer closed must fail cleanly (the
+			// dial is refused or the connection is reset).
+			name: "fetch after peer close",
+			run: func(t *testing.T) {
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[0].Close()
+				eps[0].SetHandler(echoHandler(0))
+				eps[1].SetHandler(echoHandler(1))
+				eps[1].Close()
+
+				r := callWithin(t, 5*time.Second, func() (Response, error) {
+					return eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+				})
+				if r.err == nil {
+					t.Fatalf("fetch to closed peer succeeded: %+v", r.resp)
+				}
+			},
+		},
+		{
+			// A fetch issued after closing one's own endpoint reports
+			// ErrClosed without touching the network.
+			name: "fetch after own close",
+			run: func(t *testing.T) {
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[1].Close()
+				eps[0].SetHandler(echoHandler(0))
+				eps[1].SetHandler(echoHandler(1))
+				eps[0].Close()
+
+				r := callWithin(t, 5*time.Second, func() (Response, error) {
+					return eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+				})
+				if !errors.Is(r.err, ErrClosed) {
+					t.Fatalf("want ErrClosed, got %v", r.err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}

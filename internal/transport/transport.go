@@ -9,6 +9,8 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -92,8 +94,13 @@ type ChanEndpoint struct {
 	rank    int
 	inboxes []chan chanCall
 	dones   []chan struct{}
-	handler Handler
 	limiter *storage.Limiter
+
+	// handler is the installed request handler (latest SetHandler wins);
+	// serveOnce ensures a single serve loop regardless of how often the
+	// handler is replaced.
+	handler   atomic.Pointer[Handler]
+	serveOnce sync.Once
 }
 
 // NewChanNetwork builds an n-worker in-process fabric. limiter (optional)
@@ -120,28 +127,33 @@ func (e *ChanEndpoint) Rank() int { return e.rank }
 // Size implements Network.
 func (e *ChanEndpoint) Size() int { return len(e.inboxes) }
 
-// SetHandler implements Network and starts the serve loop.
+// SetHandler implements Network and starts the serve loop on first call.
+// The handler is stored atomically — replacing it is race-free and the
+// single loop always serves the latest one, matching TCPEndpoint.
 func (e *ChanEndpoint) SetHandler(h Handler) {
-	e.handler = h
-	go func() {
-		for {
-			select {
-			case call := <-e.inboxes[e.rank]:
-				// Serve concurrently: a slow (bandwidth-limited) response
-				// must not convoy unrelated requests; the limiters already
-				// enforce aggregate rates.
-				go func(call chanCall) {
-					resp := e.handler(call.from, call.req)
-					if len(resp.Data) > 0 {
-						e.limiter.Wait(int64(len(resp.Data)))
-					}
-					call.reply <- resp
-				}(call)
-			case <-e.dones[e.rank]:
-				return
-			}
+	e.handler.Store(&h)
+	e.serveOnce.Do(func() { go e.serveLoop() })
+}
+
+// serveLoop answers this endpoint's inbox until Close.
+func (e *ChanEndpoint) serveLoop() {
+	for {
+		select {
+		case call := <-e.inboxes[e.rank]:
+			// Serve concurrently: a slow (bandwidth-limited) response
+			// must not convoy unrelated requests; the limiters already
+			// enforce aggregate rates.
+			go func(call chanCall) {
+				resp := (*e.handler.Load())(call.from, call.req)
+				if len(resp.Data) > 0 {
+					e.limiter.Wait(int64(len(resp.Data)))
+				}
+				call.reply <- resp
+			}(call)
+		case <-e.dones[e.rank]:
+			return
 		}
-	}()
+	}
 }
 
 // Call implements Network.

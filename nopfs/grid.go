@@ -1,0 +1,142 @@
+package nopfs
+
+import (
+	"fmt"
+
+	"repro/internal/sweep"
+)
+
+// This file plans live-cluster experiment grids: real RunCluster executions
+// — goroutines, staging buffers, storage backends, and a channel or TCP
+// fabric — orchestrated by the same sweep engine that runs the simulator
+// and trainer grids. Rows are cluster configurations, columns are fabrics,
+// and each replica runs the whole cluster under a derived seed.
+//
+// Unlike simulator cells, live cells measure wall-clock effects: stall
+// times and fetch-source mixes vary run to run. The schedule-derived
+// metrics (delivered samples) are deterministic, and the engine's
+// enumeration order and seed derivation stay bit-stable at any parallelism.
+
+// Live-cluster metric names (the cluster grids' Outcome.Values keys).
+const (
+	MetricDelivered = "delivered"
+	MetricPFSFetch  = "pfs_fetch"
+	MetricRemote    = "remote_fetch"
+	MetricLocal     = "local_fetch"
+	MetricFalsePos  = "false_pos"
+	MetricStall     = "stall_s"
+	MetricCachedMB  = "cached_mb"
+)
+
+// ClusterMetrics is the live grids' result schema: per-run totals across
+// all workers.
+func ClusterMetrics() []sweep.Metric {
+	return []sweep.Metric{
+		{Name: MetricDelivered, Label: "delivered"},
+		{Name: MetricLocal, Label: "local"},
+		{Name: MetricRemote, Label: "remote"},
+		{Name: MetricPFSFetch, Label: "pfs"},
+		{Name: MetricStall, Label: "stall", Unit: "s"},
+		{Name: MetricFalsePos, Hide: true},
+		{Name: MetricCachedMB, Hide: true},
+	}
+}
+
+// ClusterScenario is one live-cluster configuration: a grid row.
+type ClusterScenario struct {
+	// ID labels the row in reports; Label is an optional caption.
+	ID, Label string
+	// Workers is the cluster size.
+	Workers int
+	// Dataset supplies the data source. It is called once per cell; the
+	// returned dataset must tolerate concurrent readers (internal/dataset
+	// types do).
+	Dataset func() (Dataset, error)
+	// Options configures the job. Seed and UseTCP are overridden per cell
+	// by the engine's replica seed and the fabric column.
+	Options Options
+}
+
+// FabricSpec is one grid column: which transport the cluster runs on.
+type FabricSpec struct {
+	Name   string
+	UseTCP bool
+}
+
+// AllFabrics returns both fabric columns: in-process channels and loopback
+// TCP.
+func AllFabrics() []FabricSpec {
+	return []FabricSpec{{Name: "chan"}, {Name: "tcp", UseTCP: true}}
+}
+
+// ChanFabric returns the in-process channel column only.
+func ChanFabric() []FabricSpec {
+	return []FabricSpec{{Name: "chan"}}
+}
+
+// ClusterOutcome folds per-worker stats into an engine cell outcome,
+// keeping the raw per-rank stats as the payload.
+func ClusterOutcome(stats []Stats) *sweep.Outcome {
+	var delivered, pfs, remote, local, falsePos, cached int64
+	var stall float64
+	for _, s := range stats {
+		delivered += s.Delivered
+		pfs += s.Fetches[SourcePFS]
+		remote += s.Fetches[SourceRemote]
+		local += s.Fetches[SourceLocal]
+		falsePos += s.RemoteFalsePositives
+		cached += s.CachedBytes
+		stall += s.StallSeconds
+	}
+	return &sweep.Outcome{
+		Values: map[string]float64{
+			MetricDelivered: float64(delivered),
+			MetricPFSFetch:  float64(pfs),
+			MetricRemote:    float64(remote),
+			MetricLocal:     float64(local),
+			MetricFalsePos:  float64(falsePos),
+			MetricStall:     stall,
+			MetricCachedMB:  float64(cached) / (1 << 20),
+		},
+		Payload: stats,
+	}
+}
+
+// ClusterGrid plans (scenario × fabric × replica) live cluster runs as a
+// sweep grid. Each cell executes RunCluster with the cell's derived seed,
+// draining every worker's stream.
+func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec, replicas int, baseSeed uint64) *sweep.Grid {
+	rows := make([]sweep.ScenarioSpec, len(scenarios))
+	for i, sc := range scenarios {
+		rows[i] = sweep.ScenarioSpec{ID: sc.ID, Label: sc.Label}
+	}
+	cols := make([]sweep.PolicySpec, len(fabrics))
+	for i, f := range fabrics {
+		cols[i] = sweep.PolicySpec{Name: f.Name}
+	}
+	return &sweep.Grid{
+		Name: name, Scenarios: rows, Policies: cols,
+		Replicas: replicas, BaseSeed: baseSeed,
+		Metrics: ClusterMetrics(),
+		Cell: func(si, pi int) sweep.CellFunc {
+			sc, f := scenarios[si], fabrics[pi]
+			return func(seed uint64) (*sweep.Outcome, error) {
+				if sc.Dataset == nil {
+					return nil, fmt.Errorf("nopfs: cluster scenario %q has no dataset", sc.ID)
+				}
+				ds, err := sc.Dataset()
+				if err != nil {
+					return nil, err
+				}
+				opts := sc.Options
+				opts.Seed = seed
+				opts.UseTCP = f.UseTCP
+				stats, err := RunCluster(ds, sc.Workers, opts, DrainAll(nil))
+				if err != nil {
+					return nil, err
+				}
+				return ClusterOutcome(stats), nil
+			}
+		},
+	}
+}

@@ -1,0 +1,189 @@
+package nopfs
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/dataset"
+	"repro/internal/sweep"
+)
+
+// testClusterGrid plans a 2-scenario × 2-fabric live grid on small
+// synthetic datasets.
+func testClusterGrid(t *testing.T, replicas int) *sweep.Grid {
+	t.Helper()
+	scenario := func(id string, f, workers int) ClusterScenario {
+		return ClusterScenario{
+			ID: id, Label: id + " live cluster",
+			Workers: workers,
+			Dataset: func() (Dataset, error) {
+				return dataset.New(dataset.Spec{
+					Name: id, F: f, MeanSize: 2048, StddevSize: 512, Classes: 10, Seed: 21,
+				})
+			},
+			Options: Options{
+				Epochs: 2, BatchPerWorker: 4,
+				StagingBytes: 64 << 10, StagingThreads: 2,
+				Classes:       []Class{{Name: "ram", CapacityBytes: 256 << 10, Threads: 1}},
+				VerifySamples: true,
+			},
+		}
+	}
+	return ClusterGrid("live-test",
+		[]ClusterScenario{scenario("c64", 64, 2), scenario("c96", 96, 3)},
+		AllFabrics(), replicas, 77)
+}
+
+// TestClusterGridRunsLiveCells executes real clusters — channel and TCP
+// fabrics — through the sweep engine and checks the schedule-derived
+// metrics against the clairvoyant plan.
+func TestClusterGridRunsLiveCells(t *testing.T) {
+	grid := testClusterGrid(t, 1)
+	rep, err := (&sweep.Runner{Parallel: 2}).Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("%d cells, want 2 scenarios × 2 fabrics", len(rep.Cells))
+	}
+	want := map[string]int64{}
+	for _, sc := range []struct {
+		id         string
+		f, workers int
+	}{{"c64", 64, 2}, {"c96", 96, 3}} {
+		plan := &access.Plan{Seed: 77, F: sc.f, N: sc.workers, E: 2, BatchPerWorker: 4}
+		total := 0
+		for w := 0; w < sc.workers; w++ {
+			total += len(plan.WorkerStream(w))
+		}
+		want[sc.id] = int64(total)
+	}
+	for _, c := range rep.Cells {
+		if c.Outcome.Failed {
+			t.Fatalf("cell %s/%s failed: %s", c.Scenario, c.Policy, c.Outcome.FailReason)
+		}
+		if got := int64(c.Outcome.Values[MetricDelivered]); got != want[c.Scenario] {
+			t.Errorf("%s/%s delivered %d samples, want %d", c.Scenario, c.Policy, got, want[c.Scenario])
+		}
+		stats, ok := c.Outcome.Payload.([]Stats)
+		if !ok || len(stats) == 0 {
+			t.Errorf("%s/%s carries no per-rank stats payload", c.Scenario, c.Policy)
+		}
+	}
+	// The schedule-derived metric must also be stable across engine pool
+	// widths (live wall-clock metrics are not, and are not compared).
+	rep1, err := (&sweep.Runner{Parallel: 1}).Run(testClusterGrid(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Cells {
+		a, b := rep.Cells[i], rep1.Cells[i]
+		if a.Scenario != b.Scenario || a.Policy != b.Policy || a.Seed != b.Seed {
+			t.Errorf("cell %d enumeration differs across parallelism", i)
+		}
+		if a.Outcome.Values[MetricDelivered] != b.Outcome.Values[MetricDelivered] {
+			t.Errorf("cell %d delivered count differs across parallelism", i)
+		}
+	}
+}
+
+// TestClusterGridReplicaSeeds checks replica cells run under distinct
+// derived seeds and aggregate into per-metric summaries.
+func TestClusterGridReplicaSeeds(t *testing.T) {
+	grid := ClusterGrid("live-replicas",
+		[]ClusterScenario{{
+			ID: "c48", Workers: 2,
+			Dataset: func() (Dataset, error) {
+				return dataset.New(dataset.Spec{
+					Name: "c48", F: 48, MeanSize: 1024, Classes: 4, Seed: 9,
+				})
+			},
+			Options: Options{
+				Epochs: 1, BatchPerWorker: 4,
+				StagingBytes: 64 << 10, StagingThreads: 2,
+			},
+		}},
+		ChanFabric(), 3, 5)
+	rep, err := (&sweep.Runner{Parallel: 3}).Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[uint64]bool{}
+	for _, c := range rep.Cells {
+		seeds[c.Seed] = true
+	}
+	if len(seeds) != 3 {
+		t.Errorf("%d distinct seeds across 3 replicas", len(seeds))
+	}
+	sums := rep.Aggregate()
+	if len(sums) != 1 || sums[0].Metric(MetricDelivered).N != 3 {
+		t.Errorf("aggregate shape wrong: %+v", sums)
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteText(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantStr := range []string{"c48", "delivered", "95% CI"} {
+		if !bytes.Contains(buf.Bytes(), []byte(wantStr)) {
+			t.Errorf("live text report missing %q:\n%s", wantStr, buf.String())
+		}
+	}
+}
+
+// failingDataset returns read errors once a sample-id threshold of reads
+// has been crossed, exercising the prefetcher failure path.
+type failingDataset struct {
+	Dataset
+	reads     atomic.Int64
+	failAfter int64
+}
+
+var errInjected = errors.New("injected read failure")
+
+func (d *failingDataset) ReadSample(id int) ([]byte, error) {
+	if d.reads.Add(1) > d.failAfter {
+		return nil, errInjected
+	}
+	return d.Dataset.ReadSample(id)
+}
+
+// TestClusterPrefetchErrorSurfaces pins the failure path the race fix
+// hardened: a prefetcher hitting a fatal read error must surface it through
+// Get on every affected rank, concurrently with consumers — not hang, not
+// race.
+func TestClusterPrefetchErrorSurfaces(t *testing.T) {
+	base := testDataset(t, 96)
+	ds := &failingDataset{Dataset: base, failAfter: 40}
+	opts := baseOptions()
+	opts.Epochs = 3
+	_, err := RunCluster(ds, 3, opts, DrainAll(nil))
+	if err == nil {
+		t.Fatal("injected read failure did not surface")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("got %v, want the injected failure", err)
+	}
+}
+
+// TestClusterEarlyConsumerStop exercises shutdown while prefetchers are
+// mid-flight: the consumer walks away after a few samples and RunCluster
+// must drain and close every rank cleanly.
+func TestClusterEarlyConsumerStop(t *testing.T) {
+	ds := testDataset(t, 96)
+	opts := baseOptions()
+	opts.Epochs = 3
+	_, err := RunCluster(ds, 3, opts, func(j *Job) error {
+		for i := 0; i < 5; i++ {
+			if _, ok, err := j.Get(); err != nil || !ok {
+				return err
+			}
+		}
+		return nil // stop early; Close runs with prefetchers active
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

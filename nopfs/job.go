@@ -43,7 +43,9 @@ type Job struct {
 	delivered   atomic.Int64
 	stallNanos  atomic.Int64
 
-	errOnce sync.Once
+	// fatalMu guards fatal: fail() can run on any prefetcher goroutine
+	// concurrently with the consumer reading the error in Get.
+	fatalMu sync.Mutex
 	fatal   error
 
 	// sources records the fetch source per staged position so Get can
@@ -166,10 +168,22 @@ func (j *Job) isClosed() bool {
 
 // fail records the first fatal error and unblocks the consumer.
 func (j *Job) fail(err error) {
-	j.errOnce.Do(func() {
+	j.fatalMu.Lock()
+	first := j.fatal == nil
+	if first {
 		j.fatal = err
+	}
+	j.fatalMu.Unlock()
+	if first {
 		j.staging.Close()
-	})
+	}
+}
+
+// fatalErr snapshots the first fatal error, if any.
+func (j *Job) fatalErr() error {
+	j.fatalMu.Lock()
+	defer j.fatalMu.Unlock()
+	return j.fatal
 }
 
 // handle serves peer requests: sample fetches from local caches and plan
@@ -346,8 +360,8 @@ func (j *Job) Get() (Sample, bool, error) {
 	e, err := j.staging.Pop()
 	j.stallNanos.Add(int64(time.Since(start)))
 	if err != nil {
-		if j.fatal != nil {
-			return Sample{}, false, j.fatal
+		if fatal := j.fatalErr(); fatal != nil {
+			return Sample{}, false, fatal
 		}
 		return Sample{}, false, nil
 	}

@@ -31,7 +31,10 @@ type (
 
 // Re-exported sweep-engine types: a Grid of (scenario × policy × replica)
 // cells executed by a Runner on a bounded goroutine pool, reported as raw
-// cells plus mean/CI Summaries.
+// cells plus mean/CI Summaries. The engine is generic: a cell is any
+// function of a derived seed (CellFunc) returning a metric-bag Outcome, so
+// the same Runner also executes trainer experiment grids and live-cluster
+// grids (see internal/trainer and package nopfs).
 type (
 	// Grid is a (scenario × policy × replica) experiment plan.
 	Grid = sweep.Grid
@@ -39,12 +42,30 @@ type (
 	GridScenario = sweep.ScenarioSpec
 	// GridPolicy is one grid column: a named policy constructor.
 	GridPolicy = sweep.PolicySpec
+	// CellFunc executes one grid cell from its derived seed.
+	CellFunc = sweep.CellFunc
+	// Outcome is the engine-visible result of one cell.
+	Outcome = sweep.Outcome
+	// Metric declares one column of a grid's result schema.
+	Metric = sweep.Metric
 	// Runner executes grids; Parallel bounds the goroutine pool.
 	Runner = sweep.Runner
 	// Report is the deterministic raw outcome of one grid execution.
 	Report = sweep.Report
 	// Summary is the per-(scenario, policy) replica aggregate.
 	Summary = sweep.Summary
+)
+
+// Simulator metric names: the keys of the default schema's Outcome.Values
+// and Summary.Metrics.
+const (
+	MetricExec     = sweep.MetricExec
+	MetricStall    = sweep.MetricStall
+	MetricSetup    = sweep.MetricSetup
+	MetricCoverage = sweep.MetricCoverage
+	MetricPFS      = sweep.MetricPFS
+	MetricRemote   = sweep.MetricRemote
+	MetricLocal    = sweep.MetricLocal
 )
 
 // Policy constructors and registry.
