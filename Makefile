@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt bench verify
+.PHONY: all build test test-race vet fmt lint bench verify
 
 all: build
 
@@ -18,6 +18,9 @@ vet:
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Static checks, as run by CI's lint job.
+lint: vet fmt
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/access"
@@ -23,6 +24,10 @@ import (
 
 // benchScale keeps full Fig. 8 policy sweeps fast while preserving regimes.
 const benchScale = 0.005
+
+// bg is the benchmarks' run context; cancellation behaviour is covered by
+// the nopfs and transport test tiers.
+var bg = context.Background()
 
 // BenchmarkTable1Characteristics exercises the framework-comparison
 // registry: every policy of Table 1 instantiated and round-tripped by name.
@@ -57,7 +62,7 @@ func fig8(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		results, err := sim.RunScenario(s, benchScale, 42)
+		results, err := sim.RunScenario(bg, s, benchScale, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +107,7 @@ func BenchmarkFig8fCosmoFlow512(b *testing.B) { fig8(b, "fig8f") }
 // the given pool width and reports the best/worst configuration spread.
 func fig9Sweep(b *testing.B, parallel int) {
 	for i := 0; i < b.N; i++ {
-		points, err := sim.Fig9SweepParallel(0.002, 11, parallel)
+		points, err := sim.Fig9SweepParallel(bg, 0.002, 11, parallel)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +141,7 @@ func BenchmarkFig9EnvironmentSweepParallel8(b *testing.B) { fig9Sweep(b, 8) }
 func fig10(b *testing.B, exp trainer.Experiment, gpus int) {
 	exp.GPUCounts = []int{gpus}
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Run()
+		points, err := exp.Run(bg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +178,7 @@ func benchFig10TrainerGrid(b *testing.B, parallel int) {
 	exp := trainer.Fig10PizDaint(0.05)
 	runner := &sim.Runner{Parallel: parallel}
 	for i := 0; i < b.N; i++ {
-		rep, err := runner.Run(exp.Grid(1))
+		rep, err := runner.Run(bg, exp.Grid(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +214,7 @@ func BenchmarkFig11Epoch0(b *testing.B) {
 	exp := trainer.Fig10PizDaint(0.1)
 	exp.GPUCounts = []int{128}
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Run()
+		points, err := exp.Run(bg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +231,7 @@ func BenchmarkFig12CacheStats(b *testing.B) {
 	exp := trainer.Fig10Lassen(0.1)
 	exp.GPUCounts = []int{256}
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Run()
+		points, err := exp.Run(bg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +250,7 @@ func BenchmarkFig13BatchSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var ratios []float64
 		for _, exp := range exps {
-			points, err := exp.Run()
+			points, err := exp.Run(bg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -278,7 +283,7 @@ func BenchmarkFig15CosmoFlow(b *testing.B) {
 // accuracy (paper: 1.42x).
 func BenchmarkFig16EndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		results, err := trainer.Fig16EndToEnd(0.1)
+		results, err := trainer.Fig16EndToEnd(bg, 0.1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -304,7 +309,7 @@ func BenchmarkAblations(b *testing.B) {
 	grid := sim.AblationGrid(benchScale, 42, 1)
 	runner := &sim.Runner{}
 	for i := 0; i < b.N; i++ {
-		rep, err := runner.Run(grid)
+		rep, err := runner.Run(bg, grid)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -314,6 +319,79 @@ func BenchmarkAblations(b *testing.B) {
 			b.ReportMetric(s.Metric(sim.MetricExec).Mean/base, s.Policy+"/full")
 		}
 	}
+}
+
+// benchDelivery runs one fixed in-process cluster per iteration, consuming
+// every worker's stream through the given loop. The three delivery-API
+// variants below share identical cluster work, so their deltas isolate the
+// per-sample overhead of Get vs the Samples iterator vs GetBatch.
+func benchDelivery(b *testing.B, fn nopfs.RankFunc) {
+	b.Helper()
+	ds := dataset.MustNew(dataset.Spec{
+		Name: "bench-delivery", F: 512, MeanSize: 2048, Classes: 10, Seed: 3,
+	})
+	opts := nopfs.NewOptions(
+		nopfs.WithSeed(9),
+		nopfs.WithEpochs(2),
+		nopfs.WithBatchPerWorker(8),
+		nopfs.WithStagingBuffer(4<<20),
+		nopfs.WithStagingThreads(4),
+		nopfs.WithClasses(nopfs.Class{Name: "ram", CapacityBytes: 4 << 20, Threads: 2}),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats, err := nopfs.RunCluster(bg, ds, 2, opts, fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for _, s := range stats {
+			n += s.Delivered
+		}
+		b.ReportMetric(float64(n), "samples/op")
+	}
+}
+
+// BenchmarkDeliveryGet consumes through the classic Get loop.
+func BenchmarkDeliveryGet(b *testing.B) {
+	benchDelivery(b, func(ctx context.Context, j *nopfs.Job) error {
+		for {
+			_, ok, err := j.Get(ctx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	})
+}
+
+// BenchmarkDeliverySamples consumes through the range-over-func iterator.
+func BenchmarkDeliverySamples(b *testing.B) {
+	benchDelivery(b, func(ctx context.Context, j *nopfs.Job) error {
+		for _, err := range j.Samples(ctx) {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// BenchmarkDeliveryGetBatch consumes through per-worker minibatch pulls.
+func BenchmarkDeliveryGetBatch(b *testing.B) {
+	benchDelivery(b, func(ctx context.Context, j *nopfs.Job) error {
+		for {
+			batch, err := j.GetBatch(ctx, 8)
+			if err != nil {
+				return err
+			}
+			if batch == nil {
+				return nil
+			}
+		}
+	})
 }
 
 // BenchmarkLiveClusterThroughput measures the real middleware end to end —
@@ -338,7 +416,7 @@ func BenchmarkLiveClusterThroughput(b *testing.B) {
 	runner := &sim.Runner{Parallel: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := runner.Run(grid)
+		rep, err := runner.Run(bg, grid)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/access"
 	"repro/internal/stats"
@@ -26,6 +29,17 @@ func main() {
 	delta := flag.Float64("delta", 0.8, "heavy-hitter threshold factor δ")
 	flag.Parse()
 
+	// Ctrl-C / SIGTERM cancels the run context; the analysis stages below
+	// are pure compute, so cancellation is honoured between stages.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	interrupted := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "nopfs-access: interrupted")
+			os.Exit(130)
+		}
+	}
+
 	plan := &access.Plan{Seed: *seed, F: *f, N: *n, E: *e, BatchPerWorker: 4, DropLast: true}
 	if err := plan.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "nopfs-access:", err)
@@ -37,6 +51,7 @@ func main() {
 	hist := access.FrequencyHistogram(freq)
 	fmt.Print(hist.String())
 
+	interrupted()
 	r := access.HeavyHitters(plan, 0, *delta)
 	fmt.Printf("\nmean accesses per worker        mu = E/N = %.3f\n", r.Mu)
 	fmt.Printf("heavy hitters: accessed more than %d times ((1+%.1f)*mu)\n", r.Threshold, *delta)
@@ -44,6 +59,7 @@ func main() {
 	fmt.Printf("  measured from the actual shuffles:           %d\n", r.Measured)
 	fmt.Printf("  (paper, at F=1,281,167: analytic 31,635 vs measured 31,863)\n")
 
+	interrupted()
 	fmt.Printf("\nLemma 1 verification over all %d samples:\n", *f)
 	freqs := plan.Frequencies()
 	for _, d := range []float64{0.25, 0.5, 1.0} {

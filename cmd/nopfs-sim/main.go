@@ -16,10 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/sim"
 )
@@ -43,24 +46,28 @@ func main() {
 		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
 	}
 	runner := &sim.Runner{Parallel: *parallel}
+	// Ctrl-C / SIGTERM cancels the run context: in-flight grids abort
+	// promptly instead of finishing the sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch {
 	case *table1:
 		printTable1()
 	case *sweepFlag:
-		runSweep(runner, *scale, *seed, *replicas, *format)
+		runSweep(ctx, runner, *scale, *seed, *replicas, *format)
 	case *ablation:
 		grid := sim.AblationGrid(*scale, *seed, *replicas)
-		emit(runner, grid, *format)
+		emit(ctx, runner, grid, *format)
 	case *all:
 		grid := sim.Fig8Grid(*scale, *seed, *replicas)
-		emit(runner, grid, *format)
+		emit(ctx, runner, grid, *format)
 	case *scenario != "":
 		s, err := sim.ScenarioByID(*scenario)
 		if err != nil {
 			fatal(err)
 		}
-		emit(runner, sim.ScenarioGrid(s, *scale, *seed, *replicas), *format)
+		emit(ctx, runner, sim.ScenarioGrid(s, *scale, *seed, *replicas), *format)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -68,8 +75,8 @@ func main() {
 }
 
 // emit runs the grid and writes it in the requested format.
-func emit(runner *sim.Runner, grid *sim.Grid, format string) {
-	rep, err := runner.Run(grid)
+func emit(ctx context.Context, runner *sim.Runner, grid *sim.Grid, format string) {
+	rep, err := runner.Run(ctx, grid)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,8 +101,8 @@ func write(w io.Writer, rep *sim.Report, format string) error {
 // preliminary as one engine run, so json/csv emit a single document and
 // every format honours -replicas. Text mode keeps the legacy RAM × SSD
 // matrix, with means when the grid ran multiple seeds per cell.
-func runSweep(runner *sim.Runner, scale float64, seed uint64, replicas int, format string) {
-	rep, err := runner.Run(sim.Fig9FullGrid(scale, seed, replicas))
+func runSweep(ctx context.Context, runner *sim.Runner, scale float64, seed uint64, replicas int, format string) {
+	rep, err := runner.Run(ctx, sim.Fig9FullGrid(scale, seed, replicas))
 	if err != nil {
 		fatal(err)
 	}

@@ -17,12 +17,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/sweep"
 	"repro/internal/trainer"
@@ -47,7 +50,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Ctrl-C / SIGTERM cancels the run context: in-flight grids abort
+	// promptly instead of finishing the figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := runConfig{
+		ctx:      ctx,
 		runner:   &sweep.Runner{Parallel: *parallel},
 		replicas: *replicas,
 		format:   *format,
@@ -80,6 +88,7 @@ func main() {
 // runConfig carries the engine and presentation settings shared by every
 // figure path.
 type runConfig struct {
+	ctx      context.Context
 	runner   *sweep.Runner
 	replicas int
 	format   string
@@ -140,7 +149,7 @@ func (c runConfig) trim(exps []trainer.Experiment) []trainer.Experiment {
 
 // run executes one grid through the engine.
 func (c runConfig) run(grid *sweep.Grid) *sweep.Report {
-	rep, err := c.runner.Run(grid)
+	rep, err := c.runner.Run(c.ctx, grid)
 	if err != nil {
 		fatal(err)
 	}

@@ -4,12 +4,15 @@
 // batch times depending on fetch location — both visible here.
 //
 // The example drives the live middleware over the TCP fabric (real loopback
-// sockets) to show the same Job runs unchanged on either transport.
+// sockets, selected by registry name via WithFabric) to show the same Job
+// runs unchanged on either transport, and consumes the stream in per-worker
+// minibatches through Job.GetBatch.
 //
 //	go run ./examples/cosmoflow
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,49 +32,45 @@ func main() {
 	fmt.Printf("dataset: %s, %d samples x %.0f MiB\n",
 		ds.Name(), ds.Len(), float64(ds.Size(0))/(1<<20))
 
-	opts := nopfs.Options{
-		Seed:           2026,
-		Epochs:         3,
-		BatchPerWorker: 4,
+	const batch = 4
+	opts := nopfs.NewOptions(
+		nopfs.WithSeed(2026),
+		nopfs.WithEpochs(3),
+		nopfs.WithBatchPerWorker(batch),
 		// Staging budget of 8 samples: with 1 MiB samples the byte-budget
 		// admission logic is actually exercised.
-		StagingBytes:   8 << 20,
-		StagingThreads: 4,
-		Classes: []nopfs.Class{
-			{Name: "ram", CapacityBytes: 48 << 20, Threads: 2, ReadMBps: 8192, WriteMBps: 8192},
-		},
-		PFSAggregateMBps: 256,
-		InterconnectMBps: 1024,
-		UseTCP:           true, // real sockets
-		VerifySamples:    true,
-	}
+		nopfs.WithStagingBuffer(8<<20),
+		nopfs.WithStagingThreads(4),
+		nopfs.WithClasses(nopfs.Class{Name: "ram", CapacityBytes: 48 << 20, Threads: 2, ReadMBps: 8192, WriteMBps: 8192}),
+		nopfs.WithPFSBandwidth(256),
+		nopfs.WithInterconnectBandwidth(1024),
+		nopfs.WithFabric(nopfs.FabricTCP), // real sockets
+		nopfs.WithVerifySamples(true),
+	)
 
 	const workers = 4
 	type batchTimes struct{ perBatch []float64 }
 	times := make([]batchTimes, workers)
 
 	start := time.Now()
-	st, err := nopfs.RunCluster(ds, workers, opts, func(job *nopfs.Job) error {
-		rank := job.Stats().Rank
-		last := time.Now()
-		count := 0
-		for {
-			s, ok, err := job.Get()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			count++
-			if count%opts.BatchPerWorker == 0 {
+	st, err := nopfs.RunCluster(context.Background(), ds, workers, opts,
+		func(ctx context.Context, job *nopfs.Job) error {
+			rank := job.Rank()
+			last := time.Now()
+			for {
+				// Per-worker minibatch pulls: the paper's training-loop shape.
+				b, err := job.GetBatch(ctx, batch)
+				if err != nil {
+					return err
+				}
+				if len(b) == 0 {
+					return nil
+				}
 				now := time.Now()
 				times[rank].perBatch = append(times[rank].perBatch, now.Sub(last).Seconds())
 				last = now
 			}
-			_ = s
-		}
-	})
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,26 +32,27 @@ func main() {
 	}
 	defer os.RemoveAll(ssdRoot)
 
-	opts := nopfs.Options{
-		Seed:           99,
-		Epochs:         4,
-		BatchPerWorker: 32,
-		StagingBytes:   8 << 20,
-		StagingThreads: 4,
-		Classes: []nopfs.Class{
-			// Fast but small RAM; larger filesystem-backed "SSD" with a
-			// rate limit, holding real sample files.
-			{Name: "ram", CapacityBytes: 64 << 20, Threads: 2, ReadMBps: 4096, WriteMBps: 4096},
-			{Name: "ssd", CapacityBytes: 512 << 20, Dir: ssdRoot, Threads: 2, ReadMBps: 512, WriteMBps: 256},
-		},
-		PFSAggregateMBps: 96, // contended shared filesystem
-		InterconnectMBps: 2048,
-		VerifySamples:    true,
-	}
+	opts := nopfs.NewOptions(
+		nopfs.WithSeed(99),
+		nopfs.WithEpochs(4),
+		nopfs.WithBatchPerWorker(32),
+		nopfs.WithStagingBuffer(8<<20),
+		nopfs.WithStagingThreads(4),
+		// Fast but small RAM; larger filesystem-backed "SSD" with a rate
+		// limit, holding real sample files (the "dir" storage backend).
+		nopfs.WithClasses(
+			nopfs.Class{Name: "ram", CapacityBytes: 64 << 20, Threads: 2, ReadMBps: 4096, WriteMBps: 4096},
+			nopfs.Class{Name: "ssd", CapacityBytes: 512 << 20, Dir: ssdRoot, Threads: 2, ReadMBps: 512, WriteMBps: 256},
+		),
+		nopfs.WithPFSBandwidth(96), // contended shared filesystem
+		nopfs.WithInterconnectBandwidth(2048),
+		nopfs.WithVerifySamples(true),
+	)
 
 	const workers = 4
+	ctx := context.Background()
 	start := time.Now()
-	stats, err := nopfs.RunCluster(ds, workers, opts, nopfs.DrainAll(nil))
+	stats, err := nopfs.RunCluster(ctx, ds, workers, opts, nopfs.DrainAll(nil))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func main() {
 	naive := opts
 	naive.Classes = nil
 	start = time.Now()
-	nstats, err := nopfs.RunCluster(ds, workers, naive, nopfs.DrainAll(nil))
+	nstats, err := nopfs.RunCluster(ctx, ds, workers, naive, nopfs.DrainAll(nil))
 	if err != nil {
 		log.Fatal(err)
 	}

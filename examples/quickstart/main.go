@@ -1,5 +1,5 @@
 // Quickstart: the Fig. 7 integration pattern — replace your data loader
-// with a NoPFS Job and iterate.
+// with a NoPFS Job and range over its sample stream.
 //
 // This example runs a 4-worker distributed training job inside one process:
 // a synthetic ImageNet-like dataset rests on a (bandwidth-limited) simulated
@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,31 +25,28 @@ func main() {
 		Classes: 10, Seed: 7,
 	})
 
-	opts := nopfs.Options{
-		Seed:           0xC0FFEE, // the clairvoyance input
-		Epochs:         3,
-		BatchPerWorker: 16,
-		StagingBytes:   4 << 20,
-		StagingThreads: 4,
-		Classes: []nopfs.Class{
-			// One in-memory cache level per worker, 16 MiB.
-			{Name: "ram", CapacityBytes: 16 << 20, Threads: 2},
-		},
-		PFSAggregateMBps: 64, // shared-filesystem bandwidth emulation
-		VerifySamples:    true,
-	}
+	// Functional options are the v1 configuration surface; the Options
+	// struct remains available for literal-style configuration.
+	opts := nopfs.NewOptions(
+		nopfs.WithSeed(0xC0FFEE), // the clairvoyance input
+		nopfs.WithEpochs(3),
+		nopfs.WithBatchPerWorker(16),
+		nopfs.WithStagingBuffer(4<<20),
+		nopfs.WithStagingThreads(4),
+		// One in-memory cache level per worker, 16 MiB.
+		nopfs.WithClasses(nopfs.Class{Name: "ram", CapacityBytes: 16 << 20, Threads: 2}),
+		nopfs.WithPFSBandwidth(64), // shared-filesystem bandwidth emulation
+		nopfs.WithVerifySamples(true),
+	)
 
 	const workers = 4
-	stats, err := nopfs.RunCluster(ds, workers, opts, func(job *nopfs.Job) error {
-		// The training loop: identical shape to a PyTorch loader loop.
+	ctx := context.Background()
+	stats, err := nopfs.RunCluster(ctx, ds, workers, opts, func(ctx context.Context, job *nopfs.Job) error {
+		// The training loop: a plain range over the sample stream.
 		var batchBytes int
-		for {
-			s, ok, err := job.Get()
+		for s, err := range job.Samples(ctx) {
 			if err != nil {
 				return err
-			}
-			if !ok {
-				return nil // run complete
 			}
 			// "Train" on the sample: here we just account for its bytes.
 			batchBytes += len(s.Data)
@@ -56,6 +54,7 @@ func main() {
 				batchBytes = 0
 			}
 		}
+		return nil
 	})
 	if err != nil {
 		log.Fatal(err)

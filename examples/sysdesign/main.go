@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,7 +22,8 @@ func main() {
 	const scale = 0.005 // ImageNet-22k at 0.5% size; regimes preserved
 
 	// Step 1: is the staging buffer a limiting factor? (Paper: no.)
-	staging, err := sim.Fig9StagingCheck(scale, 7)
+	ctx := context.Background()
+	staging, err := sim.Fig9StagingCheck(ctx, scale, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func main() {
 	fmt.Println("  => staging size is irrelevant here; fix it at 5 GB")
 
 	// Step 2: the RAM x SSD grid.
-	points, err := sim.Fig9Sweep(scale, 7)
+	points, err := sim.Fig9Sweep(ctx, scale, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,15 +10,17 @@ import (
 
 // Backend is one storage class's byte store. Implementations are safe for
 // concurrent use. Capacity is enforced: Put fails when the sample would not
-// fit, mirroring the cache-assignment capacity model.
+// fit, mirroring the cache-assignment capacity model. Put and Get honour
+// context cancellation: a rate-limited operation returns the context's
+// error instead of sleeping out its bandwidth reservation.
 type Backend interface {
 	// Name identifies the class in stats ("ram", "ssd", ...).
 	Name() string
 	// Put stores sample id. It returns false (without storing) when the
 	// payload would exceed remaining capacity.
-	Put(id int32, data []byte) (bool, error)
+	Put(ctx context.Context, id int32, data []byte) (bool, error)
 	// Get returns the stored payload, or ok=false if absent.
-	Get(id int32) (data []byte, ok bool, err error)
+	Get(ctx context.Context, id int32) (data []byte, ok bool, err error)
 	// Has reports whether the sample is stored.
 	Has(id int32) bool
 	// Used returns the bytes currently stored.
@@ -51,35 +54,46 @@ func NewMemory(name string, capacity int64, read, write *Limiter) *Memory {
 // Name implements Backend.
 func (m *Memory) Name() string { return m.name }
 
-// Put implements Backend.
-func (m *Memory) Put(id int32, data []byte) (bool, error) {
+// Put implements Backend. Capacity is claimed (and the sample published)
+// before the bandwidth cost is paid, so rejected puts never charge the
+// shared limiter; a canceled Put rolls the sample back out.
+func (m *Memory) Put(ctx context.Context, id int32, data []byte) (bool, error) {
+	size := int64(len(data))
 	m.mu.Lock()
 	if _, exists := m.data[id]; exists {
 		m.mu.Unlock()
 		return true, nil
 	}
-	if m.used+int64(len(data)) > m.capacity {
+	if m.used+size > m.capacity {
 		m.mu.Unlock()
 		return false, nil
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	m.data[id] = cp
-	m.used += int64(len(data))
+	m.used += size
 	m.mu.Unlock()
-	m.writeLimit.Wait(int64(len(data)))
+	if err := m.writeLimit.Wait(ctx, size); err != nil {
+		m.mu.Lock()
+		delete(m.data, id)
+		m.used -= size
+		m.mu.Unlock()
+		return false, err
+	}
 	return true, nil
 }
 
 // Get implements Backend.
-func (m *Memory) Get(id int32) ([]byte, bool, error) {
+func (m *Memory) Get(ctx context.Context, id int32) ([]byte, bool, error) {
 	m.mu.RLock()
 	data, ok := m.data[id]
 	m.mu.RUnlock()
 	if !ok {
 		return nil, false, nil
 	}
-	m.readLimit.Wait(int64(len(data)))
+	if err := m.readLimit.Wait(ctx, int64(len(data))); err != nil {
+		return nil, false, err
+	}
 	return data, true, nil
 }
 
@@ -140,7 +154,7 @@ func (f *FS) Name() string { return f.name }
 // cannot oversubscribe), the payload is written to a temp file and renamed
 // into place, and only then is the sample published — a concurrent Get can
 // never observe a torn write.
-func (f *FS) Put(id int32, data []byte) (bool, error) {
+func (f *FS) Put(ctx context.Context, id int32, data []byte) (bool, error) {
 	size := int64(len(data))
 	f.mu.Lock()
 	if _, exists := f.have[id]; exists {
@@ -175,7 +189,10 @@ func (f *FS) Put(id int32, data []byte) (bool, error) {
 		os.Remove(tmp)
 		return abort(fmt.Errorf("storage: fs put %d: %w", id, err))
 	}
-	f.writeLimit.Wait(size)
+	if err := f.writeLimit.Wait(ctx, size); err != nil {
+		os.Remove(f.path(id))
+		return abort(err)
+	}
 	f.mu.Lock()
 	delete(f.pending, id)
 	f.have[id] = size
@@ -184,7 +201,7 @@ func (f *FS) Put(id int32, data []byte) (bool, error) {
 }
 
 // Get implements Backend.
-func (f *FS) Get(id int32) ([]byte, bool, error) {
+func (f *FS) Get(ctx context.Context, id int32) ([]byte, bool, error) {
 	f.mu.RLock()
 	_, ok := f.have[id]
 	f.mu.RUnlock()
@@ -195,7 +212,9 @@ func (f *FS) Get(id int32) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("storage: fs get %d: %w", id, err)
 	}
-	f.readLimit.Wait(int64(len(data)))
+	if err := f.readLimit.Wait(ctx, int64(len(data))); err != nil {
+		return nil, false, err
+	}
 	return data, true, nil
 }
 

@@ -2,9 +2,14 @@
 // backends for each storage class (memory, filesystem), token-bucket rate
 // limiting that emulates a class's aggregate bandwidth, and the ordered
 // staging buffer that hands samples to the trainer in access order.
+//
+// Every blocking operation takes a context.Context and returns promptly
+// when it is canceled, so a canceled training run tears down in bounded
+// time instead of sleeping out its bandwidth reservations.
 package storage
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -33,12 +38,18 @@ func NewLimiter(mbps float64) *Limiter {
 // configured rate; only burst granularity is affected.
 const sleepQuantum = 2 * time.Millisecond
 
-// Wait blocks until n bytes may pass. Serialising grants through a shared
-// reservation clock makes the aggregate throughput of all callers converge
-// to the configured rate regardless of concurrency.
-func (l *Limiter) Wait(n int64) {
+// Wait blocks until n bytes may pass or ctx is canceled, returning ctx's
+// error in the latter case. Serialising grants through a shared reservation
+// clock makes the aggregate throughput of all callers converge to the
+// configured rate regardless of concurrency. A canceled caller's
+// reservation stays on the clock — the tail of a torn-down run is charged,
+// not refunded, which keeps the accounting monotonic.
+func (l *Limiter) Wait(ctx context.Context, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if l == nil || n <= 0 {
-		return
+		return nil
 	}
 	dur := time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
 	l.mu.Lock()
@@ -50,6 +61,13 @@ func (l *Limiter) Wait(n int64) {
 	l.next = release
 	l.mu.Unlock()
 	if wait := time.Until(release); wait > sleepQuantum {
-		time.Sleep(wait)
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -41,19 +42,51 @@ func NewStaging(capBytes int64) *Staging {
 	return s
 }
 
+// noopStop is watch's return for contexts that can never be canceled.
+var noopStop = func() bool { return false }
+
+// watch wakes every waiter when ctx is canceled, so a Push/Pop blocked on a
+// condition variable observes the cancellation. Callers register it lazily,
+// under s.mu, only when actually about to Cond.Wait — the common non-blocking
+// path stays free of AfterFunc bookkeeping. Registration under the mutex is
+// what closes the lost-wakeup window: the callback also takes s.mu before
+// broadcasting, so it cannot fire between the caller's ctx check and its
+// Wait. Uncancellable contexts (context.Background and friends) skip the
+// registration entirely.
+func (s *Staging) watch(ctx context.Context) (stop func() bool) {
+	if ctx.Done() == nil {
+		return noopStop
+	}
+	return context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.notFull.Broadcast()
+		s.notEmpty.Broadcast()
+	})
+}
+
 // Push inserts the sample fetched for stream position pos, blocking while
 // the byte budget is exhausted. The producer owning the next position to be
 // consumed is always admitted, so a sample larger than the whole budget
-// cannot deadlock the pipeline.
-func (s *Staging) Push(pos int, id int32, data []byte) error {
+// cannot deadlock the pipeline. Canceling ctx unblocks the call with ctx's
+// error.
+func (s *Staging) Push(ctx context.Context, pos int, id int32, data []byte) error {
 	size := int64(len(data))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for !s.closed && s.used+size > s.capBytes && pos != s.nextPop {
+	var stop func() bool
+	for !s.closed && ctx.Err() == nil && s.used+size > s.capBytes && pos != s.nextPop {
+		if stop == nil {
+			stop = s.watch(ctx)
+			defer stop()
+		}
 		s.notFull.Wait()
 	}
 	if s.closed {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if _, dup := s.pending[pos]; dup {
 		return errors.New("storage: duplicate staging position")
@@ -66,11 +99,16 @@ func (s *Staging) Push(pos int, id int32, data []byte) error {
 
 // Pop removes and returns the entry for the next stream position, blocking
 // until it has been staged. It returns ErrClosed after Close once the
-// in-order prefix has drained.
-func (s *Staging) Pop() (Entry, error) {
+// in-order prefix has drained, and ctx's error if the context is canceled
+// while waiting.
+func (s *Staging) Pop(ctx context.Context) (Entry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var stop func() bool
 	for {
+		if err := ctx.Err(); err != nil {
+			return Entry{}, err
+		}
 		if e, ok := s.pending[s.nextPop]; ok {
 			delete(s.pending, s.nextPop)
 			s.nextPop++
@@ -80,6 +118,10 @@ func (s *Staging) Pop() (Entry, error) {
 		}
 		if s.closed {
 			return Entry{}, ErrClosed
+		}
+		if stop == nil {
+			stop = s.watch(ctx)
+			defer stop()
 		}
 		s.notEmpty.Wait()
 	}

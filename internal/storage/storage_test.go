@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -8,13 +10,17 @@ import (
 	"repro/internal/prng"
 )
 
+// bg is the default context for tests that exercise the data paths rather
+// than cancellation.
+var bg = context.Background()
+
 func TestMemoryPutGet(t *testing.T) {
 	m := NewMemory("ram", 1024, nil, nil)
-	ok, err := m.Put(1, []byte("hello"))
+	ok, err := m.Put(bg, 1, []byte("hello"))
 	if err != nil || !ok {
 		t.Fatalf("Put: ok=%v err=%v", ok, err)
 	}
-	data, ok, err := m.Get(1)
+	data, ok, err := m.Get(bg, 1)
 	if err != nil || !ok || string(data) != "hello" {
 		t.Fatalf("Get: %q ok=%v err=%v", data, ok, err)
 	}
@@ -28,14 +34,14 @@ func TestMemoryPutGet(t *testing.T) {
 
 func TestMemoryCapacity(t *testing.T) {
 	m := NewMemory("ram", 10, nil, nil)
-	if ok, _ := m.Put(1, make([]byte, 8)); !ok {
+	if ok, _ := m.Put(bg, 1, make([]byte, 8)); !ok {
 		t.Fatal("first put rejected")
 	}
-	if ok, _ := m.Put(2, make([]byte, 8)); ok {
+	if ok, _ := m.Put(bg, 2, make([]byte, 8)); ok {
 		t.Fatal("over-capacity put accepted")
 	}
 	// Duplicate put of an existing id succeeds without double-counting.
-	if ok, _ := m.Put(1, make([]byte, 8)); !ok {
+	if ok, _ := m.Put(bg, 1, make([]byte, 8)); !ok {
 		t.Fatal("duplicate put rejected")
 	}
 	if m.Used() != 8 {
@@ -45,7 +51,7 @@ func TestMemoryCapacity(t *testing.T) {
 
 func TestMemoryGetMissing(t *testing.T) {
 	m := NewMemory("ram", 10, nil, nil)
-	if _, ok, err := m.Get(9); ok || err != nil {
+	if _, ok, err := m.Get(bg, 9); ok || err != nil {
 		t.Fatal("missing sample reported present")
 	}
 }
@@ -53,11 +59,30 @@ func TestMemoryGetMissing(t *testing.T) {
 func TestMemoryCopiesData(t *testing.T) {
 	m := NewMemory("ram", 100, nil, nil)
 	src := []byte("abc")
-	m.Put(1, src)
+	m.Put(bg, 1, src)
 	src[0] = 'X'
-	data, _, _ := m.Get(1)
+	data, _, _ := m.Get(bg, 1)
 	if data[0] != 'a' {
 		t.Error("backend aliases caller's buffer")
+	}
+}
+
+func TestBackendCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Rate-limited backends must refuse canceled work instead of sleeping
+	// out the reservation.
+	m := NewMemory("ram", 1<<20, NewLimiter(1), NewLimiter(1))
+	if ok, err := m.Put(ctx, 1, make([]byte, 1<<19)); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Put: ok=%v err=%v", ok, err)
+	}
+	if m.Has(1) {
+		t.Error("canceled Put published the sample")
+	}
+	m2 := NewMemory("ram", 1<<20, NewLimiter(1), nil)
+	m2.Put(bg, 2, make([]byte, 1<<19))
+	if _, ok, err := m2.Get(ctx, 2); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Get: ok=%v err=%v", ok, err)
 	}
 }
 
@@ -67,14 +92,14 @@ func TestFSBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	payload := []byte("sample-bytes")
-	if ok, err := f.Put(7, payload); !ok || err != nil {
+	if ok, err := f.Put(bg, 7, payload); !ok || err != nil {
 		t.Fatalf("Put: ok=%v err=%v", ok, err)
 	}
-	data, ok, err := f.Get(7)
+	data, ok, err := f.Get(bg, 7)
 	if err != nil || !ok || string(data) != string(payload) {
 		t.Fatalf("Get: %q ok=%v err=%v", data, ok, err)
 	}
-	if ok, _ := f.Put(8, make([]byte, 1<<21)); ok {
+	if ok, _ := f.Put(bg, 8, make([]byte, 1<<21)); ok {
 		t.Error("over-capacity fs put accepted")
 	}
 	if f.Used() != int64(len(payload)) {
@@ -95,7 +120,7 @@ func TestFSConcurrentPuts(t *testing.T) {
 		wg.Add(1)
 		go func(id int32) {
 			defer wg.Done()
-			f.Put(id, make([]byte, 10))
+			f.Put(bg, id, make([]byte, 10))
 		}(int32(i))
 	}
 	wg.Wait()
@@ -122,7 +147,7 @@ func TestLimiterRate(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			l.Wait(1 << 20)
+			l.Wait(bg, 1<<20)
 		}()
 	}
 	wg.Wait()
@@ -134,11 +159,39 @@ func TestLimiterRate(t *testing.T) {
 
 func TestLimiterNilAndZero(t *testing.T) {
 	var l *Limiter
-	l.Wait(1 << 30) // must not block or panic
+	if err := l.Wait(bg, 1<<30); err != nil { // must not block or panic
+		t.Fatal(err)
+	}
 	if NewLimiter(0) != nil {
 		t.Error("zero-rate limiter should be unlimited (nil)")
 	}
-	NewLimiter(100).Wait(0) // zero bytes free
+	if err := NewLimiter(100).Wait(bg, 0); err != nil { // zero bytes free
+		t.Fatal(err)
+	}
+}
+
+func TestLimiterWaitCancel(t *testing.T) {
+	// A 1 MB/s limiter asked for 64 MB would sleep ~64 s; cancellation must
+	// interrupt the sleep within milliseconds.
+	l := NewLimiter(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Wait(ctx, 64<<20) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled limiter wait did not return")
+	}
+	// A canceled context short-circuits even the nil limiter.
+	var nilL *Limiter
+	if err := nilL.Wait(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("nil limiter ignored canceled context: %v", err)
+	}
 }
 
 func TestStagingInOrderDelivery(t *testing.T) {
@@ -152,13 +205,13 @@ func TestStagingInOrderDelivery(t *testing.T) {
 		wg.Add(1)
 		go func(pos int) {
 			defer wg.Done()
-			if err := s.Push(pos, int32(pos*10), []byte{byte(pos)}); err != nil {
+			if err := s.Push(bg, pos, int32(pos*10), []byte{byte(pos)}); err != nil {
 				t.Errorf("push %d: %v", pos, err)
 			}
 		}(pos)
 	}
 	for i := 0; i < n; i++ {
-		e, err := s.Pop()
+		e, err := s.Pop(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,12 +227,12 @@ func TestStagingInOrderDelivery(t *testing.T) {
 
 func TestStagingBudgetBlocks(t *testing.T) {
 	s := NewStaging(10)
-	if err := s.Push(0, 0, make([]byte, 8)); err != nil {
+	if err := s.Push(bg, 0, 0, make([]byte, 8)); err != nil {
 		t.Fatal(err)
 	}
 	pushed := make(chan struct{})
 	go func() {
-		s.Push(1, 1, make([]byte, 8)) // must block: 16 > 10
+		s.Push(bg, 1, 1, make([]byte, 8)) // must block: 16 > 10
 		close(pushed)
 	}()
 	select {
@@ -187,7 +240,7 @@ func TestStagingBudgetBlocks(t *testing.T) {
 		t.Fatal("push succeeded beyond byte budget")
 	case <-time.After(50 * time.Millisecond):
 	}
-	if _, err := s.Pop(); err != nil {
+	if _, err := s.Pop(bg); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -203,7 +256,7 @@ func TestStagingOversizedSampleNoDeadlock(t *testing.T) {
 	s := NewStaging(4)
 	done := make(chan error, 1)
 	go func() {
-		done <- s.Push(0, 0, make([]byte, 64))
+		done <- s.Push(bg, 0, 0, make([]byte, 64))
 	}()
 	select {
 	case err := <-done:
@@ -213,31 +266,70 @@ func TestStagingOversizedSampleNoDeadlock(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("oversized head-of-line sample deadlocked")
 	}
-	if e, err := s.Pop(); err != nil || len(e.Data) != 64 {
+	if e, err := s.Pop(bg); err != nil || len(e.Data) != 64 {
 		t.Fatalf("pop: %v", err)
 	}
 }
 
 func TestStagingClose(t *testing.T) {
 	s := NewStaging(100)
-	s.Push(0, 5, []byte("x"))
+	s.Push(bg, 0, 5, []byte("x"))
 	s.Close()
 	// Drains staged prefix first.
-	if e, err := s.Pop(); err != nil || e.ID != 5 {
+	if e, err := s.Pop(bg); err != nil || e.ID != 5 {
 		t.Fatalf("pop after close: %v", err)
 	}
-	if _, err := s.Pop(); err != ErrClosed {
+	if _, err := s.Pop(bg); err != ErrClosed {
 		t.Fatalf("expected ErrClosed, got %v", err)
 	}
-	if err := s.Push(1, 6, []byte("y")); err != ErrClosed {
+	if err := s.Push(bg, 1, 6, []byte("y")); err != ErrClosed {
 		t.Fatalf("push after close: %v", err)
+	}
+}
+
+func TestStagingCancelUnblocks(t *testing.T) {
+	// A Pop blocked on an empty buffer and a Push blocked on a full budget
+	// must both return the context error promptly on cancel, leaving the
+	// buffer usable for other contexts.
+	s := NewStaging(10)
+	ctx, cancel := context.WithCancel(context.Background())
+	popDone := make(chan error, 1)
+	go func() {
+		_, err := s.Pop(ctx)
+		popDone <- err
+	}()
+	if err := s.Push(bg, 1, 1, make([]byte, 8)); err != nil { // pos 1: does not satisfy Pop(0)
+		t.Fatal(err)
+	}
+	pushDone := make(chan error, 1)
+	go func() {
+		pushDone <- s.Push(ctx, 2, 2, make([]byte, 8)) // blocks: budget full, not next pop
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	for name, ch := range map[string]chan error{"pop": popDone, "push": pushDone} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s returned %v, want context.Canceled", name, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("canceled %s did not return", name)
+		}
+	}
+	// The buffer itself is still healthy under a live context.
+	if err := s.Push(bg, 0, 0, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := s.Pop(bg); err != nil || e.Pos != 0 {
+		t.Fatalf("pop after cancel: %+v %v", e, err)
 	}
 }
 
 func TestStagingDuplicatePosition(t *testing.T) {
 	s := NewStaging(100)
-	s.Push(0, 1, []byte("a"))
-	if err := s.Push(0, 2, []byte("b")); err == nil {
+	s.Push(bg, 0, 1, []byte("a"))
+	if err := s.Push(bg, 0, 2, []byte("b")); err == nil {
 		t.Fatal("duplicate position accepted")
 	}
 }
@@ -247,12 +339,12 @@ func BenchmarkStagingThroughput(b *testing.B) {
 	data := make([]byte, 4096)
 	go func() {
 		for i := 0; i < b.N; i++ {
-			s.Push(i, int32(i), data)
+			s.Push(bg, i, int32(i), data)
 		}
 	}()
 	b.SetBytes(4096)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Pop(); err != nil {
+		if _, err := s.Pop(bg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -264,8 +356,8 @@ func BenchmarkMemoryBackend(b *testing.B) {
 	b.SetBytes(4096)
 	for i := 0; i < b.N; i++ {
 		id := int32(i % 1000)
-		m.Put(id, data)
-		if _, ok, _ := m.Get(id); !ok {
+		m.Put(bg, id, data)
+		if _, ok, _ := m.Get(bg, id); !ok {
 			b.Fatal("miss")
 		}
 	}

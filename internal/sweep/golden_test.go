@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -34,7 +35,7 @@ func goldenGrid() *Grid {
 			{Name: "aux", Hide: true},
 		},
 		Cell: func(si, pi int) CellFunc {
-			return func(seed uint64) (*Outcome, error) {
+			return func(_ context.Context, seed uint64) (*Outcome, error) {
 				if si == 1 && pi == 1 {
 					return &Outcome{Failed: true, FailReason: "beta cannot run s2"}, nil
 				}
@@ -57,7 +58,7 @@ func goldenGrid() *Grid {
 // fixed grid byte-for-byte against checked-in goldens, so encoder changes
 // cannot silently drift report formats. Regenerate with -update.
 func TestGoldenEncoders(t *testing.T) {
-	rep, err := (&Runner{Parallel: 3}).Run(goldenGrid())
+	rep, err := (&Runner{Parallel: 3}).Run(context.Background(), goldenGrid())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/perfmodel"
@@ -65,7 +66,10 @@ func SimOutcome(r *isim.Result) *Outcome {
 // simCellFunc is the default cell binding: materialise the scenario's
 // simulator configuration for the seed, build a fresh policy, and simulate.
 func simCellFunc(s ScenarioSpec, p PolicySpec) CellFunc {
-	return func(seed uint64) (*Outcome, error) {
+	return func(ctx context.Context, seed uint64) (*Outcome, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg, err := s.Config(seed)
 		if err != nil {
 			return nil, err
@@ -248,8 +252,8 @@ func AblationGrid(scale float64, baseSeed uint64, replicas int) *Grid {
 // RunScenario simulates every policy on the scenario and returns results in
 // Fig. 8 bar order, exactly as the old serial driver did. parallel <= 0
 // means GOMAXPROCS.
-func RunScenario(s isim.Scenario, scale float64, seed uint64, parallel int) ([]*isim.Result, error) {
-	rep, err := (&Runner{Parallel: parallel}).Run(ScenarioGrid(s, scale, seed, 1))
+func RunScenario(ctx context.Context, s isim.Scenario, scale float64, seed uint64, parallel int) ([]*isim.Result, error) {
+	rep, err := (&Runner{Parallel: parallel}).Run(ctx, ScenarioGrid(s, scale, seed, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -265,8 +269,8 @@ type SweepPoint struct {
 
 // Fig9Sweep runs the Fig. 9 environment evaluation through the engine and
 // returns points in the legacy RAM-major order.
-func Fig9Sweep(scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
-	rep, err := (&Runner{Parallel: parallel}).Run(Fig9Grid(scale, seed, 1))
+func Fig9Sweep(ctx context.Context, scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
+	rep, err := (&Runner{Parallel: parallel}).Run(ctx, Fig9Grid(scale, seed, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -284,8 +288,8 @@ func Fig9Sweep(scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
 
 // Fig9StagingCheck runs the staging-buffer preliminary through the engine,
 // keyed by staging-buffer GB.
-func Fig9StagingCheck(scale float64, seed uint64, parallel int) (map[int]*isim.Result, error) {
-	rep, err := (&Runner{Parallel: parallel}).Run(Fig9StagingGrid(scale, seed))
+func Fig9StagingCheck(ctx context.Context, scale float64, seed uint64, parallel int) (map[int]*isim.Result, error) {
+	rep, err := (&Runner{Parallel: parallel}).Run(ctx, Fig9StagingGrid(scale, seed))
 	if err != nil {
 		return nil, err
 	}

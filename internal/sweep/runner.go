@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -58,8 +59,9 @@ type Report struct {
 
 // Run executes every cell of the grid and returns the Report. The report is
 // a pure function of the grid (for deterministic cells): identical at any
-// Parallel setting.
-func (r *Runner) Run(g *Grid) (*Report, error) {
+// Parallel setting. Canceling ctx stops dispatching cells, propagates into
+// running cells, and returns ctx's error.
+func (r *Runner) Run(ctx context.Context, g *Grid) (*Report, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,18 +76,32 @@ func (r *Runner) Run(g *Grid) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out, err := runCell(g, cells[i])
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out, err := runCell(ctx, g, cells[i])
 				results[i] = CellResult{Cell: cells[i], Outcome: out}
 				errs[i] = err
 			}
 		}()
 	}
+dispatch:
 	for i := range cells {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
+	// Cancellation trumps per-cell failures: a torn-down grid reports the
+	// context error, not whichever cell the teardown interrupted.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Surface the lowest-index error so the failure reported is itself
 	// deterministic.
 	for i, err := range errs {
@@ -109,12 +125,12 @@ func (r *Runner) Run(g *Grid) (*Report, error) {
 }
 
 // runCell resolves and executes one cell.
-func runCell(g *Grid, c Cell) (*Outcome, error) {
+func runCell(ctx context.Context, g *Grid, c Cell) (*Outcome, error) {
 	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx)
 	if err != nil {
 		return nil, err
 	}
-	out, err := fn(c.Seed)
+	out, err := fn(ctx, c.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/prng"
@@ -71,8 +72,10 @@ type Outcome struct {
 }
 
 // CellFunc executes one cell of a grid from its deterministically derived
-// seed. It must be safe to call concurrently with other cells' funcs.
-type CellFunc func(seed uint64) (*Outcome, error)
+// seed. It must be safe to call concurrently with other cells' funcs, and
+// should honour ctx cancellation when the cell blocks (live-cluster cells
+// do; pure-compute simulator cells check it on entry).
+type CellFunc func(ctx context.Context, seed uint64) (*Outcome, error)
 
 // ScenarioSpec is one row of a Grid. For simulator grids, Config
 // materialises the cell's simulator configuration (the default binding);

@@ -2,8 +2,11 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,6 +16,10 @@ import (
 
 // testScale keeps grids fast while preserving dataset-vs-storage regimes.
 const testScale = 0.005
+
+// bg is the default context for tests that exercise the engine's data paths
+// rather than cancellation.
+var bg = context.Background()
 
 // testGrid is two Fig. 8 panels × every policy × two replicas — small
 // enough for fast tests, wide enough to exercise scenario, policy, and
@@ -102,7 +109,7 @@ func TestGridValidate(t *testing.T) {
 func TestDeterminismAcrossParallelism(t *testing.T) {
 	encode := func(parallel int) (jsonB, csvB []byte) {
 		t.Helper()
-		rep, err := (&Runner{Parallel: parallel}).Run(testGrid(t))
+		rep, err := (&Runner{Parallel: parallel}).Run(bg, testGrid(t))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +144,7 @@ func TestEngineMatchesDirectRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunScenario(s, testScale, 42, 4)
+	got, err := RunScenario(bg, s, testScale, 42, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +221,7 @@ func TestAggregateReplicas(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := ScenarioGrid(s, testScale, 7, 3)
-	rep, err := (&Runner{Parallel: 4}).Run(g)
+	rep, err := (&Runner{Parallel: 4}).Run(bg, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +271,7 @@ func TestAggregateReplicas(t *testing.T) {
 // engine: more RAM at fixed SSD must never hurt, and vice versa (Fig. 9's
 // central observation).
 func TestFig9SweepMonotonicity(t *testing.T) {
-	points, err := Fig9Sweep(0.002, 11, 0)
+	points, err := Fig9Sweep(bg, 0.002, 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +313,7 @@ func TestFig9SweepMonotonicity(t *testing.T) {
 // TestFig9StagingCheck migrates the staging-buffer preliminary: 1-5 GB
 // staging windows all produce the same runtime.
 func TestFig9StagingCheck(t *testing.T) {
-	res, err := Fig9StagingCheck(0.002, 11, 0)
+	res, err := Fig9StagingCheck(bg, 0.002, 11, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +333,7 @@ func TestParallelSpeedup(t *testing.T) {
 	}
 	run := func(parallel int) time.Duration {
 		start := time.Now()
-		if _, err := Fig9Sweep(0.002, 11, parallel); err != nil {
+		if _, err := Fig9Sweep(bg, 0.002, 11, parallel); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)
@@ -356,7 +363,7 @@ func funcGrid(replicas int) *Grid {
 			{Name: "aux", Hide: true},
 		},
 		Cell: func(si, pi int) CellFunc {
-			return func(seed uint64) (*Outcome, error) {
+			return func(_ context.Context, seed uint64) (*Outcome, error) {
 				if si == 1 && pi == 1 {
 					return &Outcome{Failed: true, FailReason: "colY cannot run rowB"}, nil
 				}
@@ -376,7 +383,7 @@ func funcGrid(replicas int) *Grid {
 func TestFunctionCellGrid(t *testing.T) {
 	encode := func(parallel int) (jsonB, csvB, textB []byte) {
 		t.Helper()
-		rep, err := (&Runner{Parallel: parallel}).Run(funcGrid(3))
+		rep, err := (&Runner{Parallel: parallel}).Run(bg, funcGrid(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -398,7 +405,7 @@ func TestFunctionCellGrid(t *testing.T) {
 		t.Error("function-cell grid encodings differ across parallelism")
 	}
 
-	rep, err := (&Runner{Parallel: 4}).Run(funcGrid(3))
+	rep, err := (&Runner{Parallel: 4}).Run(bg, funcGrid(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,18 +436,53 @@ func TestFunctionCellGrid(t *testing.T) {
 	}
 }
 
+// TestRunnerCancellation pins the engine's context contract: canceling
+// mid-grid stops dispatching cells and returns the context error, and a
+// pre-canceled context runs nothing at all.
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	g := funcGrid(64) // 3 cell groups × 64 replicas = plenty to interrupt
+	inner := g.Cell
+	g.Cell = func(si, pi int) CellFunc {
+		fn := inner(si, pi)
+		return func(ctx context.Context, seed uint64) (*Outcome, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return fn(ctx, seed)
+		}
+	}
+	if _, err := (&Runner{Parallel: 2}).Run(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled grid returned %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= int64(g.Size()) {
+		t.Errorf("cancellation did not stop dispatch: %d of %d cells ran", n, g.Size())
+	}
+
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	ran.Store(0)
+	if _, err := (&Runner{Parallel: 2}).Run(pre, funcGrid(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled grid returned %v", err)
+	}
+}
+
 // TestNilCellBinding pins the error path: a custom binding returning nil
 // must abort the grid with a descriptive error, not panic.
 func TestNilCellBinding(t *testing.T) {
 	g := funcGrid(1)
 	g.Cell = func(si, pi int) CellFunc { return nil }
-	if _, err := (&Runner{Parallel: 2}).Run(g); err == nil {
+	if _, err := (&Runner{Parallel: 2}).Run(bg, g); err == nil {
 		t.Error("nil cell binding accepted")
 	}
 }
 
 func TestWriteTextShape(t *testing.T) {
-	rep, err := (&Runner{Parallel: 2}).Run(testGrid(t))
+	rep, err := (&Runner{Parallel: 2}).Run(bg, testGrid(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -209,7 +210,10 @@ func Fig16Grid(scale float64, replicas int) *sweep.Grid {
 		Metrics: Fig16Metrics(),
 		Cell: func(si, pi int) sweep.CellFunc {
 			l := loaders[pi]
-			return func(seed uint64) (*sweep.Outcome, error) {
+			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				ds, sys, err := env()
 				if err != nil {
 					return nil, err
@@ -240,8 +244,8 @@ func Fig16Grid(scale float64, replicas int) *sweep.Grid {
 // randomization, so accuracy-vs-epoch is loader-independent; the loaders
 // differ only in how fast epochs complete — exactly the paper's framing.
 // The loaders run concurrently through the sweep engine.
-func Fig16EndToEnd(scale float64) ([]EndToEndResult, error) {
-	rep, err := (&sweep.Runner{}).Run(Fig16Grid(scale, 1))
+func Fig16EndToEnd(ctx context.Context, scale float64) ([]EndToEndResult, error) {
+	rep, err := (&sweep.Runner{}).Run(ctx, Fig16Grid(scale, 1))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -136,7 +137,10 @@ func (e Experiment) Grid(replicas int) *sweep.Grid {
 		Metrics: GridMetrics(),
 		Cell: func(si, pi int) sweep.CellFunc {
 			g, l := gpus[si], loaders[pi]
-			return func(seed uint64) (*sweep.Outcome, error) {
+			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				p, err := run(g, l, seed)
 				if err != nil {
 					return nil, err
@@ -198,7 +202,10 @@ func MultiGrid(name string, exps []Experiment, replicas int) (*sweep.Grid, error
 		Metrics: GridMetrics(),
 		Cell: func(si, pi int) sweep.CellFunc {
 			k, l := keys[si], loaders[pi]
-			return func(seed uint64) (*sweep.Outcome, error) {
+			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				p, err := runs[k.exp](k.gpus, l, seed)
 				if err != nil {
 					return nil, err

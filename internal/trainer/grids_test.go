@@ -2,6 +2,7 @@ package trainer
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/sweep"
@@ -19,7 +20,7 @@ func smallFig10() Experiment {
 // the same (GPU count, loader) order.
 func TestGridMatchesSerialCells(t *testing.T) {
 	exp := smallFig10()
-	got, err := exp.RunParallel(4)
+	got, err := exp.RunParallel(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestGridMatchesSerialCells(t *testing.T) {
 func TestTrainerGridDeterministicAcrossParallelism(t *testing.T) {
 	encode := func(parallel int) (jsonB, csvB, textB []byte) {
 		t.Helper()
-		rep, err := (&sweep.Runner{Parallel: parallel}).Run(smallFig10().Grid(2))
+		rep, err := (&sweep.Runner{Parallel: parallel}).Run(context.Background(), smallFig10().Grid(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func TestMultiGridFig13(t *testing.T) {
 	if len(grid.Scenarios) != 4 || len(grid.Policies) != 3 {
 		t.Fatalf("fig13 grid is %d×%d, want 4×3", len(grid.Scenarios), len(grid.Policies))
 	}
-	rep, err := (&sweep.Runner{}).Run(grid)
+	rep, err := (&sweep.Runner{}).Run(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestMultiGridFig13(t *testing.T) {
 // TestFig16GridShape checks the end-to-end grid carries curves in payloads
 // and totals in metrics.
 func TestFig16GridShape(t *testing.T) {
-	rep, err := (&sweep.Runner{}).Run(Fig16Grid(0.05, 1))
+	rep, err := (&sweep.Runner{}).Run(context.Background(), Fig16Grid(0.05, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

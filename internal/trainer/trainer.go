@@ -18,6 +18,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -219,14 +220,14 @@ func (e Experiment) cell(ds *dataset.Synthetic, sys hwspec.System, gpus int, loa
 // the sweep engine on a GOMAXPROCS-wide pool. Results are in (GPU count,
 // loader) order, exactly as the former serial loop produced them, and are
 // bit-identical at any pool width.
-func (e Experiment) Run() ([]ScalePoint, error) {
-	return e.RunParallel(0)
+func (e Experiment) Run(ctx context.Context) ([]ScalePoint, error) {
+	return e.RunParallel(ctx, 0)
 }
 
 // RunParallel is Run with an explicit engine pool width (0 = GOMAXPROCS,
 // 1 = serial).
-func (e Experiment) RunParallel(parallel int) ([]ScalePoint, error) {
-	rep, err := (&sweep.Runner{Parallel: parallel}).Run(e.Grid(1))
+func (e Experiment) RunParallel(ctx context.Context, parallel int) ([]ScalePoint, error) {
+	rep, err := (&sweep.Runner{Parallel: parallel}).Run(ctx, e.Grid(1))
 	if err != nil {
 		return nil, err
 	}

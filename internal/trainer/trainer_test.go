@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestDALIBoostsPreprocessing(t *testing.T) {
 func TestFig10PizDaintShape(t *testing.T) {
 	exp := Fig10PizDaint(scalePD)
 	exp.GPUCounts = []int{32, 256}
-	points, err := exp.Run()
+	points, err := exp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFig10PizDaintShape(t *testing.T) {
 func TestFig10LassenShape(t *testing.T) {
 	exp := Fig10Lassen(scaleLA)
 	exp.GPUCounts = []int{32, 256}
-	points, err := exp.Run()
+	points, err := exp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestBatchTailVariance(t *testing.T) {
 	// scaled dataset still yields many batches per epoch.
 	exp := Fig10PizDaint(scalePD)
 	exp.GPUCounts = []int{128}
-	points, err := exp.Run()
+	points, err := exp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestEpoch0HighVarianceForAll(t *testing.T) {
 	// NoPFS shows elevated batch times there.
 	exp := Fig10PizDaint(scalePD)
 	exp.GPUCounts = []int{128}
-	points, err := exp.Run()
+	points, err := exp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestFig12FetchMixShiftsWithScale(t *testing.T) {
 	// epoch 0.
 	exp := Fig10Lassen(scaleLA)
 	exp.GPUCounts = []int{32, 256}
-	points, err := exp.Run()
+	points, err := exp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFig12FetchMixShiftsWithScale(t *testing.T) {
 func TestFig13BatchSizeSweep(t *testing.T) {
 	var nopfsMedians, pytorchMedians []float64
 	for _, exp := range Fig13BatchSweep(scaleLA) {
-		points, err := exp.Run()
+		points, err := exp.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +222,7 @@ func TestFig14And15NoPFSWins(t *testing.T) {
 	for _, mk := range []func(float64) Experiment{Fig14Lassen, Fig15Lassen} {
 		exp := mk(scaleLA)
 		exp.GPUCounts = []int{64}
-		points, err := exp.Run()
+		points, err := exp.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,7 +260,7 @@ func TestResNet50Top1Curve(t *testing.T) {
 }
 
 func TestFig16EndToEnd(t *testing.T) {
-	results, err := Fig16EndToEnd(scaleLA)
+	results, err := Fig16EndToEnd(context.Background(), scaleLA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func BenchmarkFig10LassenOnePoint(b *testing.B) {
 	exp.Loaders = []Loader{LoaderNoPFS}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(); err != nil {
+		if _, err := exp.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -19,6 +20,11 @@ type TCPEndpoint struct {
 	addrs    []string
 	listener net.Listener
 	limiter  *storage.Limiter
+
+	// life is the endpoint's lifetime context, canceled by Close; serve
+	// loops run handlers and limiter waits under it.
+	life     context.Context
+	lifeStop context.CancelFunc
 
 	mu      sync.Mutex
 	handler Handler
@@ -67,7 +73,8 @@ func NewTCPNetwork(n int, limiter *storage.Limiter) ([]*TCPEndpoint, error) {
 			}
 			return nil, fmt.Errorf("transport: listen: %w", err)
 		}
-		eps[i] = &TCPEndpoint{rank: i, listener: l, limiter: limiter}
+		life, stop := context.WithCancel(context.Background())
+		eps[i] = &TCPEndpoint{rank: i, listener: l, limiter: limiter, life: life, lifeStop: stop}
 		addrs[i] = l.Addr().String()
 	}
 	for _, e := range eps {
@@ -129,10 +136,12 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 		e.mu.Unlock()
 		resp := Response{}
 		if h != nil {
-			resp = h(from, req)
+			resp = h(e.life, from, req)
 		}
 		if len(resp.Data) > 0 {
-			e.limiter.Wait(int64(len(resp.Data)))
+			if err := e.limiter.Wait(e.life, int64(len(resp.Data))); err != nil {
+				return // endpoint closed mid-response
+			}
 		}
 		head := make([]byte, 1+8+4)
 		if resp.OK {
@@ -153,7 +162,9 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 
 // Call implements Network. Connections are per-call: simple, correct, and
 // plenty for loopback validation (a production fabric would pool them).
-func (e *TCPEndpoint) Call(to int, req Request) (Response, error) {
+// Canceling ctx severs the connection, unblocking any in-flight read or
+// write with ctx's error.
+func (e *TCPEndpoint) Call(ctx context.Context, to int, req Request) (Response, error) {
 	if to < 0 || to >= len(e.addrs) {
 		return Response{}, fmt.Errorf("transport: rank %d out of range", to)
 	}
@@ -163,18 +174,34 @@ func (e *TCPEndpoint) Call(to int, req Request) (Response, error) {
 	if closed {
 		return Response{}, ErrClosed
 	}
-	conn, err := net.Dial("tcp", e.addrs[to])
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", e.addrs[to])
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Response{}, cerr
+		}
 		return Response{}, fmt.Errorf("transport: dial rank %d: %w", to, err)
 	}
 	// Register the outgoing connection so closing this endpoint severs
 	// in-flight calls; Close may have raced the dial, in which case track
-	// already closed the connection.
+	// already closed the connection. Cancellation severs it the same way.
 	if !e.track(conn) {
 		return Response{}, ErrClosed
 	}
 	defer e.untrack(conn)
 	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	// ctxErr maps an I/O failure to the context's error when the failure
+	// was caused by cancellation severing the connection.
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
 
 	var buf [reqSize]byte
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.rank))
@@ -182,12 +209,12 @@ func (e *TCPEndpoint) Call(to int, req Request) (Response, error) {
 	binary.LittleEndian.PutUint32(buf[5:9], uint32(req.Sample))
 	binary.LittleEndian.PutUint64(buf[9:17], req.Value)
 	if _, err := conn.Write(buf[:]); err != nil {
-		return Response{}, err
+		return Response{}, ctxErr(err)
 	}
 
 	head := make([]byte, 1+8+4)
 	if _, err := io.ReadFull(conn, head); err != nil {
-		return Response{}, err
+		return Response{}, ctxErr(err)
 	}
 	resp := Response{
 		OK:    head[0] == 1,
@@ -196,15 +223,16 @@ func (e *TCPEndpoint) Call(to int, req Request) (Response, error) {
 	if n := binary.LittleEndian.Uint32(head[9:13]); n > 0 {
 		resp.Data = make([]byte, n)
 		if _, err := io.ReadFull(conn, resp.Data); err != nil {
-			return Response{}, err
+			return Response{}, ctxErr(err)
 		}
 	}
 	return resp, nil
 }
 
-// Close implements Network: it stops accepting, severs every open
-// connection (unblocking in-flight Calls and serve loops on both sides),
-// and marks the endpoint so later Calls fail fast with ErrClosed.
+// Close implements Network: it stops accepting, cancels the lifetime
+// context, severs every open connection (unblocking in-flight Calls and
+// serve loops on both sides), and marks the endpoint so later Calls fail
+// fast with ErrClosed.
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	e.closed = true
@@ -214,6 +242,7 @@ func (e *TCPEndpoint) Close() error {
 	}
 	e.conns = nil
 	e.mu.Unlock()
+	e.lifeStop()
 	for _, c := range conns {
 		c.Close()
 	}

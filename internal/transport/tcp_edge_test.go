@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -66,7 +67,7 @@ func TestTCPProtocolEdgeCases(t *testing.T) {
 
 				// The endpoint must still serve well-formed requests.
 				r := callWithin(t, 5*time.Second, func() (Response, error) {
-					return eps[1].Call(0, Request{Kind: KindFetch, Sample: 4})
+					return eps[1].Call(bg, 0, Request{Kind: KindFetch, Sample: 4})
 				})
 				if r.err != nil || !r.resp.OK || string(r.resp.Data) != "r0-s4" {
 					t.Fatalf("call after truncated frame: resp=%+v err=%v", r.resp, r.err)
@@ -112,7 +113,7 @@ func TestTCPProtocolEdgeCases(t *testing.T) {
 				eps[0].addrs[1] = lying.Addr().String() // addrs slice is shared
 
 				r := callWithin(t, 5*time.Second, func() (Response, error) {
-					return eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+					return eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2})
 				})
 				if r.err == nil {
 					t.Fatalf("truncated response accepted: %+v", r.resp)
@@ -134,7 +135,7 @@ func TestTCPProtocolEdgeCases(t *testing.T) {
 
 				entered := make(chan struct{})
 				release := make(chan struct{})
-				eps[1].SetHandler(func(from int, req Request) Response {
+				eps[1].SetHandler(func(_ context.Context, from int, req Request) Response {
 					close(entered)
 					<-release
 					return Response{OK: true}
@@ -143,7 +144,7 @@ func TestTCPProtocolEdgeCases(t *testing.T) {
 
 				done := make(chan callResult, 1)
 				go func() {
-					resp, err := eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+					resp, err := eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2})
 					done <- callResult{resp, err}
 				}()
 				<-entered
@@ -173,7 +174,7 @@ func TestTCPProtocolEdgeCases(t *testing.T) {
 				eps[1].Close()
 
 				r := callWithin(t, 5*time.Second, func() (Response, error) {
-					return eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+					return eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2})
 				})
 				if r.err == nil {
 					t.Fatalf("fetch to closed peer succeeded: %+v", r.resp)
@@ -195,7 +196,7 @@ func TestTCPProtocolEdgeCases(t *testing.T) {
 				eps[0].Close()
 
 				r := callWithin(t, 5*time.Second, func() (Response, error) {
-					return eps[0].Call(1, Request{Kind: KindFetch, Sample: 2})
+					return eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2})
 				})
 				if !errors.Is(r.err, ErrClosed) {
 					t.Fatalf("want ErrClosed, got %v", r.err)

@@ -4,9 +4,15 @@
 // point-to-point sample fetches — over two interchangeable fabrics: an
 // in-process channel network (used by the cluster harness and tests) and a
 // TCP loopback network (real sockets, same protocol).
+//
+// Every blocking operation is context-first: Call returns the context's
+// error when the caller cancels mid-flight, and each endpoint carries a
+// lifetime context (canceled by Close) under which it serves requests, so
+// a canceled cluster tears its fabric down in bounded time.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,8 +45,11 @@ type Response struct {
 	Data  []byte
 }
 
-// Handler serves requests arriving at an endpoint.
-type Handler func(from int, req Request) Response
+// Handler serves requests arriving at an endpoint. The context is the
+// endpoint's lifetime: it is canceled when the endpoint closes, so a
+// handler blocked on rate-limited storage unwinds instead of outliving its
+// fabric.
+type Handler func(ctx context.Context, from int, req Request) Response
 
 // Network is one worker's view of the fabric.
 type Network interface {
@@ -51,23 +60,24 @@ type Network interface {
 	// SetHandler installs the request handler; it must be called before
 	// any peer Calls this endpoint.
 	SetHandler(Handler)
-	// Call sends a request to a peer and waits for its response.
-	Call(to int, req Request) (Response, error)
-	// Close releases the endpoint.
+	// Call sends a request to a peer and waits for its response. Canceling
+	// ctx unblocks the call with ctx's error.
+	Call(ctx context.Context, to int, req Request) (Response, error)
+	// Close releases the endpoint and cancels its lifetime context.
 	Close() error
 }
 
 // AllgatherValue exchanges a uint64 with every peer: the returned slice
 // holds each rank's value (own value included). NoPFS uses this at setup to
 // verify that every worker derived the identical access plan.
-func AllgatherValue(n Network, mine uint64) ([]uint64, error) {
+func AllgatherValue(ctx context.Context, n Network, mine uint64) ([]uint64, error) {
 	out := make([]uint64, n.Size())
 	out[n.Rank()] = mine
 	for peer := 0; peer < n.Size(); peer++ {
 		if peer == n.Rank() {
 			continue
 		}
-		resp, err := n.Call(peer, Request{Kind: KindValue, Value: mine})
+		resp, err := n.Call(ctx, peer, Request{Kind: KindValue, Value: mine})
 		if err != nil {
 			return nil, fmt.Errorf("transport: allgather with rank %d: %w", peer, err)
 		}
@@ -96,11 +106,17 @@ type ChanEndpoint struct {
 	dones   []chan struct{}
 	limiter *storage.Limiter
 
+	// life is the endpoint's lifetime context, canceled by Close; the serve
+	// loop runs handlers and limiter waits under it.
+	life     context.Context
+	lifeStop context.CancelFunc
+
 	// handler is the installed request handler (latest SetHandler wins);
 	// serveOnce ensures a single serve loop regardless of how often the
 	// handler is replaced.
 	handler   atomic.Pointer[Handler]
 	serveOnce sync.Once
+	closeOnce sync.Once
 }
 
 // NewChanNetwork builds an n-worker in-process fabric. limiter (optional)
@@ -114,8 +130,10 @@ func NewChanNetwork(n int, limiter *storage.Limiter) []*ChanEndpoint {
 	}
 	eps := make([]*ChanEndpoint, n)
 	for i := 0; i < n; i++ {
+		life, stop := context.WithCancel(context.Background())
 		eps[i] = &ChanEndpoint{
 			rank: i, inboxes: inboxes, dones: dones, limiter: limiter,
+			life: life, lifeStop: stop,
 		}
 	}
 	return eps
@@ -144,9 +162,11 @@ func (e *ChanEndpoint) serveLoop() {
 			// must not convoy unrelated requests; the limiters already
 			// enforce aggregate rates.
 			go func(call chanCall) {
-				resp := (*e.handler.Load())(call.from, call.req)
+				resp := (*e.handler.Load())(e.life, call.from, call.req)
 				if len(resp.Data) > 0 {
-					e.limiter.Wait(int64(len(resp.Data)))
+					if err := e.limiter.Wait(e.life, int64(len(resp.Data))); err != nil {
+						resp = Response{} // endpoint closed mid-response
+					}
 				}
 				call.reply <- resp
 			}(call)
@@ -157,13 +177,21 @@ func (e *ChanEndpoint) serveLoop() {
 }
 
 // Call implements Network.
-func (e *ChanEndpoint) Call(to int, req Request) (Response, error) {
+func (e *ChanEndpoint) Call(ctx context.Context, to int, req Request) (Response, error) {
 	if to < 0 || to >= len(e.inboxes) {
 		return Response{}, fmt.Errorf("transport: rank %d out of range", to)
+	}
+	// Fast-fail a pre-canceled context without dispatching to the peer,
+	// matching TCPEndpoint.Call (the select below would race the send
+	// against ctx.Done()).
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
 	}
 	reply := make(chan Response, 1)
 	select {
 	case e.inboxes[to] <- chanCall{from: e.rank, req: req, reply: reply}:
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
 	case <-e.dones[e.rank]:
 		return Response{}, ErrClosed
 	case <-e.dones[to]:
@@ -172,6 +200,8 @@ func (e *ChanEndpoint) Call(to int, req Request) (Response, error) {
 	select {
 	case resp := <-reply:
 		return resp, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
 	case <-e.dones[e.rank]:
 		return Response{}, ErrClosed
 	case <-e.dones[to]:
@@ -181,10 +211,9 @@ func (e *ChanEndpoint) Call(to int, req Request) (Response, error) {
 
 // Close implements Network.
 func (e *ChanEndpoint) Close() error {
-	select {
-	case <-e.dones[e.rank]:
-	default:
+	e.closeOnce.Do(func() {
+		e.lifeStop()
 		close(e.dones[e.rank])
-	}
+	})
 	return nil
 }

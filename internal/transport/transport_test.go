@@ -1,15 +1,22 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
+
+// bg is the default context for tests that exercise the data paths rather
+// than cancellation.
+var bg = context.Background()
 
 // echoHandler answers fetches with a payload derived from the sample id and
 // value exchanges with its own rank.
 func echoHandler(rank int) Handler {
-	return func(from int, req Request) Response {
+	return func(_ context.Context, from int, req Request) Response {
 		switch req.Kind {
 		case KindFetch:
 			if req.Sample%2 == 1 {
@@ -58,7 +65,7 @@ func TestCallBothFabrics(t *testing.T) {
 					n.Close()
 				}
 			}()
-			resp, err := f.nets[0].Call(2, Request{Kind: KindFetch, Sample: 4})
+			resp, err := f.nets[0].Call(bg, 2, Request{Kind: KindFetch, Sample: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -66,7 +73,7 @@ func TestCallBothFabrics(t *testing.T) {
 				t.Fatalf("resp = %+v", resp)
 			}
 			// Miss path.
-			resp, err = f.nets[1].Call(0, Request{Kind: KindFetch, Sample: 3})
+			resp, err = f.nets[1].Call(bg, 0, Request{Kind: KindFetch, Sample: 3})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -74,7 +81,7 @@ func TestCallBothFabrics(t *testing.T) {
 				t.Fatal("odd sample should miss")
 			}
 			// Out of range.
-			if _, err := f.nets[0].Call(99, Request{Kind: KindValue}); err == nil {
+			if _, err := f.nets[0].Call(bg, 99, Request{Kind: KindValue}); err == nil {
 				t.Fatal("out-of-range rank accepted")
 			}
 		})
@@ -100,7 +107,7 @@ func TestAllgatherValue(t *testing.T) {
 					defer wg.Done()
 					// Handlers reply with rank*100 regardless of the
 					// caller's value; rank i's own slot holds its value.
-					vals, err := AllgatherValue(n, uint64(i)*100)
+					vals, err := AllgatherValue(bg, n, uint64(i)*100)
 					if err != nil {
 						t.Errorf("rank %d: %v", i, err)
 						return
@@ -141,7 +148,7 @@ func TestConcurrentFetches(t *testing.T) {
 						if to == from {
 							to = (to + 1) % 4
 						}
-						resp, err := f.nets[from].Call(to, Request{Kind: KindFetch, Sample: int32(s * 2)})
+						resp, err := f.nets[from].Call(bg, to, Request{Kind: KindFetch, Sample: int32(s * 2)})
 						if err != nil {
 							t.Errorf("call: %v", err)
 							return
@@ -174,7 +181,7 @@ func TestChanCallAfterClose(t *testing.T) {
 	eps[0].SetHandler(echoHandler(0))
 	eps[1].SetHandler(echoHandler(1))
 	eps[0].Close()
-	if _, err := eps[0].Call(1, Request{Kind: KindValue}); err == nil {
+	if _, err := eps[0].Call(bg, 1, Request{Kind: KindValue}); err == nil {
 		t.Skip("call raced close; acceptable")
 	}
 	eps[1].Close()
@@ -188,12 +195,59 @@ func TestTCPCallAfterClose(t *testing.T) {
 	eps[0].SetHandler(echoHandler(0))
 	eps[1].SetHandler(echoHandler(1))
 	eps[1].Close()
-	if _, err := eps[0].Call(1, Request{Kind: KindValue}); err == nil {
+	if _, err := eps[0].Call(bg, 1, Request{Kind: KindValue}); err == nil {
 		t.Error("call to closed endpoint succeeded")
 	}
 	eps[0].Close()
-	if _, err := eps[0].Call(1, Request{Kind: KindValue}); err != ErrClosed {
+	if _, err := eps[0].Call(bg, 1, Request{Kind: KindValue}); err != ErrClosed {
 		t.Errorf("want ErrClosed from closed caller, got %v", err)
+	}
+}
+
+// TestCallCancellation pins the context-first contract on both fabrics: a
+// Call blocked on a slow peer must return the context's error promptly when
+// the caller cancels, leaving the fabric healthy for later calls.
+func TestCallCancellation(t *testing.T) {
+	for _, f := range buildFabrics(t, 2) {
+		t.Run(f.name, func(t *testing.T) {
+			release := make(chan struct{})
+			defer close(release)
+			f.nets[0].SetHandler(echoHandler(0))
+			f.nets[1].SetHandler(func(_ context.Context, from int, req Request) Response {
+				<-release // serve only after the test is done
+				return Response{OK: true}
+			})
+			defer func() {
+				for _, n := range f.nets {
+					n.Close()
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := f.nets[0].Call(ctx, 1, Request{Kind: KindFetch, Sample: 2})
+				done <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("canceled call returned %v, want context.Canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("canceled call did not return")
+			}
+			// The endpoint still serves calls under a live context.
+			resp, err := f.nets[1].Call(bg, 0, Request{Kind: KindFetch, Sample: 4})
+			if err != nil || !resp.OK {
+				t.Fatalf("call after cancellation: resp=%+v err=%v", resp, err)
+			}
+			// A pre-canceled context fails fast without touching the fabric.
+			if _, err := f.nets[0].Call(ctx, 1, Request{Kind: KindValue}); !errors.Is(err, context.Canceled) {
+				t.Errorf("pre-canceled call returned %v", err)
+			}
+		})
 	}
 }
 
@@ -205,7 +259,7 @@ func BenchmarkChanFetch(b *testing.B) {
 	defer eps[1].Close()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := eps[0].Call(1, Request{Kind: KindFetch, Sample: 2}); err != nil {
+		if _, err := eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,7 +276,7 @@ func BenchmarkTCPFetch(b *testing.B) {
 	defer eps[1].Close()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := eps[0].Call(1, Request{Kind: KindFetch, Sample: 2}); err != nil {
+		if _, err := eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,12 +1,13 @@
 package nopfs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/storage"
-	"repro/internal/transport"
 )
 
 // verifyPayload checks the integrity envelope of internal/dataset payloads.
@@ -14,43 +15,62 @@ func verifyPayload(id int, data []byte) error {
 	return dataset.VerifySample(id, data)
 }
 
+// RankFunc is one worker's training loop: it consumes the Job's sample
+// stream (Samples / GetBatch / Get) until done. ctx is the cluster's run
+// context; passing it into the Job's consuming calls makes the loop unwind
+// promptly on cancellation.
+type RankFunc func(ctx context.Context, job *Job) error
+
 // RunCluster executes an N-worker distributed training job in one process:
-// it builds the fabric (in-process channels, or loopback TCP with
-// Options.UseTCP), wires every worker's Job, runs fn concurrently for each
-// worker (the per-rank training loop), and returns per-worker stats.
+// it builds the fabric selected by the options (in-process channels by
+// default; see WithFabric and RegisterFabric), wires every worker's Job,
+// runs fn concurrently for each worker (the per-rank training loop), and
+// returns per-worker stats.
+//
+// Canceling ctx tears the whole cluster down in bounded time: prefetchers,
+// bandwidth waits, fabric calls, and blocked consumers all unwind, every
+// goroutine exits, and the context error is reported.
+//
+// Failures are aggregated: if several ranks fail, the returned error joins
+// all of them (errors.Join), each wrapped with its rank.
 //
 // Every worker sees the dataset "at rest on a PFS" whose aggregate
 // bandwidth is Options.PFSAggregateMBps, matching the paper's MLPerf-HPC
 // starting condition.
-func RunCluster(ds Dataset, workers int, opts Options, fn func(job *Job) error) ([]Stats, error) {
+func RunCluster(ctx context.Context, ds Dataset, workers int, opts Options, fn RankFunc) ([]Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := opts.Validate(ds, workers); err != nil {
 		return nil, err
 	}
+	fab, err := opts.fabric()
+	if err != nil {
+		return nil, err
+	}
 	shared := &pfs{ds: ds, limiter: storage.NewLimiter(opts.PFSAggregateMBps)}
-	bc := storage.NewLimiter(opts.InterconnectMBps)
 
-	nets := make([]transport.Network, workers)
-	if opts.UseTCP {
-		eps, err := transport.NewTCPNetwork(workers, bc)
-		if err != nil {
-			return nil, err
+	nets, err := fab.Build(ctx, workers, opts.InterconnectMBps)
+	if err != nil {
+		return nil, fmt.Errorf("nopfs: fabric %q: %w", fab.Name(), err)
+	}
+	if len(nets) != workers {
+		for _, n := range nets {
+			n.Close()
 		}
-		for i, e := range eps {
-			nets[i] = e
-		}
-	} else {
-		for i, e := range transport.NewChanNetwork(workers, bc) {
-			nets[i] = e
-		}
+		return nil, fmt.Errorf("nopfs: fabric %q built %d endpoints for %d workers", fab.Name(), len(nets), workers)
 	}
 
 	jobs := make([]*Job, workers)
 	for rank := 0; rank < workers; rank++ {
-		j, err := newJob(ds, rank, workers, perRankOptions(opts, rank), nets[rank], shared)
+		j, err := newJob(ctx, ds, rank, workers, perRankOptions(opts, rank), nets[rank], shared)
 		if err != nil {
 			for r := 0; r < rank; r++ {
 				jobs[r].Close()
+			}
+			for r := rank; r < workers; r++ {
+				nets[r].Close()
 			}
 			return nil, fmt.Errorf("nopfs: rank %d: %w", rank, err)
 		}
@@ -64,11 +84,11 @@ func RunCluster(ds Dataset, workers int, opts Options, fn func(job *Job) error) 
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if err := jobs[rank].Start(); err != nil {
+			if err := jobs[rank].Start(ctx); err != nil {
 				errs[rank] = err
 				return
 			}
-			errs[rank] = fn(jobs[rank])
+			errs[rank] = fn(ctx, jobs[rank])
 		}(rank)
 	}
 	wg.Wait()
@@ -78,10 +98,14 @@ func RunCluster(ds Dataset, workers int, opts Options, fn func(job *Job) error) 
 		stats[rank] = j.Stats()
 		j.Close()
 	}
+	var failures []error
 	for rank, err := range errs {
 		if err != nil {
-			return stats, fmt.Errorf("nopfs: rank %d: %w", rank, err)
+			failures = append(failures, fmt.Errorf("nopfs: rank %d: %w", rank, err))
 		}
+	}
+	if len(failures) > 0 {
+		return stats, errors.Join(failures...)
 	}
 	return stats, nil
 }
@@ -102,15 +126,11 @@ func perRankOptions(opts Options, rank int) Options {
 
 // DrainAll is a convenience training loop: it consumes the entire stream,
 // calling onSample (if non-nil) for every delivered sample.
-func DrainAll(onSample func(Sample) error) func(*Job) error {
-	return func(j *Job) error {
-		for {
-			s, ok, err := j.Get()
+func DrainAll(onSample func(Sample) error) RankFunc {
+	return func(ctx context.Context, j *Job) error {
+		for s, err := range j.Samples(ctx) {
 			if err != nil {
 				return err
-			}
-			if !ok {
-				return nil
 			}
 			if onSample != nil {
 				if err := onSample(s); err != nil {
@@ -118,5 +138,6 @@ func DrainAll(onSample func(Sample) error) func(*Job) error {
 				}
 			}
 		}
+		return nil
 	}
 }

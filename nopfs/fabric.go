@@ -1,0 +1,128 @@
+package nopfs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Endpoint is one worker's handle on the cluster fabric: the transport
+// layer's Network interface. Custom Fabric implementations return one
+// endpoint per rank; the built-in fabrics wrap the in-process channel
+// network and the loopback TCP network.
+type Endpoint = transport.Network
+
+// Fabric constructs a cluster's communication substrate. Implementations
+// are registered by name (RegisterFabric) and selected per run with
+// WithFabric / Options.Fabric, making the transport an open extension
+// point: in-process channels and loopback TCP are merely the two built-ins.
+type Fabric interface {
+	// Name is the registry key ("chan", "tcp", ...).
+	Name() string
+	// Build returns one connected endpoint per rank, all sharing an
+	// interconnect bandwidth budget of interconnectMBps (0 = unlimited).
+	// ctx bounds setup; endpoints must honour cancellation in Call and
+	// release all resources on Close.
+	Build(ctx context.Context, workers int, interconnectMBps float64) ([]Endpoint, error)
+}
+
+// Built-in fabric names.
+const (
+	// FabricChan is the in-process channel fabric (the default).
+	FabricChan = "chan"
+	// FabricTCP is the loopback TCP-socket fabric.
+	FabricTCP = "tcp"
+)
+
+var (
+	fabricMu sync.RWMutex
+	fabrics  = map[string]Fabric{}
+)
+
+// RegisterFabric adds a fabric to the registry. It panics on an empty name
+// or a duplicate registration, mirroring database/sql's driver registry:
+// both indicate a programming error, not a runtime condition.
+func RegisterFabric(f Fabric) {
+	if f == nil || f.Name() == "" {
+		panic("nopfs: RegisterFabric with nil fabric or empty name")
+	}
+	fabricMu.Lock()
+	defer fabricMu.Unlock()
+	if _, dup := fabrics[f.Name()]; dup {
+		panic(fmt.Sprintf("nopfs: RegisterFabric called twice for %q", f.Name()))
+	}
+	fabrics[f.Name()] = f
+}
+
+// FabricByName resolves a registered fabric.
+func FabricByName(name string) (Fabric, error) {
+	fabricMu.RLock()
+	defer fabricMu.RUnlock()
+	f, ok := fabrics[name]
+	if !ok {
+		return nil, fmt.Errorf("nopfs: unknown fabric %q (registered: %v)", name, fabricNamesLocked())
+	}
+	return f, nil
+}
+
+// FabricNames returns the registered fabric names, sorted.
+func FabricNames() []string {
+	fabricMu.RLock()
+	defer fabricMu.RUnlock()
+	return fabricNamesLocked()
+}
+
+func fabricNamesLocked() []string {
+	names := make([]string, 0, len(fabrics))
+	for n := range fabrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// chanFabric is the in-process channel fabric.
+type chanFabric struct{}
+
+func (chanFabric) Name() string { return FabricChan }
+
+func (chanFabric) Build(ctx context.Context, workers int, interconnectMBps float64) ([]Endpoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eps := transport.NewChanNetwork(workers, storage.NewLimiter(interconnectMBps))
+	nets := make([]Endpoint, len(eps))
+	for i, e := range eps {
+		nets[i] = e
+	}
+	return nets, nil
+}
+
+// tcpFabric is the loopback TCP fabric.
+type tcpFabric struct{}
+
+func (tcpFabric) Name() string { return FabricTCP }
+
+func (tcpFabric) Build(ctx context.Context, workers int, interconnectMBps float64) ([]Endpoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eps, err := transport.NewTCPNetwork(workers, storage.NewLimiter(interconnectMBps))
+	if err != nil {
+		return nil, err
+	}
+	nets := make([]Endpoint, len(eps))
+	for i, e := range eps {
+		nets[i] = e
+	}
+	return nets, nil
+}
+
+func init() {
+	RegisterFabric(chanFabric{})
+	RegisterFabric(tcpFabric{})
+}

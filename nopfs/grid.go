@@ -1,6 +1,7 @@
 package nopfs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sweep"
@@ -52,26 +53,31 @@ type ClusterScenario struct {
 	// returned dataset must tolerate concurrent readers (internal/dataset
 	// types do).
 	Dataset func() (Dataset, error)
-	// Options configures the job. Seed and UseTCP are overridden per cell
+	// Options configures the job. Seed and Fabric are overridden per cell
 	// by the engine's replica seed and the fabric column.
 	Options Options
 }
 
-// FabricSpec is one grid column: which transport the cluster runs on.
+// FabricSpec is one grid column: which transport the cluster runs on. Name
+// is both the column label and the fabric-registry key.
 type FabricSpec struct {
-	Name   string
-	UseTCP bool
+	Name string
 }
 
-// AllFabrics returns both fabric columns: in-process channels and loopback
-// TCP.
+// AllFabrics returns one column per registered fabric, sorted by name —
+// the built-ins ("chan", "tcp") plus anything added via RegisterFabric.
 func AllFabrics() []FabricSpec {
-	return []FabricSpec{{Name: "chan"}, {Name: "tcp", UseTCP: true}}
+	names := FabricNames()
+	specs := make([]FabricSpec, len(names))
+	for i, n := range names {
+		specs[i] = FabricSpec{Name: n}
+	}
+	return specs
 }
 
 // ChanFabric returns the in-process channel column only.
 func ChanFabric() []FabricSpec {
-	return []FabricSpec{{Name: "chan"}}
+	return []FabricSpec{{Name: FabricChan}}
 }
 
 // ClusterOutcome folds per-worker stats into an engine cell outcome,
@@ -120,7 +126,7 @@ func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec,
 		Metrics: ClusterMetrics(),
 		Cell: func(si, pi int) sweep.CellFunc {
 			sc, f := scenarios[si], fabrics[pi]
-			return func(seed uint64) (*sweep.Outcome, error) {
+			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
 				if sc.Dataset == nil {
 					return nil, fmt.Errorf("nopfs: cluster scenario %q has no dataset", sc.ID)
 				}
@@ -130,8 +136,8 @@ func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec,
 				}
 				opts := sc.Options
 				opts.Seed = seed
-				opts.UseTCP = f.UseTCP
-				stats, err := RunCluster(ds, sc.Workers, opts, DrainAll(nil))
+				opts.Fabric = f.Name
+				stats, err := RunCluster(ctx, ds, sc.Workers, opts, DrainAll(nil))
 				if err != nil {
 					return nil, err
 				}

@@ -2,6 +2,7 @@ package nopfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -42,7 +43,7 @@ func testClusterGrid(t *testing.T, replicas int) *sweep.Grid {
 // metrics against the clairvoyant plan.
 func TestClusterGridRunsLiveCells(t *testing.T) {
 	grid := testClusterGrid(t, 1)
-	rep, err := (&sweep.Runner{Parallel: 2}).Run(grid)
+	rep, err := (&sweep.Runner{Parallel: 2}).Run(bg, grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestClusterGridRunsLiveCells(t *testing.T) {
 	}
 	// The schedule-derived metric must also be stable across engine pool
 	// widths (live wall-clock metrics are not, and are not compared).
-	rep1, err := (&sweep.Runner{Parallel: 1}).Run(testClusterGrid(t, 1))
+	rep1, err := (&sweep.Runner{Parallel: 1}).Run(bg, testClusterGrid(t, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestClusterGridReplicaSeeds(t *testing.T) {
 			},
 		}},
 		ChanFabric(), 3, 5)
-	rep, err := (&sweep.Runner{Parallel: 3}).Run(grid)
+	rep, err := (&sweep.Runner{Parallel: 3}).Run(bg, grid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestClusterPrefetchErrorSurfaces(t *testing.T) {
 	ds := &failingDataset{Dataset: base, failAfter: 40}
 	opts := baseOptions()
 	opts.Epochs = 3
-	_, err := RunCluster(ds, 3, opts, DrainAll(nil))
+	_, err := RunCluster(bg, ds, 3, opts, DrainAll(nil))
 	if err == nil {
 		t.Fatal("injected read failure did not surface")
 	}
@@ -175,9 +176,9 @@ func TestClusterEarlyConsumerStop(t *testing.T) {
 	ds := testDataset(t, 96)
 	opts := baseOptions()
 	opts.Epochs = 3
-	_, err := RunCluster(ds, 3, opts, func(j *Job) error {
+	_, err := RunCluster(bg, ds, 3, opts, func(ctx context.Context, j *Job) error {
 		for i := 0; i < 5; i++ {
-			if _, ok, err := j.Get(); err != nil || !ok {
+			if _, ok, err := j.Get(ctx); err != nil || !ok {
 				return err
 			}
 		}

@@ -1,8 +1,10 @@
 package nopfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,7 +19,7 @@ import (
 // Job is one worker's handle on a distributed training run: the paper's
 // Python `Job` class. It owns the worker's staging buffer, storage-class
 // prefetchers, and fabric endpoint, and delivers samples in exact schedule
-// order through Get.
+// order through Samples, GetBatch, or Get.
 type Job struct {
 	rank int
 	opts Options
@@ -28,10 +30,16 @@ type Job struct {
 	stream   []access.SampleID
 	perEpoch int
 
-	backends []storage.Backend
+	backends []StorageBackend
 	staging  *storage.Staging
-	net      transport.Network
+	net      Endpoint
 	pfs      *pfs
+
+	// ctx is the job's lifetime context: derived in Start from the caller's
+	// context, canceled by Close. Prefetchers block under it, so cancellation
+	// of either kind unwinds every blocking layer.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	progress atomic.Int64 // staging prefetch position (heuristic input)
 	pos      atomic.Int64 // next stream position to claim
@@ -53,13 +61,16 @@ type Job struct {
 	sourceMu sync.Mutex
 	sources  map[int]Source
 
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // newJob wires one worker. The caller provides the fabric endpoint and the
 // shared PFS; placement is computed clairvoyantly from the options' seed.
-func newJob(ds Dataset, rank, workers int, opts Options, net transport.Network, shared *pfs) (*Job, error) {
+// ctx bounds backend construction only — the job's lifetime context is
+// derived later, in Start.
+func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, net Endpoint, shared *pfs) (*Job, error) {
 	plan := &access.Plan{
 		Seed: opts.Seed, F: ds.Len(), N: workers, E: opts.Epochs,
 		BatchPerWorker: opts.BatchPerWorker, DropLast: opts.DropLast,
@@ -76,21 +87,15 @@ func newJob(ds Dataset, rank, workers int, opts Options, net transport.Network, 
 		staging:  storage.NewStaging(opts.StagingBytes),
 		net:      net,
 		pfs:      shared,
+		ctx:      context.Background(),
 		closed:   make(chan struct{}),
 	}
-	for i, c := range opts.Classes {
-		read := storage.NewLimiter(c.ReadMBps)
-		write := storage.NewLimiter(c.WriteMBps)
-		if c.Dir != "" {
-			b, err := storage.NewFS(c.Name, c.Dir, c.CapacityBytes, read, write)
-			if err != nil {
-				return nil, err
-			}
-			j.backends = append(j.backends, b)
-		} else {
-			j.backends = append(j.backends, storage.NewMemory(c.Name, c.CapacityBytes, read, write))
+	for _, c := range opts.Classes {
+		b, err := newClassBackend(ctx, rank, c)
+		if err != nil {
+			return nil, err
 		}
-		_ = i
+		j.backends = append(j.backends, b)
 	}
 	net.SetHandler(j.handle)
 	return j, nil
@@ -122,9 +127,20 @@ func nodeFromClasses(classes []Class) hwspec.Node {
 }
 
 // Start verifies plan agreement with all peers (allgather of plan digests)
-// and launches the prefetchers. It must be called once before Get.
-func (j *Job) Start() error {
-	digests, err := transport.AllgatherValue(j.net, j.plan.Hash())
+// and launches the prefetchers. It must be called once before consuming
+// samples. The job's lifetime is bound to ctx: canceling it stops the
+// prefetchers and unblocks any waiting consumer in bounded time.
+func (j *Job) Start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j.ctx, j.cancel = context.WithCancel(ctx)
+	// Tie context cancellation to the legacy shutdown signal so every
+	// pre-context wait (the class prefetchers' pacing loop, the staging
+	// buffer's drain semantics) observes it too.
+	context.AfterFunc(j.ctx, j.shutdown)
+
+	digests, err := transport.AllgatherValue(j.ctx, j.net, j.plan.Hash())
 	if err != nil {
 		return fmt.Errorf("nopfs: plan allgather: %w", err)
 	}
@@ -156,7 +172,7 @@ func (j *Job) Start() error {
 // errJobClosed aborts in-flight prefetch work during shutdown.
 var errJobClosed = errors.New("nopfs: job closed")
 
-// isClosed reports whether Close has begun.
+// isClosed reports whether shutdown has begun (Close or context cancel).
 func (j *Job) isClosed() bool {
 	select {
 	case <-j.closed:
@@ -164,6 +180,20 @@ func (j *Job) isClosed() bool {
 	default:
 		return false
 	}
+}
+
+// shutdown flips the job into teardown: wake every waiter, stop stream
+// claimers. Idempotent; runs on Close and on context cancellation.
+func (j *Job) shutdown() {
+	j.closeOnce.Do(func() { close(j.closed) })
+	j.staging.Close()
+	j.pos.Store(int64(len(j.stream))) // stop claimers
+}
+
+// benign reports whether a prefetch error is part of an orderly teardown
+// rather than a run failure.
+func (j *Job) benign(err error) bool {
+	return err == errJobClosed || err == storage.ErrClosed || j.ctx.Err() != nil
 }
 
 // fail records the first fatal error and unblocks the consumer.
@@ -187,14 +217,14 @@ func (j *Job) fatalErr() error {
 }
 
 // handle serves peer requests: sample fetches from local caches and plan
-// digest exchanges.
-func (j *Job) handle(from int, req transport.Request) transport.Response {
+// digest exchanges. ctx is the fabric endpoint's lifetime.
+func (j *Job) handle(ctx context.Context, from int, req transport.Request) transport.Response {
 	switch req.Kind {
 	case transport.KindValue:
 		return transport.Response{OK: true, Value: j.plan.Hash()}
 	case transport.KindFetch:
 		for _, b := range j.backends {
-			if data, ok, err := b.Get(req.Sample); err == nil && ok {
+			if data, ok, err := b.Get(ctx, req.Sample); err == nil && ok {
 				return transport.Response{OK: true, Data: data}
 			}
 		}
@@ -242,15 +272,16 @@ func (j *Job) classPrefetcher(class int, fill []access.SampleID, next *atomic.In
 			continue
 		}
 		data, _, err := j.fetchFrom(k, int(j.progress.Load()), false)
-		if err == errJobClosed {
-			return
-		}
 		if err != nil {
-			j.fail(err)
+			if !j.benign(err) {
+				j.fail(err)
+			}
 			return
 		}
-		if _, err := backend.Put(k, data); err != nil {
-			j.fail(err)
+		if _, err := backend.Put(j.ctx, k, data); err != nil {
+			if !j.benign(err) {
+				j.fail(err)
+			}
 			return
 		}
 	}
@@ -260,10 +291,8 @@ func (j *Job) classPrefetcher(class int, fill []access.SampleID, next *atomic.In
 func (j *Job) stagingPrefetcher() {
 	defer j.wg.Done()
 	for {
-		select {
-		case <-j.closed:
+		if j.isClosed() {
 			return
-		default:
 		}
 		pos := int(j.pos.Add(1) - 1)
 		if pos >= len(j.stream) {
@@ -271,11 +300,10 @@ func (j *Job) stagingPrefetcher() {
 		}
 		k := j.stream[pos]
 		data, src, err := j.fetchFrom(k, pos, true)
-		if err == errJobClosed {
-			return
-		}
 		if err != nil {
-			j.fail(err)
+			if !j.benign(err) {
+				j.fail(err)
+			}
 			return
 		}
 		switch src {
@@ -292,8 +320,8 @@ func (j *Job) stagingPrefetcher() {
 		}
 		j.sources[pos] = src
 		j.sourceMu.Unlock()
-		if err := j.staging.Push(pos, k, data); err != nil {
-			if err != storage.ErrClosed {
+		if err := j.staging.Push(j.ctx, pos, k, data); err != nil {
+			if !j.benign(err) {
 				j.fail(err)
 			}
 			return
@@ -313,7 +341,7 @@ func (j *Job) fetchFrom(k access.SampleID, pos int, selfHeal bool) ([]byte, Sour
 	}
 	// Local storage classes, fastest first.
 	for _, b := range j.backends {
-		if data, ok, err := b.Get(k); err != nil {
+		if data, ok, err := b.Get(j.ctx, k); err != nil {
 			return nil, SourceLocal, err
 		} else if ok {
 			return data, SourceLocal, nil
@@ -322,7 +350,7 @@ func (j *Job) fetchFrom(k access.SampleID, pos int, selfHeal bool) ([]byte, Sour
 	// Best remote holder per the clairvoyant placement + progress
 	// heuristic.
 	if _, holder := j.assign.RemoteAvail(j.rank, k, int32(pos)); holder >= 0 {
-		resp, err := j.net.Call(holder, transport.Request{Kind: transport.KindFetch, Sample: k})
+		resp, err := j.net.Call(j.ctx, holder, transport.Request{Kind: transport.KindFetch, Sample: k})
 		switch {
 		case err == nil && resp.OK:
 			return resp.Data, SourceRemote, nil
@@ -338,13 +366,16 @@ func (j *Job) fetchFrom(k access.SampleID, pos int, selfHeal bool) ([]byte, Sour
 	if j.isClosed() {
 		return nil, SourcePFS, errJobClosed
 	}
-	data, err := j.pfs.read(k)
+	data, err := j.pfs.read(j.ctx, k)
 	if err != nil {
+		if j.ctx.Err() != nil {
+			return nil, SourcePFS, errJobClosed
+		}
 		return nil, SourcePFS, fmt.Errorf("nopfs: pfs read of %d: %w", k, err)
 	}
 	if selfHeal {
 		if c := j.assign.Local(j.rank, k); c >= 0 {
-			if _, err := j.backends[c].Put(k, data); err != nil {
+			if _, err := j.backends[c].Put(j.ctx, k, data); err != nil {
 				return nil, SourcePFS, err
 			}
 		}
@@ -354,16 +385,23 @@ func (j *Job) fetchFrom(k access.SampleID, pos int, selfHeal bool) ([]byte, Sour
 
 // Get returns the next sample of this worker's schedule. It blocks until
 // the sample is staged and returns false when the run is complete. A fatal
-// prefetch error surfaces as err.
-func (j *Job) Get() (Sample, bool, error) {
+// prefetch error surfaces as err; canceling ctx unblocks the call with
+// ctx's error.
+func (j *Job) Get(ctx context.Context) (Sample, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	e, err := j.staging.Pop()
+	e, err := j.staging.Pop(ctx)
 	j.stallNanos.Add(int64(time.Since(start)))
 	if err != nil {
 		if fatal := j.fatalErr(); fatal != nil {
 			return Sample{}, false, fatal
 		}
-		return Sample{}, false, nil
+		if err != storage.ErrClosed {
+			return Sample{}, false, err // ctx cancellation
+		}
+		return Sample{}, false, nil // clean end of stream (or Close)
 	}
 	j.sourceMu.Lock()
 	src := j.sources[e.Pos]
@@ -390,11 +428,72 @@ func (j *Job) Get() (Sample, bool, error) {
 	return s, true, nil
 }
 
+// Samples returns the worker's sample stream as a range-over-func iterator:
+//
+//	for s, err := range job.Samples(ctx) {
+//	        if err != nil { return err }
+//	        train(s)
+//	}
+//
+// The sequence ends when the schedule is exhausted; a fatal prefetch error
+// or a context cancellation is yielded once as the final element's err.
+// The iterator is single-use and not safe for concurrent iteration (each
+// worker owns one Job).
+func (j *Job) Samples(ctx context.Context) iter.Seq2[Sample, error] {
+	return func(yield func(Sample, error) bool) {
+		for {
+			s, ok, err := j.Get(ctx)
+			if err != nil {
+				yield(Sample{}, err)
+				return
+			}
+			if !ok {
+				return
+			}
+			if !yield(s, nil) {
+				return
+			}
+		}
+	}
+}
+
+// GetBatch pulls up to n samples (n <= 0 means the configured
+// BatchPerWorker) — the per-worker minibatch shape of the paper's training
+// loop. The final batch of a run may be short; a nil, nil return means the
+// schedule is exhausted. On error the samples delivered before the failure
+// are returned alongside it.
+func (j *Job) GetBatch(ctx context.Context, n int) ([]Sample, error) {
+	if n <= 0 {
+		n = j.opts.BatchPerWorker
+		if n <= 0 {
+			n = 1
+		}
+	}
+	batch := make([]Sample, 0, n)
+	for len(batch) < n {
+		s, ok, err := j.Get(ctx)
+		if err != nil {
+			return batch, err
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, s)
+	}
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	return batch, nil
+}
+
 // StreamLen returns the total number of samples this worker will consume.
 func (j *Job) StreamLen() int { return len(j.stream) }
 
 // IterationsPerEpoch returns the worker's batches per epoch.
 func (j *Job) IterationsPerEpoch() int { return j.perEpoch / j.opts.BatchPerWorker }
+
+// Rank returns this worker's rank in the cluster.
+func (j *Job) Rank() int { return j.rank }
 
 // Stats snapshots the worker's counters.
 func (j *Job) Stats() Stats {
@@ -416,16 +515,14 @@ func (j *Job) Stats() Stats {
 	}
 }
 
-// Close stops the prefetchers and releases the fabric endpoint. Safe to
-// call after the stream is exhausted or mid-run.
+// Close stops the prefetchers, cancels the job's lifetime context, and
+// releases the fabric endpoint. Safe to call after the stream is exhausted
+// or mid-run; it returns only after every prefetcher goroutine has exited.
 func (j *Job) Close() error {
-	select {
-	case <-j.closed:
-	default:
-		close(j.closed)
+	j.shutdown()
+	if j.cancel != nil {
+		j.cancel()
 	}
-	j.staging.Close()
-	j.pos.Store(int64(len(j.stream))) // stop claimers
 	j.wg.Wait()
 	return j.net.Close()
 }

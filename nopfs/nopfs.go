@@ -13,12 +13,29 @@
 // performance model predicts is fastest.
 //
 // The package exposes the paper's iterator-style interface (Fig. 7): create
-// a Job per worker and call Get until the run is exhausted. RunCluster runs
-// an N-worker training job in one process for experimentation; the same Job
-// runs over real TCP sockets via Options.UseTCP.
+// a Job per worker and range over Samples (or call Get / GetBatch) until the
+// run is exhausted. RunCluster runs an N-worker training job in one process
+// for experimentation; the same Job runs over real TCP sockets by selecting
+// the "tcp" fabric (WithFabric).
+//
+// The public surface is context-first and built from open extension points:
+//
+//   - Fabric — the communication substrate, selected by registry name
+//     (chan and TCP built in, RegisterFabric for custom transports);
+//   - StorageBackend — the byte store behind each storage class, selected
+//     per class by kind (mem and dir built in, RegisterBackend for custom
+//     stores);
+//   - Option — functional options layered over the Options struct
+//     (WithSeed, WithFabric, WithClasses, ...);
+//   - Job.Samples — a range-over-func sample stream, and Job.GetBatch for
+//     per-worker minibatch pulls.
+//
+// Every blocking call accepts a context.Context; canceling it tears the
+// cluster down in bounded time with no leaked goroutines.
 package nopfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,6 +66,10 @@ type Class struct {
 	// Dir, when non-empty, makes the class filesystem-backed at that
 	// path; otherwise it is an in-memory store.
 	Dir string
+	// Backend selects the storage-backend kind from the registry
+	// (BackendMemory, BackendDir, or a custom RegisterBackend kind). Empty
+	// means: BackendDir when Dir is set, else BackendMemory.
+	Backend string
 	// ReadMBps / WriteMBps emulate the class's aggregate bandwidth
 	// (0 = unlimited). Useful for experiments on laptop hardware.
 	ReadMBps, WriteMBps float64
@@ -86,8 +107,17 @@ type Options struct {
 	// VerifySamples CRC-checks every delivered payload against the
 	// dataset's integrity envelope (internal/dataset format).
 	VerifySamples bool
+
+	// Fabric selects the cluster fabric by registry name (FabricChan,
+	// FabricTCP, or a custom RegisterFabric name). Empty means FabricChan,
+	// unless the deprecated UseTCP flag is set.
+	Fabric string
 	// UseTCP runs the cluster fabric over loopback TCP sockets instead of
 	// in-process channels.
+	//
+	// Deprecated: set Fabric (or use WithFabric) instead. UseTCP is kept as
+	// a compatibility shim — it is honoured only when Fabric is empty — and
+	// will be removed in v2.
 	UseTCP bool
 }
 
@@ -131,6 +161,12 @@ func (o Options) Validate(ds Dataset, workers int) error {
 		if c.CapacityBytes <= 0 {
 			return fmt.Errorf("nopfs: class %q needs positive capacity", c.Name)
 		}
+		if _, err := BackendByKind(backendKind(c)); err != nil {
+			return fmt.Errorf("nopfs: class %q: %w", c.Name, err)
+		}
+	}
+	if _, err := o.fabric(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -199,12 +235,15 @@ type pfs struct {
 	limiter *storage.Limiter
 }
 
-// read performs one PFS sample read under the bandwidth model.
-func (p *pfs) read(id int32) ([]byte, error) {
+// read performs one PFS sample read under the bandwidth model. Canceling
+// ctx interrupts the bandwidth wait.
+func (p *pfs) read(ctx context.Context, id int32) ([]byte, error) {
 	data, err := p.ds.ReadSample(int(id))
 	if err != nil {
 		return nil, err
 	}
-	p.limiter.Wait(int64(len(data)))
+	if err := p.limiter.Wait(ctx, int64(len(data))); err != nil {
+		return nil, err
+	}
 	return data, nil
 }

@@ -1,6 +1,7 @@
 package nopfs
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -8,6 +9,10 @@ import (
 	"repro/internal/access"
 	"repro/internal/dataset"
 )
+
+// bg is the default context for tests that exercise the data paths rather
+// than cancellation (see cancel_test.go for the cancellation tier).
+var bg = context.Background()
 
 func testDataset(t testing.TB, f int) *dataset.Synthetic {
 	t.Helper()
@@ -57,21 +62,16 @@ func runAndCollect(t *testing.T, ds Dataset, workers int, opts Options) ([][]int
 	t.Helper()
 	delivered := make([][]int, workers)
 	var mu sync.Mutex
-	stats, err := RunCluster(ds, workers, opts, func(j *Job) error {
+	stats, err := RunCluster(bg, ds, workers, opts, func(ctx context.Context, j *Job) error {
 		var ids []int
-		for {
-			s, ok, err := j.Get()
+		for s, err := range j.Samples(ctx) {
 			if err != nil {
 				return err
-			}
-			if !ok {
-				break
 			}
 			ids = append(ids, s.ID)
 		}
 		mu.Lock()
-		// Job has no exported rank; recover it from Stats ordering later.
-		delivered[j.Stats().Rank] = ids
+		delivered[j.Rank()] = ids
 		mu.Unlock()
 		return nil
 	})
@@ -153,7 +153,7 @@ func TestClusterPayloadIntegrity(t *testing.T) {
 	opts.Classes = append(opts.Classes, Class{
 		Name: "ssd", CapacityBytes: 1 << 20, Dir: t.TempDir(), Threads: 1,
 	})
-	stats, err := RunCluster(ds, 3, opts, DrainAll(func(s Sample) error {
+	stats, err := RunCluster(bg, ds, 3, opts, DrainAll(func(s Sample) error {
 		want, err := ds.ReadSample(s.ID)
 		if err != nil {
 			return err
@@ -198,11 +198,11 @@ func TestClusterEpochIterationBookkeeping(t *testing.T) {
 	ds := testDataset(t, 64)
 	opts := baseOptions()
 	opts.Epochs = 2
-	_, err := RunCluster(ds, 2, opts, func(j *Job) error {
+	_, err := RunCluster(bg, ds, 2, opts, func(ctx context.Context, j *Job) error {
 		perEpoch := j.StreamLen() / opts.Epochs
 		n := 0
 		for {
-			s, ok, err := j.Get()
+			s, ok, err := j.Get(ctx)
 			if err != nil {
 				return err
 			}
@@ -236,7 +236,7 @@ func TestClusterSeedMismatchCaught(t *testing.T) {
 	ds := testDataset(t, 32)
 	opts := baseOptions()
 	opts.Epochs = 1
-	if _, err := RunCluster(ds, 2, opts, DrainAll(nil)); err != nil {
+	if _, err := RunCluster(bg, ds, 2, opts, DrainAll(nil)); err != nil {
 		t.Fatalf("consistent cluster failed: %v", err)
 	}
 }
@@ -330,7 +330,7 @@ func BenchmarkClusterEndToEnd(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunCluster(ds, 4, opts, DrainAll(nil)); err != nil {
+		if _, err := RunCluster(bg, ds, 4, opts, DrainAll(nil)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,116 @@
+package nopfs
+
+// This file is the functional-options layer of the v1 API. Options remains
+// an ordinary struct — existing literals keep working — and every Option is
+// a pure mutation of it, so the two styles compose:
+//
+//	opts := nopfs.NewOptions(
+//	        nopfs.WithSeed(42),
+//	        nopfs.WithEpochs(3),
+//	        nopfs.WithClasses(nopfs.Class{Name: "ram", CapacityBytes: 64 << 20}),
+//	        nopfs.WithFabric(nopfs.FabricTCP),
+//	)
+//	stats, err := nopfs.RunCluster(ctx, ds, workers, opts, fn)
+
+// Option mutates an Options value; see NewOptions.
+type Option func(*Options)
+
+// NewOptions builds an Options from functional options, applied in order
+// over the zero value (unset fields take the usual defaults at run time).
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}
+
+// WithOptions replaces the whole Options value — the bridge from
+// struct-literal configuration into the functional style (later options
+// still apply on top).
+func WithOptions(base Options) Option {
+	return func(o *Options) { *o = base }
+}
+
+// WithSeed sets the shuffle seed — the clairvoyance input.
+func WithSeed(seed uint64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithEpochs sets the number of passes over the dataset.
+func WithEpochs(n int) Option {
+	return func(o *Options) { o.Epochs = n }
+}
+
+// WithBatchPerWorker sets the per-worker mini-batch size.
+func WithBatchPerWorker(n int) Option {
+	return func(o *Options) { o.BatchPerWorker = n }
+}
+
+// WithDropLast drops the trailing partial global batch each epoch.
+func WithDropLast(drop bool) Option {
+	return func(o *Options) { o.DropLast = drop }
+}
+
+// WithStagingBuffer sets the staging-buffer byte budget.
+func WithStagingBuffer(bytes int64) Option {
+	return func(o *Options) { o.StagingBytes = bytes }
+}
+
+// WithStagingThreads sets p0, the staging prefetcher width.
+func WithStagingThreads(n int) Option {
+	return func(o *Options) { o.StagingThreads = n }
+}
+
+// WithClasses replaces the storage-class hierarchy, fastest first.
+func WithClasses(classes ...Class) Option {
+	return func(o *Options) { o.Classes = append([]Class(nil), classes...) }
+}
+
+// WithClass appends one storage class to the hierarchy.
+func WithClass(c Class) Option {
+	return func(o *Options) { o.Classes = append(o.Classes, c) }
+}
+
+// WithPFSBandwidth emulates the shared filesystem's aggregate random-read
+// bandwidth in MB/s (0 = unlimited).
+func WithPFSBandwidth(mbps float64) Option {
+	return func(o *Options) { o.PFSAggregateMBps = mbps }
+}
+
+// WithInterconnectBandwidth emulates the fabric bandwidth in MB/s
+// (0 = unlimited).
+func WithInterconnectBandwidth(mbps float64) Option {
+	return func(o *Options) { o.InterconnectMBps = mbps }
+}
+
+// WithVerifySamples CRC-checks every delivered payload.
+func WithVerifySamples(verify bool) Option {
+	return func(o *Options) { o.VerifySamples = verify }
+}
+
+// WithFabric selects the cluster fabric by registry name (FabricChan,
+// FabricTCP, or a custom RegisterFabric name). It supersedes the deprecated
+// Options.UseTCP switch.
+func WithFabric(name string) Option {
+	return func(o *Options) { o.Fabric = name }
+}
+
+// fabricName resolves the effective fabric name: an explicit Fabric wins;
+// the deprecated UseTCP flag maps to FabricTCP; the default is FabricChan.
+func (o Options) fabricName() string {
+	switch {
+	case o.Fabric != "":
+		return o.Fabric
+	case o.UseTCP:
+		return FabricTCP
+	default:
+		return FabricChan
+	}
+}
+
+// fabric resolves the run's Fabric from the registry, applying the UseTCP
+// compatibility shim.
+func (o Options) fabric() (Fabric, error) {
+	return FabricByName(o.fabricName())
+}

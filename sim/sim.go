@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -122,26 +123,27 @@ var (
 )
 
 // RunScenario simulates every policy on one panel through the sweep engine
-// (GOMAXPROCS-wide pool) and returns results in Fig. 8 bar order.
-func RunScenario(s Scenario, scale float64, seed uint64) ([]*Result, error) {
-	return sweep.RunScenario(s, scale, seed, 0)
+// (GOMAXPROCS-wide pool) and returns results in Fig. 8 bar order. Canceling
+// ctx aborts the grid with ctx's error.
+func RunScenario(ctx context.Context, s Scenario, scale float64, seed uint64) ([]*Result, error) {
+	return sweep.RunScenario(ctx, s, scale, seed, 0)
 }
 
 // Fig9Sweep runs the environment study through the sweep engine.
-func Fig9Sweep(scale float64, seed uint64) ([]SweepPoint, error) {
-	return sweep.Fig9Sweep(scale, seed, 0)
+func Fig9Sweep(ctx context.Context, scale float64, seed uint64) ([]SweepPoint, error) {
+	return sweep.Fig9Sweep(ctx, scale, seed, 0)
 }
 
 // Fig9SweepParallel is Fig9Sweep with an explicit pool width (0 =
 // GOMAXPROCS, 1 = serial).
-func Fig9SweepParallel(scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
-	return sweep.Fig9Sweep(scale, seed, parallel)
+func Fig9SweepParallel(ctx context.Context, scale float64, seed uint64, parallel int) ([]SweepPoint, error) {
+	return sweep.Fig9Sweep(ctx, scale, seed, parallel)
 }
 
 // Fig9StagingCheck runs the staging-buffer-size preliminary through the
 // sweep engine.
-func Fig9StagingCheck(scale float64, seed uint64) (map[int]*Result, error) {
-	return sweep.Fig9StagingCheck(scale, seed, 0)
+func Fig9StagingCheck(ctx context.Context, scale float64, seed uint64) (map[int]*Result, error) {
+	return sweep.Fig9StagingCheck(ctx, scale, seed, 0)
 }
 
 // PrintScenario renders one panel's results as the paper's bar chart, in

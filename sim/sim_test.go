@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -26,7 +27,7 @@ func TestFacadeRunAndPrint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := RunScenario(s, 0.02, 1)
+	results, err := RunScenario(context.Background(), s, 0.02, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestFacadeRunAndPrint(t *testing.T) {
 }
 
 func TestFacadeSweepAndPrint(t *testing.T) {
-	points, err := Fig9Sweep(0.002, 1)
+	points, err := Fig9Sweep(context.Background(), 0.002, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
