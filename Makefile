@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt lint bench verify
+# Benchmark knobs: `make bench` records a dated, benchstat-compatible JSON
+# trajectory point under bench/. Override BENCHTIME (e.g. 5x or 2s) for
+# stable numbers, BENCH to narrow the pattern, BENCHLABEL to tag the run.
+BENCH ?= .
+BENCHTIME ?= 1x
+BENCHLABEL ?=
+BENCH_DATE := $(shell date -u +%F)
+
+.PHONY: all build test test-race vet fmt lint bench bench-smoke verify
 
 all: build
 
@@ -22,7 +30,17 @@ fmt:
 # Static checks, as run by CI's lint job.
 lint: vet fmt
 
+# Two steps (not a pipe) so a failing benchmark run aborts the recipe
+# instead of recording a silently truncated trajectory point.
 bench:
+	@mkdir -p bench
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) ./... > bench/.raw.txt
+	$(GO) run ./internal/tools/benchjson -out bench/BENCH_$(BENCH_DATE).json -label '$(BENCHLABEL)' < bench/.raw.txt > /dev/null
+	@rm -f bench/.raw.txt
+
+# Quick rot check: every benchmark must still compile and run one iteration.
+# CI runs this on each push.
+bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Tier-1 verification (ROADMAP).

@@ -12,9 +12,20 @@ package access
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/prng"
 )
+
+// shuffleCount counts epoch-order generations (full Fisher-Yates passes)
+// executed by this package since process start. It is a test probe: the
+// plan-artifact cache's contract is that warm grid cells perform *zero*
+// shuffle work, and asserting this counter is flat across a warm run is how
+// the tests verify it.
+var shuffleCount atomic.Int64
+
+// ShuffleCount returns the number of epoch shuffles generated so far.
+func ShuffleCount() int64 { return shuffleCount.Load() }
 
 // SampleID identifies a sample within a dataset. int32 keeps the large
 // materialised streams (ImageNet-22k has 14.2M samples) compact.
@@ -107,16 +118,19 @@ func (p *Plan) EpochOrder(e int) []SampleID {
 	if e < 0 || e >= p.E {
 		panic(fmt.Sprintf("access: epoch %d out of range [0,%d)", e, p.E))
 	}
+	shuffleCount.Add(1)
 	order := make([]SampleID, p.F)
-	for i := range order {
-		order[i] = SampleID(i)
-	}
-	g := p.epochGen(e)
-	for i := len(order) - 1; i > 0; i-- {
-		j := g.Intn(i + 1)
-		order[i], order[j] = order[j], order[i]
-	}
+	p.epochGen(e).Perm32Into(order)
 	return order
+}
+
+// EpochOrders materialises every epoch's shuffled order, generating epochs
+// concurrently on a bounded pool (workers < 1 means GOMAXPROCS). Each epoch's
+// shuffle is driven by its own derived generator, so the result is
+// bit-identical to calling EpochOrder(e) for e = 0..E-1 at any worker count.
+func (p *Plan) EpochOrders(workers int) [][]SampleID {
+	shuffleCount.Add(int64(p.E))
+	return prng.ParallelPerms32(p.E, p.F, workers, p.epochGen)
 }
 
 // WorkerEpochFromOrder extracts worker i's per-epoch access sequence from a
@@ -198,11 +212,38 @@ func (p *Plan) WorkerFrequencies(worker int) []int32 {
 	return freq
 }
 
-// Hash returns a deterministic digest of the plan parameters and the first
-// epoch's shuffle. In the live system workers exchange this digest instead
-// of the full access streams: equality guarantees identical plans because
-// every stream is a pure function of the parameters.
+// Hash returns a deterministic full-parameter digest of the plan: every
+// parameter plus a sample of every epoch's derived generator stream. In the
+// live system workers exchange this digest instead of the full access
+// streams: equality guarantees identical plans because every stream is a
+// pure function of the parameters.
+//
+// Sampling *each* epoch's generator (not just epoch 0's, as this digest
+// originally did) means two workers whose shuffle derivation agrees for the
+// first epoch but drifts for later ones — e.g. a version skew in the
+// per-epoch stream derivation — can no longer exchange colliding digests.
+// The plan-artifact cache also keys shared immutable artifacts off this
+// digest, so the collision would otherwise serve one plan's streams for
+// another's.
 func (p *Plan) Hash() uint64 {
+	return p.hashWith(p.epochSample)
+}
+
+// epochSample folds two draws of epoch e's derived generator into one word —
+// enough to detect any divergence in the epoch-stream derivation, since the
+// generator state is itself a digest of (seed, e).
+func (p *Plan) epochSample(e int) uint64 {
+	g := p.epochGen(e)
+	return g.Uint64() ^ rotl64(g.Uint64(), 32)
+}
+
+func rotl64(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// hashWith is Hash with the epoch-generator sampler injected, so tests can
+// demonstrate the collision the per-epoch folding closes: a sampler that
+// agrees on epoch 0 but diverges later collides under epoch-0-only
+// sampling and is distinguished here.
+func (p *Plan) hashWith(sample func(e int) uint64) uint64 {
 	h := uint64(1469598103934665603) // FNV offset basis
 	mix := func(v uint64) {
 		h ^= v
@@ -218,11 +259,11 @@ func (p *Plan) Hash() uint64 {
 	} else {
 		mix(2)
 	}
-	// Fold in a sample of the first epoch's shuffle so disagreement in the
-	// shuffle algorithm itself is also detected.
-	g := p.epochGen(0)
-	for i := 0; i < 16; i++ {
-		mix(g.Uint64())
+	// Fold in a sample of every epoch's derived stream so disagreement in
+	// the shuffle derivation of any epoch — not only the first — is
+	// detected.
+	for e := 0; e < p.E; e++ {
+		mix(sample(e))
 	}
 	return h
 }

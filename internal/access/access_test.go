@@ -310,3 +310,79 @@ func BenchmarkFrequencies(b *testing.B) {
 		_ = p.Frequencies()
 	}
 }
+
+// TestEpochOrdersMatchSerial verifies the parallel epoch-shuffle generation
+// is bit-identical to the serial EpochOrder loop at every pool width.
+func TestEpochOrdersMatchSerial(t *testing.T) {
+	p := mkPlan(11, 400, 4, 6, 8, false)
+	want := make([][]SampleID, p.E)
+	for e := 0; e < p.E; e++ {
+		want[e] = p.EpochOrder(e)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 16} {
+		got := p.EpochOrders(workers)
+		if len(got) != p.E {
+			t.Fatalf("workers=%d: %d orders, want %d", workers, len(got), p.E)
+		}
+		for e := range want {
+			for i := range want[e] {
+				if got[e][i] != want[e][i] {
+					t.Fatalf("workers=%d epoch %d pos %d: got %d want %d",
+						workers, e, i, got[e][i], want[e][i])
+				}
+			}
+		}
+	}
+}
+
+// TestShuffleCountProbe verifies the probe counts one shuffle per generated
+// epoch order, including the parallel path.
+func TestShuffleCountProbe(t *testing.T) {
+	p := mkPlan(3, 100, 2, 4, 5, false)
+	before := ShuffleCount()
+	p.EpochOrder(0)
+	if got := ShuffleCount() - before; got != 1 {
+		t.Fatalf("EpochOrder counted %d shuffles, want 1", got)
+	}
+	before = ShuffleCount()
+	p.EpochOrders(2)
+	if got := ShuffleCount() - before; got != int64(p.E) {
+		t.Fatalf("EpochOrders counted %d shuffles, want %d", got, p.E)
+	}
+}
+
+// TestHashCoversLaterEpochs demonstrates the collision the per-epoch digest
+// folding closes. The old Hash sampled only epoch 0's derived generator, so
+// two workers whose epoch-stream derivation agrees for epoch 0 but diverges
+// for a later epoch (version skew in the derivation code) exchanged equal
+// digests while planning different access streams. With every epoch sampled,
+// the digests differ.
+func TestHashCoversLaterEpochs(t *testing.T) {
+	p := mkPlan(7, 500, 4, 5, 4, false)
+	healthy := p.epochSample
+	// A drifted peer: identical epoch-0 stream, divergent epoch-3 stream.
+	drifted := func(e int) uint64 {
+		s := healthy(e)
+		if e == 3 {
+			return s ^ 0xdeadbeef
+		}
+		return s
+	}
+	// Old scheme: sample epoch 0 only (16 draws of the same generator fold
+	// to a pure function of epochSample(0) for collision purposes — both
+	// sides agree on epoch 0, so the old digests collide).
+	oldHash := func(sample func(e int) uint64) uint64 {
+		epoch0Only := func(e int) uint64 { return sample(0) }
+		return p.hashWith(epoch0Only)
+	}
+	if oldHash(healthy) != oldHash(drifted) {
+		t.Fatal("epoch-0-only digests should collide for epoch-3 drift (the old bug)")
+	}
+	if p.hashWith(healthy) == p.hashWith(drifted) {
+		t.Fatal("full per-epoch digest must distinguish epoch-3 drift")
+	}
+	// And the production Hash is the healthy full digest.
+	if p.Hash() != p.hashWith(healthy) {
+		t.Fatal("Hash must sample every epoch's generator")
+	}
+}

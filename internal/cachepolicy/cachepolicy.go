@@ -24,7 +24,7 @@
 package cachepolicy
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/access"
 	"repro/internal/hwspec"
@@ -277,15 +277,21 @@ func buildFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, 
 		for _, k := range cand {
 			freq[k] = -freq[k]
 		}
+		// Direct int32 comparators (no reflection): candidates are distinct
+		// samples, so firstPos breaks every tie and the order is total —
+		// identical output to the previous sort.Slice regardless of sort
+		// algorithm. Both comparator branches subtract int32 values promoted
+		// to int, which cannot overflow.
 		if ignoreFreq {
-			sort.Slice(cand, func(i, j int) bool { return firstPos[cand[i]] < firstPos[cand[j]] })
+			slices.SortFunc(cand, func(a, b int32) int {
+				return int(firstPos[a]) - int(firstPos[b])
+			})
 		} else {
-			sort.Slice(cand, func(i, j int) bool {
-				ki, kj := cand[i], cand[j]
-				if freq[ki] != freq[kj] {
-					return freq[ki] > freq[kj]
+			slices.SortFunc(cand, func(a, b int32) int {
+				if freq[a] != freq[b] {
+					return int(freq[b]) - int(freq[a]) // most frequent first
 				}
-				return firstPos[ki] < firstPos[kj]
+				return int(firstPos[a]) - int(firstPos[b])
 			})
 		}
 		fillGreedy(a, w, cand, ds, caps, firstPos)
@@ -321,7 +327,9 @@ func fillGreedy(a *Assignment, w int, cand []int32, ds Sizer, caps []int64, firs
 func sortFillOrders(a *Assignment, w int, firstPos []int32) {
 	for c := range a.FillOrder[w] {
 		list := a.FillOrder[w][c]
-		sort.Slice(list, func(i, j int) bool { return firstPos[list[i]] < firstPos[list[j]] })
+		slices.SortFunc(list, func(x, y int32) int {
+			return int(firstPos[x]) - int(firstPos[y])
+		})
 	}
 }
 
@@ -331,6 +339,12 @@ func sortFillOrders(a *Assignment, w int, firstPos []int32) {
 // availability position is the owner's epoch-0 stream position of that first
 // touch.
 func BuildFirstTouch(plan *access.Plan, ds Sizer, node hwspec.Node) *Assignment {
+	return BuildFirstTouchFromOrder(plan, plan.EpochOrder(0), ds, node)
+}
+
+// BuildFirstTouchFromOrder is BuildFirstTouch for callers that already
+// materialised epoch 0's shuffle (the plan-artifact cache shares it).
+func BuildFirstTouchFromOrder(plan *access.Plan, order []access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
 	a := newAssignment(plan.N, plan.F, maxInt(len(node.Classes), 1))
 	if len(node.Classes) == 0 {
 		return a
@@ -340,7 +354,6 @@ func BuildFirstTouch(plan *access.Plan, ds Sizer, node hwspec.Node) *Assignment 
 	for w := range remaining {
 		remaining[w] = ramCap
 	}
-	order := plan.EpochOrder(0)
 	limit := plan.EpochLimit()
 	localPos := make([]int32, plan.N)
 	for p := 0; p < limit; p++ {

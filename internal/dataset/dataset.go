@@ -105,20 +105,27 @@ type Store interface {
 // on demand: sample bytes are a pure function of (spec seed, id), so no
 // storage is needed and any cached copy can be verified.
 type Synthetic struct {
-	spec  Spec
-	sizes []int64
-	total int64
+	spec    Spec
+	sizes   []int64
+	sizesMB []float64
+	total   int64
+	digest  uint64
 }
 
 // New builds a Synthetic dataset from spec, materialising the per-sample
-// size table.
+// size table, its MB-unit view (shared by every simulator run over this
+// dataset), and the size digest consumers use as a cache key.
 func New(spec Spec) (*Synthetic, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	g := prng.New(spec.Seed).Derive(0xDA7A)
 	sizes := make([]int64, spec.F)
+	sizesMB := make([]float64, spec.F)
 	var total int64
+	digest := uint64(1469598103934665603) // FNV offset basis
+	digest ^= uint64(spec.F)
+	digest *= 1099511628211
 	for i := range sizes {
 		sz := spec.MeanSize
 		if spec.StddevSize > 0 {
@@ -128,10 +135,22 @@ func New(spec Spec) (*Synthetic, error) {
 			sz = MinSampleSize
 		}
 		sizes[i] = sz
+		sizesMB[i] = float64(sz) / MB
 		total += sz
+		digest ^= uint64(sz)
+		digest *= 1099511628211
 	}
-	return &Synthetic{spec: spec, sizes: sizes, total: total}, nil
+	return &Synthetic{spec: spec, sizes: sizes, sizesMB: sizesMB, total: total, digest: digest}, nil
 }
+
+// SizesMB returns the shared per-sample size table in MB. The slice is
+// immutable; callers must not modify it.
+func (d *Synthetic) SizesMB() []float64 { return d.sizesMB }
+
+// SizeDigest returns an FNV-1a digest of (F, every sample size) — the same
+// formula plancache.SizerDigest computes generically — so digest-keyed
+// caches resolve it in O(1) instead of re-hashing F sizes per lookup.
+func (d *Synthetic) SizeDigest() uint64 { return d.digest }
 
 // MustNew is New but panics on error; for tests and presets known valid.
 func MustNew(spec Spec) *Synthetic {

@@ -1,0 +1,39 @@
+package plancache
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+// benchPlan is an ImageNet-1k-shaped plan at the benchmark scale used by
+// the Fig. 8 panels (F = 1.28M × 0.005, N = 4, E = 5).
+var benchPlan = access.Plan{Seed: 42, F: 6405, N: 4, E: 5, BatchPerWorker: 32, DropLast: true}
+
+// BenchmarkPlanArtifactsCold measures one full artifact build — parallel
+// epoch shuffles, stream extraction, first positions — with no reuse (a
+// fresh cache per iteration).
+func BenchmarkPlanArtifactsCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := New(0, 0)
+		art := c.Artifacts(benchPlan)
+		if len(art.Streams) != benchPlan.N {
+			b.Fatal("bad artifacts")
+		}
+	}
+}
+
+// BenchmarkPlanArtifactsWarm measures the memo hit path — what every grid
+// cell after the first pays.
+func BenchmarkPlanArtifactsWarm(b *testing.B) {
+	c := New(0, 0)
+	c.Artifacts(benchPlan)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Artifacts(benchPlan) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package plancache memoises the clairvoyant plan artifacts that every
+// layer of the system re-derives from an access.Plan: per-epoch shuffle
+// orders, per-worker access streams, first-access positions, access-
+// frequency tables, and the cachepolicy.Assignment placements computed from
+// them.
+//
+// The paper's premise is that the access stream is a cheap pure function of
+// the seed — but "cheap" is relative: a Fig. 8 panel sweeps P policies over
+// one scenario, and without sharing, every policy cell re-runs all E
+// Fisher-Yates shuffles and re-materialises E×F stream entries. The cache
+// applies the same "reconstruct once, reuse everywhere" discipline NoPFS
+// itself applies to training I/O: each (plan) computes its artifacts exactly
+// once, concurrent requesters block on the single computation
+// (singleflight), and every consumer shares the immutable result.
+//
+// Memory bound and eviction rule: the cache tracks an approximate byte size
+// per entry (orders + streams + lazily-computed frequency tables +
+// assignments) and evicts least-recently-used entries whenever the total
+// exceeds MaxBytes. Eviction only drops the cache's reference — artifacts
+// already handed out remain valid (they are immutable), so a concurrent
+// holder is never invalidated.
+//
+// Determinism: epoch shuffles are generated in parallel across a bounded
+// goroutine pool. Each epoch's shuffle is driven by an independently derived
+// PRNG stream (access.Plan.epochGen), so parallel generation is
+// bit-identical to the serial loop by construction. The naive single-
+// threaded, uncached path remains reachable via SetNaive for equivalence
+// testing.
+package plancache
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/access"
+	"repro/internal/cachepolicy"
+	"repro/internal/hwspec"
+	"repro/internal/prng"
+)
+
+// DefaultMaxBytes is the shared cache's default memory bound. Artifacts for
+// the benchmark- and test-scale grids are a few MB per plan; paper-scale
+// ImageNet-22k plans (E=5, F=14.2M) are ~570 MB of orders+streams, so the
+// default admits one paper-scale plan or hundreds of scaled ones.
+const DefaultMaxBytes = 768 << 20
+
+// naiveMode forces the naive single-threaded artifact path: every call
+// recomputes serially, nothing is memoised or shared. It exists so
+// equivalence tests can compare the cached/parallel path against the
+// original per-call derivation. Build-internal: this package is internal to
+// the module, so the flag is unreachable from external importers.
+var naiveMode atomic.Bool
+
+// SetNaive toggles the naive artifact path (see naiveMode). Returns the
+// previous value so tests can restore it.
+func SetNaive(v bool) bool { return naiveMode.Swap(v) }
+
+// Cache is a concurrency-safe, size-bounded memo of plan artifacts, keyed by
+// the full Plan value (collision-free by construction; Plan.Hash is for
+// cross-worker digest exchange, not for keying).
+type Cache struct {
+	workers  int // epoch-shuffle pool width; <1 means GOMAXPROCS
+	maxBytes int64
+
+	mu       sync.Mutex
+	entries  map[access.Plan]*entry
+	tick     int64 // LRU clock
+	curBytes int64
+
+	hits, misses atomic.Int64
+}
+
+// entry is one memoised plan. The zero entry is inserted under Cache.mu;
+// the artifacts are computed exactly once outside the lock.
+type entry struct {
+	once    sync.Once
+	art     *Artifacts
+	ready   atomic.Bool // set after once completes; gates eviction
+	bytes   int64       // under Cache.mu
+	lastUse int64       // under Cache.mu
+	// evicted is set (under Cache.mu) when the entry is dropped from the
+	// map. Lazy artifacts added by live holders afterwards must not be
+	// charged to the cache: the entry's bytes were already subtracted and
+	// no future eviction could ever reclaim the new charge.
+	evicted bool
+}
+
+// New returns a cache bounded at maxBytes (<=0 means DefaultMaxBytes) that
+// generates epoch shuffles on a pool of `workers` goroutines (<1 means
+// GOMAXPROCS).
+func New(maxBytes int64, workers int) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		workers:  workers,
+		maxBytes: maxBytes,
+		entries:  map[access.Plan]*entry{},
+	}
+}
+
+// shared is the process-wide cache every production path routes through:
+// sim.Run environments, cachepolicy builds, and nopfs.Job setup all share
+// one artifact set, so every policy cell of one (scenario, replica seed)
+// shares a single shuffle pass (a P×R grid does R passes, not P×R).
+var shared = New(0, 0)
+
+// Shared returns the process-wide cache.
+func Shared() *Cache { return shared }
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits, Misses int64
+	Entries      int
+	Bytes        int64
+	MaxBytes     int64
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Entries: len(c.entries), Bytes: c.curBytes, MaxBytes: c.maxBytes,
+	}
+}
+
+// effectiveWorkers resolves the shuffle pool width.
+func (c *Cache) effectiveWorkers() int {
+	if c.workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.workers
+}
+
+// Artifacts returns the compute-once artifact set for the plan. Concurrent
+// calls for the same plan share one computation; calls for different plans
+// proceed independently. In naive mode the artifacts are rebuilt serially on
+// every call and never cached.
+func (c *Cache) Artifacts(p access.Plan) *Artifacts {
+	if naiveMode.Load() {
+		return buildArtifacts(p, 1, nil, nil)
+	}
+	c.mu.Lock()
+	e, ok := c.entries[p]
+	if !ok {
+		e = &entry{}
+		c.entries[p] = e
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.art = buildArtifacts(p, c.effectiveWorkers(), c, e)
+		c.addBytes(e, e.art.baseBytes())
+		e.ready.Store(true)
+	})
+	return e.art
+}
+
+// addBytes charges delta bytes to the entry and evicts least-recently-used
+// ready entries (never e itself) until the cache fits its bound again.
+func (c *Cache) addBytes(e *entry, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.evicted {
+		return
+	}
+	e.bytes += delta
+	c.curBytes += delta
+	for c.curBytes > c.maxBytes && len(c.entries) > 1 {
+		var victimKey access.Plan
+		var victim *entry
+		for k, cand := range c.entries {
+			if cand == e || !cand.ready.Load() {
+				continue
+			}
+			if victim == nil || cand.lastUse < victim.lastUse {
+				victimKey, victim = k, cand
+			}
+		}
+		if victim == nil {
+			return // everything else is still computing; stay over budget
+		}
+		delete(c.entries, victimKey)
+		victim.evicted = true
+		c.curBytes -= victim.bytes
+	}
+}
+
+// Artifacts is the immutable derived state of one plan. All exported slices
+// are shared across every consumer and MUST NOT be mutated; policies that
+// reorder streams copy first.
+type Artifacts struct {
+	// Plan is the generating plan, by value.
+	Plan access.Plan
+	// EpochOrders[e] is epoch e's global shuffled sample order.
+	EpochOrders [][]access.SampleID
+	// Streams[w] is worker w's materialised access stream across all epochs.
+	Streams [][]access.SampleID
+	// FirstPos0[k] is worker 0's first stream position accessing sample k
+	// (-1 if never accessed) — the simulator's availability index.
+	FirstPos0 []int32
+
+	freqOnce sync.Once
+	freqs    [][]int32
+
+	// cache/self back-link for byte accounting of lazily added artifacts;
+	// nil in naive mode.
+	cache *Cache
+	self  *entry
+
+	amu     sync.Mutex
+	assigns map[assignKey]*assignEntry
+}
+
+// buildArtifacts derives the full artifact set: epoch shuffles generated in
+// parallel across the pool, streams extracted per worker in parallel, and
+// first-access positions for the simulated worker. Output is bit-identical
+// to the serial access.Plan methods at any pool width.
+func buildArtifacts(p access.Plan, workers int, c *Cache, e *entry) *Artifacts {
+	orders := p.EpochOrders(workers)
+	streams := streamsFromOrders(&p, orders, workers)
+	firstPos := make([]int32, p.F)
+	for k := range firstPos {
+		firstPos[k] = -1
+	}
+	for pos, k := range streams[0] {
+		if firstPos[k] < 0 {
+			firstPos[k] = int32(pos)
+		}
+	}
+	return &Artifacts{
+		Plan: p, EpochOrders: orders, Streams: streams, FirstPos0: firstPos,
+		cache: c, self: e,
+		assigns: map[assignKey]*assignEntry{},
+	}
+}
+
+// streamsFromOrders extracts every worker's stream from the materialised
+// epoch orders, workers in parallel (each index writes only its own
+// worker's slice, so the result is deterministic).
+func streamsFromOrders(p *access.Plan, orders [][]access.SampleID, workers int) [][]access.SampleID {
+	streams := make([][]access.SampleID, p.N)
+	limit := p.EpochLimit()
+	prng.ParallelFor(p.N, workers, func(w int) {
+		s := make([]access.SampleID, 0, p.StreamLen(w))
+		for _, order := range orders {
+			for pos := w; pos < limit; pos += p.N {
+				s = append(s, order[pos])
+			}
+		}
+		streams[w] = s
+	})
+	return streams
+}
+
+// baseBytes approximates the memory held by the eagerly built artifacts.
+func (a *Artifacts) baseBytes() int64 {
+	var n int64
+	for _, o := range a.EpochOrders {
+		n += int64(len(o)) * 4
+	}
+	for _, s := range a.Streams {
+		n += int64(len(s)) * 4
+	}
+	n += int64(len(a.FirstPos0)) * 4
+	return n
+}
+
+// Frequencies returns freqs[worker][sample] — each worker's per-sample
+// access counts across all epochs — computed once from the cached streams
+// (no shuffle work) and shared thereafter.
+func (a *Artifacts) Frequencies() [][]int32 {
+	a.freqOnce.Do(func() {
+		freqs := make([][]int32, a.Plan.N)
+		for w := range freqs {
+			f := make([]int32, a.Plan.F)
+			for _, k := range a.Streams[w] {
+				f[k]++
+			}
+			freqs[w] = f
+		}
+		a.freqs = freqs
+		if a.cache != nil {
+			a.cache.addBytes(a.self, int64(a.Plan.N)*int64(a.Plan.F)*4)
+		}
+	})
+	return a.freqs
+}
+
+// assignKey identifies one derived placement: the policy family plus
+// digests of the inputs the build consumes beyond the plan itself (sample
+// sizes and node storage-class capacities).
+type assignKey struct {
+	family  string
+	dataset uint64
+	node    uint64
+}
+
+type assignEntry struct {
+	once   sync.Once
+	assign *cachepolicy.Assignment
+}
+
+// Assignment families used by the simulator and the live middleware.
+const (
+	FamilyNoPFS      = "nopfs"
+	FamilyRandom     = "random"
+	FamilyFirstTouch = "firsttouch"
+	FamilyShard      = "shard"
+	FamilyPreload    = "preload"
+)
+
+// Assignment returns the compute-once placement for (plan, dataset, node,
+// family), building it with build on first use. The returned Assignment is
+// shared and must be treated as immutable (all its methods are read-only).
+// In naive mode build runs directly with no memoisation.
+func (a *Artifacts) Assignment(family string, ds cachepolicy.Sizer, node hwspec.Node, build func() *cachepolicy.Assignment) *cachepolicy.Assignment {
+	if a.cache == nil {
+		return build()
+	}
+	key := assignKey{family: family, dataset: SizerDigest(ds), node: NodeDigest(node)}
+	a.amu.Lock()
+	e, ok := a.assigns[key]
+	if !ok {
+		e = &assignEntry{}
+		a.assigns[key] = e
+	}
+	a.amu.Unlock()
+	e.once.Do(func() {
+		e.assign = build()
+		a.cache.addBytes(a.self, assignmentBytes(e.assign, a.Plan.F))
+	})
+	return e.assign
+}
+
+// assignmentBytes approximates an Assignment's memory: per-worker class and
+// position tables plus the per-sample best-holder arrays and fill orders.
+func assignmentBytes(as *cachepolicy.Assignment, f int) int64 {
+	n := int64(as.N) * int64(f) * 5 // localClass int8 + localPos int32
+	n += int64(f) * 26              // best1/best2 class+worker+pos
+	for _, classes := range as.FillOrder {
+		for _, list := range classes {
+			n += int64(len(list)) * 4
+		}
+	}
+	return n
+}
+
+// SizeDigester is implemented by datasets that precompute their size
+// digest (dataset.Synthetic does, using the same FNV-1a formula as the
+// generic path below), making warm digest-keyed lookups O(1).
+type SizeDigester interface {
+	SizeDigest() uint64
+}
+
+// SizerDigest hashes a dataset's full size table (FNV-1a over the count and
+// every sample size). Two datasets with identical sizes produce identical
+// placements, so they may safely share cached assignments even when they are
+// distinct objects — which is exactly what sweep cells do when each cell
+// materialises its own dataset from the same spec.
+func SizerDigest(ds cachepolicy.Sizer) uint64 {
+	if d, ok := ds.(SizeDigester); ok {
+		return d.SizeDigest()
+	}
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	n := ds.Len()
+	mix(uint64(n))
+	for k := 0; k < n; k++ {
+		mix(uint64(ds.Size(k)))
+	}
+	return h
+}
+
+// NodeDigest hashes the node's storage-class capacities — the only node
+// inputs the placement builds consume.
+func NodeDigest(node hwspec.Node) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(len(node.Classes)))
+	for _, c := range node.Classes {
+		mix(math.Float64bits(c.CapacityMB))
+	}
+	return h
+}

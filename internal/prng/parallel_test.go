@@ -1,0 +1,60 @@
+package prng
+
+import (
+	"testing"
+)
+
+// TestPerm32IntoMatchesShuffle verifies Perm32Into draws the same sequence
+// as the classic identity-fill + Shuffle path, so both entry points produce
+// the same permutation from the same generator state.
+func TestPerm32IntoMatchesShuffle(t *testing.T) {
+	const n = 1000
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i
+	}
+	New(7).Derive(3).Shuffle(want)
+
+	got := make([]int32, n)
+	New(7).Derive(3).Perm32Into(got)
+
+	for i := range want {
+		if int32(want[i]) != got[i] {
+			t.Fatalf("position %d: Shuffle %d != Perm32Into %d", i, want[i], got[i])
+		}
+	}
+}
+
+// TestParallelPerms32BitIdentical verifies the parallel pool produces
+// exactly the serial result at every worker count — the property that makes
+// parallel epoch-shuffle generation safe.
+func TestParallelPerms32BitIdentical(t *testing.T) {
+	gen := func(i int) *Generator { return New(99).Derive(uint64(i) + 1) }
+	const n, f = 12, 512
+	want := ParallelPerms32(n, f, 1, gen)
+	for _, workers := range []int{0, 2, 3, 8, 32} {
+		got := ParallelPerms32(n, f, workers, gen)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d perms, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d perm %d pos %d: got %d want %d",
+						workers, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPerms32Empty covers the degenerate inputs.
+func TestParallelPerms32Empty(t *testing.T) {
+	if got := ParallelPerms32(0, 10, 4, nil); got != nil {
+		t.Fatalf("n=0: got %v, want nil", got)
+	}
+	got := ParallelPerms32(2, 0, 4, func(int) *Generator { return New(1) })
+	if len(got) != 2 || len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("f=0: got %v, want two empty perms", got)
+	}
+}

@@ -47,9 +47,9 @@ func (n *nopfsAblated) Name() string { return n.v.Name() }
 
 func (n *nopfsAblated) Prepare(env *Env) (float64, error) {
 	if n.v.RandomPlacement {
-		n.assign = cachepolicy.BuildRandomFromStreams(env.Plan, env.Streams, env.Cfg.DS, env.Cfg.Sys.Node)
+		n.assign = env.AssignRandomPlacement()
 	} else {
-		n.assign = cachepolicy.BuildNoPFSFromStreams(env.Plan, env.Streams, env.Cfg.DS, env.Cfg.Sys.Node)
+		n.assign = env.AssignNoPFS()
 	}
 	return 0, nil
 }

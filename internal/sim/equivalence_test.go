@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/plancache"
+)
+
+// equivalencePanels are the Fig. 8 panels covered by the cached-vs-naive
+// equivalence table: one per storage regime shape (tiny/partial/oversized
+// dataset), all at test scale.
+var equivalencePanels = []string{"fig8a", "fig8b", "fig8e"}
+
+// runAllPolicies simulates every policy on the panel and returns the
+// results keyed by policy name.
+func runAllPolicies(t *testing.T, id string, seed uint64) map[string]*Result {
+	t.Helper()
+	s, err := ScenarioByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config(testScale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*Result{}
+	for _, pol := range AllPolicies() {
+		r, err := Run(cfg, pol)
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol.Name(), err)
+		}
+		out[r.Policy] = r
+	}
+	return out
+}
+
+// TestCachedMatchesNaiveArtifactPath is the end-to-end equivalence gate:
+// for every policy on several panels, the full simulator Result (timing
+// series, per-location breakdowns, coverage, failure flags) must be
+// byte-identical between the naive single-threaded artifact path and the
+// cached/parallel path — both cold and warm.
+func TestCachedMatchesNaiveArtifactPath(t *testing.T) {
+	for _, id := range equivalencePanels {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			// Collected in a closure so the deferred restore runs even when
+			// runAllPolicies aborts via t.Fatal (Goexit): global naive mode
+			// must never leak into later tests.
+			naive := func() map[string]*Result {
+				defer plancache.SetNaive(plancache.SetNaive(true))
+				return runAllPolicies(t, id, 42)
+			}()
+
+			cold := runAllPolicies(t, id, 42) // may or may not hit earlier tests' entries
+			warm := runAllPolicies(t, id, 42) // guaranteed warm
+
+			for name, want := range naive {
+				for pass, got := range map[string]*Result{"cold": cold[name], "warm": warm[name]} {
+					if got == nil {
+						t.Fatalf("%s: missing %s result", name, pass)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s: %s cached result differs from naive path:\n got %+v\nwant %+v",
+							name, pass, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWarmCellsDoZeroShuffleWork is the acceptance probe: once a scenario's
+// plan artifacts are cached, re-running the full policy panel — the shape of
+// a warm sweep-grid cell — performs zero epoch shuffles.
+func TestWarmCellsDoZeroShuffleWork(t *testing.T) {
+	runAllPolicies(t, "fig8a", 17) // prime the cache for this seed
+	before := access.ShuffleCount()
+	runAllPolicies(t, "fig8a", 17)
+	if n := access.ShuffleCount() - before; n != 0 {
+		t.Fatalf("warm policy panel performed %d shuffles, want 0", n)
+	}
+}
+
+// TestPolicyPanelSharesOneShufflePass verifies the cache collapses a cold
+// P-policy panel to a single shuffle pass (E shuffles), not P×E.
+func TestPolicyPanelSharesOneShufflePass(t *testing.T) {
+	s, err := ScenarioByID("fig8b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config(testScale, 23) // fresh seed: cold for this test
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := access.ShuffleCount()
+	for _, pol := range AllPolicies() {
+		if _, err := Run(cfg, pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := access.ShuffleCount() - before; n != int64(cfg.Work.Epochs) {
+		t.Fatalf("cold policy panel performed %d shuffles, want one pass of %d", n, cfg.Work.Epochs)
+	}
+}
+
+// TestThreadPoolHeapMatchesScan drives the wide (heap) and narrow (scan)
+// thread-pool variants through an identical schedule and asserts identical
+// completion times — the property that keeps p₀ > 8 configurations
+// bit-identical to the old linear scan.
+func TestThreadPoolHeapMatchesScan(t *testing.T) {
+	const p0 = 16
+	heap := newThreadPool(p0, 1.0)
+	scan := newThreadPool(p0, 1.0)
+	scan.heap = false
+	if !heap.heap {
+		t.Fatal("p0=16 should use the heap variant")
+	}
+	// Deterministic pseudo-random schedule of (roomTime, readDur) pairs.
+	room, dur := 0.0, 0.0
+	for i := 0; i < 10000; i++ {
+		room = float64((i*2654435761)%1000) / 250
+		dur = 0.01 + float64((i*40503)%97)/100
+		h := heap.schedule(room, dur)
+		s := scan.schedule(room, dur)
+		if h != s {
+			t.Fatalf("step %d: heap %v != scan %v", i, h, s)
+		}
+	}
+}

@@ -201,7 +201,7 @@ func (d *deepIO) Name() string {
 }
 
 func (d *deepIO) Prepare(env *Env) (float64, error) {
-	d.assign = cachepolicy.BuildFirstTouch(env.Plan, env.Cfg.DS, env.Cfg.Sys.Node)
+	d.assign = env.AssignFirstTouch()
 	return 0, nil
 }
 
@@ -272,7 +272,7 @@ func NewParallelStaging() Policy { return &parallelStaging{} }
 func (p *parallelStaging) Name() string { return NameParallelStaging }
 
 func (p *parallelStaging) Prepare(env *Env) (float64, error) {
-	p.assign = cachepolicy.BuildShard(env.Plan.F, env.Plan.N, env.Cfg.DS, env.Cfg.Sys.Node)
+	p.assign = env.AssignShard()
 	return stagePrestageSeconds(env, p.assign.CachedBytes[0]), nil
 }
 
@@ -335,10 +335,10 @@ func (l *lbann) Prepare(env *Env) (float64, error) {
 			env.Cfg.DS.TotalSize(), aggregate)
 	}
 	if l.preloading {
-		l.assign = cachepolicy.BuildPreload(env.Plan.F, env.Plan.N, env.Cfg.DS, node)
+		l.assign = env.AssignPreload()
 		return stagePrestageSeconds(env, l.assign.CachedBytes[0]), nil
 	}
-	l.assign = cachepolicy.BuildFirstTouch(env.Plan, env.Cfg.DS, node)
+	l.assign = env.AssignFirstTouch()
 	return 0, nil
 }
 
@@ -376,7 +376,7 @@ func NewLocalityAware() Policy { return &localityAware{} }
 func (l *localityAware) Name() string { return NameLocalityAware }
 
 func (l *localityAware) Prepare(env *Env) (float64, error) {
-	l.assign = cachepolicy.BuildShard(env.Plan.F, env.Plan.N, env.Cfg.DS, env.Cfg.Sys.Node)
+	l.assign = env.AssignShard()
 	return stagePrestageSeconds(env, l.assign.CachedBytes[0]), nil
 }
 
@@ -388,16 +388,18 @@ func (l *localityAware) Stream(env *Env) []access.SampleID {
 	b := plan.BatchPerWorker
 	B := plan.GlobalBatch()
 	out := make([]access.SampleID, 0, len(env.Streams[0]))
+	// Per-batch scratch, reused across all batches of the run.
+	mine := make([]access.SampleID, 0, b)
+	other := make([]access.SampleID, 0, B)
 	for e := 0; e < plan.E; e++ {
-		order := plan.EpochOrder(e)
+		order := env.EpochOrder(e)
 		limit := plan.EpochLimit()
 		for start := 0; start < limit; start += B {
 			end := start + B
 			if end > limit {
 				end = limit
 			}
-			mine := make([]access.SampleID, 0, b)
-			other := make([]access.SampleID, 0, B)
+			mine, other = mine[:0], other[:0]
 			for _, k := range order[start:end] {
 				if l.assign.Local(0, k) >= 0 && len(mine) < b {
 					mine = append(mine, k)
@@ -449,7 +451,7 @@ func NewNoPFS() Policy { return &nopfs{} }
 func (n *nopfs) Name() string { return NameNoPFS }
 
 func (n *nopfs) Prepare(env *Env) (float64, error) {
-	n.assign = cachepolicy.BuildNoPFSFromStreams(env.Plan, env.Streams, env.Cfg.DS, env.Cfg.Sys.Node)
+	n.assign = env.AssignNoPFS()
 	return 0, nil
 }
 

@@ -82,7 +82,7 @@ func (s Scenario) Config(scale float64, seed uint64) (Config, error) {
 		spec = spec.Scale(scale)
 		sys = ScaleSystem(sys, scale)
 	}
-	ds, err := dataset.New(spec)
+	ds, err := dataset.Cached(spec)
 	if err != nil {
 		return Config{}, err
 	}
@@ -125,7 +125,7 @@ func Fig9Config(scale float64, seed uint64, stagingGB, ramGB, ssdGB int) (Config
 	// and scaling it would reintroduce a lookahead limit the paper's
 	// configuration does not have.
 	sys.Node.Staging.CapacityMB = float64(stagingGB) * 1000
-	ds, err := dataset.New(spec)
+	ds, err := dataset.Cached(spec)
 	if err != nil {
 		return Config{}, err
 	}

@@ -23,11 +23,14 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/access"
+	"repro/internal/cachepolicy"
 	"repro/internal/dataset"
 	"repro/internal/hwspec"
 	"repro/internal/perfmodel"
+	"repro/internal/plancache"
 	"repro/internal/prng"
 )
 
@@ -114,18 +117,25 @@ type Env struct {
 	Model   *perfmodel.Model
 	Plan    *access.Plan
 	SizesMB []float64
-	// Streams are the materialised per-worker access streams (policies may
-	// reorder their copies).
+	// Streams are the materialised per-worker access streams, shared through
+	// the plan-artifact cache. They are immutable: policies that reorder
+	// build fresh slices.
 	Streams [][]access.SampleID
 	// FirstPos0[k] is the simulated worker's first access position of k
 	// (-1 if never accessed).
 	FirstPos0 []int32
+	// Art is the cached artifact set backing Streams/FirstPos0; policies
+	// use it for epoch orders and shared placement assignments.
+	Art *plancache.Artifacts
 
 	rng  *prng.Generator
 	ewma float64 // recent fraction of staging fetches served by the PFS
 }
 
-// newEnv builds the environment shared by all policies for one config.
+// newEnv builds the environment shared by all policies for one config. Plan
+// artifacts come from the shared plan cache: all P policy cells sharing one
+// (scenario, replica seed) perform one shuffle pass instead of P (replicas
+// carry distinct derived seeds, so a P×R grid does R passes, not P×R).
 func newEnv(cfg *Config) (*Env, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -135,26 +145,80 @@ func newEnv(cfg *Config) (*Env, error) {
 		return nil, err
 	}
 	plan := cfg.Plan()
-	sizes := make([]float64, cfg.DS.Len())
-	for k := range sizes {
-		sizes[k] = float64(cfg.DS.Size(k)) / (1 << 20)
-	}
-	streams := plan.AllWorkerStreams()
-	firstPos := make([]int32, cfg.DS.Len())
-	for k := range firstPos {
-		firstPos[k] = -1
-	}
-	for pos, k := range streams[0] {
-		if firstPos[k] < 0 {
-			firstPos[k] = int32(pos)
-		}
-	}
+	sizes := sizesMB(cfg.DS)
+	art := plancache.Shared().Artifacts(*plan)
 	return &Env{
 		Cfg: cfg, Model: model, Plan: plan,
-		SizesMB: sizes, Streams: streams, FirstPos0: firstPos,
+		SizesMB: sizes, Streams: art.Streams, FirstPos0: art.FirstPos0,
+		Art:  art,
 		rng:  prng.New(cfg.Seed).Derive(0x51),
 		ewma: 1, // epoch 0 starts all-PFS
 	}, nil
+}
+
+// sizesMB returns the dataset's per-sample sizes in MB. Synthetic datasets
+// carry a precomputed shared table (one per dataset object — sweep cells
+// share objects through dataset.Cached); other implementations get a fresh
+// one. The returned slice is read-only.
+func sizesMB(ds dataset.Dataset) []float64 {
+	if d, ok := ds.(interface{ SizesMB() []float64 }); ok {
+		return d.SizesMB()
+	}
+	s := make([]float64, ds.Len())
+	for k := range s {
+		s[k] = float64(ds.Size(k)) / (1 << 20)
+	}
+	return s
+}
+
+// EpochOrder returns epoch e's cached global shuffle order (immutable).
+func (e *Env) EpochOrder(epoch int) []access.SampleID {
+	return e.Art.EpochOrders[epoch]
+}
+
+// The Assign* helpers return shared, immutable placement assignments from
+// the plan-artifact cache, computed once per (plan, dataset, node,
+// policy-family): DeepIO and the dynamic LBANN data store share the
+// first-touch placement, ParallelStaging and LocalityAware share the static
+// shard, and NoPFS variants share the frequency-based assignment.
+
+// AssignNoPFS returns the shared Sec. 5.1 frequency-based placement.
+func (e *Env) AssignNoPFS() *cachepolicy.Assignment {
+	return e.Art.Assignment(plancache.FamilyNoPFS, e.Cfg.DS, e.Cfg.Sys.Node, func() *cachepolicy.Assignment {
+		return cachepolicy.BuildNoPFSFromStreams(e.Plan, e.Streams, e.Cfg.DS, e.Cfg.Sys.Node)
+	})
+}
+
+// AssignRandomPlacement returns the shared placement ablation (first-access
+// fill order instead of frequency order).
+func (e *Env) AssignRandomPlacement() *cachepolicy.Assignment {
+	return e.Art.Assignment(plancache.FamilyRandom, e.Cfg.DS, e.Cfg.Sys.Node, func() *cachepolicy.Assignment {
+		return cachepolicy.BuildRandomFromStreams(e.Plan, e.Streams, e.Cfg.DS, e.Cfg.Sys.Node)
+	})
+}
+
+// AssignFirstTouch returns the shared epoch-0 first-touch placement (DeepIO,
+// LBANN dynamic).
+func (e *Env) AssignFirstTouch() *cachepolicy.Assignment {
+	return e.Art.Assignment(plancache.FamilyFirstTouch, e.Cfg.DS, e.Cfg.Sys.Node, func() *cachepolicy.Assignment {
+		return cachepolicy.BuildFirstTouchFromOrder(e.Plan, e.Art.EpochOrders[0], e.Cfg.DS, e.Cfg.Sys.Node)
+	})
+}
+
+// AssignShard returns the shared static round-robin shard (ParallelStaging,
+// LocalityAware).
+func (e *Env) AssignShard() *cachepolicy.Assignment {
+	return e.Art.Assignment(plancache.FamilyShard, e.Cfg.DS, e.Cfg.Sys.Node, func() *cachepolicy.Assignment {
+		return cachepolicy.BuildShard(e.Plan.F, e.Plan.N, e.Cfg.DS, e.Cfg.Sys.Node)
+	})
+}
+
+// AssignPreload returns the shared RAM-only preloading shard (LBANN
+// preloading).
+func (e *Env) AssignPreload() *cachepolicy.Assignment {
+	return e.Art.Assignment(plancache.FamilyPreload, e.Cfg.DS, e.Cfg.Sys.Node, func() *cachepolicy.Assignment {
+		return cachepolicy.BuildPreload(e.Plan.F, e.Plan.N, e.Cfg.DS, e.Cfg.Sys.Node)
+	})
 }
 
 // Gamma estimates γ, the number of workers concurrently reading from the
@@ -244,7 +308,100 @@ func Run(cfg Config, pol Policy) (*Result, error) {
 	return res, nil
 }
 
-// simulate runs the staging-pipeline model over the stream.
+// stagingCompactMin is the staging-window compaction threshold: once at
+// least this many consumed slots have accumulated at the front of the
+// window slice AND they outnumber the live tail, the live entries are
+// copied down and the dead prefix reclaimed. Large enough that compaction
+// cost (a memmove of the live tail) amortises to O(1) per sample; small
+// enough that the dead prefix never dominates the slice's footprint.
+const stagingCompactMin = 4096
+
+// numLocations sizes the per-location accounting arrays (LocPFS, LocRemote,
+// LocLocal are contiguous small ints).
+const numLocations = int(perfmodel.LocLocal) + 1
+
+// slot is one staged sample resident in the simulate window: its size and
+// the consume time that frees its bytes.
+type slot struct {
+	sizeMB  float64
+	consume float64
+}
+
+// windowPool recycles simulate's staging-window backing arrays across runs.
+var windowPool = sync.Pool{
+	New: func() any {
+		s := make([]slot, 0, 1024)
+		return &s
+	},
+}
+
+// threadPool tracks the free times of the p₀ prefetch threads and yields
+// the least-loaded one per fetch. For the small p₀ of real nodes (≤ 8) a
+// straight scan is fastest; wider pools use a binary min-heap so the
+// per-sample cost is O(log p₀) instead of O(p₀).
+type threadPool struct {
+	free []float64
+	heap bool
+}
+
+func newThreadPool(p0 int, setup float64) threadPool {
+	free := make([]float64, p0)
+	for i := range free {
+		free[i] = setup
+	}
+	// All entries equal, so the slice is already a valid min-heap.
+	return threadPool{free: free, heap: p0 > 8}
+}
+
+// schedule assigns one fetch of duration readDur to the least-loaded
+// thread, starting no earlier than roomTime, and returns the fetch's
+// completion time. Only the multiset of free times affects the result, so
+// the heap and scan variants are output-identical.
+func (t *threadPool) schedule(roomTime, readDur float64) float64 {
+	if !t.heap {
+		ti := 0
+		for i := 1; i < len(t.free); i++ {
+			if t.free[i] < t.free[ti] {
+				ti = i
+			}
+		}
+		start := t.free[ti]
+		if roomTime > start {
+			start = roomTime
+		}
+		avail := start + readDur
+		t.free[ti] = avail
+		return avail
+	}
+	start := t.free[0]
+	if roomTime > start {
+		start = roomTime
+	}
+	avail := start + readDur
+	// Replace the root and sift down.
+	t.free[0] = avail
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(t.free) && t.free[l] < t.free[smallest] {
+			smallest = l
+		}
+		if r < len(t.free) && t.free[r] < t.free[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return avail
+		}
+		t.free[i], t.free[smallest] = t.free[smallest], t.free[i]
+		i = smallest
+	}
+}
+
+// simulate runs the staging-pipeline model over the stream. The loop is
+// allocation-lean: per-location accounting uses fixed arrays folded into the
+// Result maps only at the end, and the per-batch/per-epoch series are
+// preallocated to their known lengths.
 func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res *Result) {
 	model := env.Model
 	c := env.Cfg.Work.ComputeMBps
@@ -255,27 +412,35 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 	bufMB := pol.StagingMB(env)
 	sync := pol.Synchronous()
 
-	threadFree := make([]float64, p0)
-	for i := range threadFree {
-		threadFree[i] = setup
-	}
+	threads := newThreadPool(p0, setup)
+
+	// Per-location accounting: fixed arrays in the hot loop, folded into
+	// the Result maps after it.
+	var locSec [numLocations]float64
+	var locCnt [numLocations]int64
 
 	// Staging-buffer occupancy window: entries currently resident, with
-	// the consume times that free their bytes.
-	type slot struct {
-		sizeMB  float64
-		consume float64
-	}
-	window := make([]slot, 0, 1024)
+	// the consume times that free their bytes. The backing array is pooled
+	// across runs — with a staging buffer larger than the stream's bytes
+	// nothing is ever admitted out, so the window grows to the stream
+	// length and would otherwise be reallocated per run.
+	wp := windowPool.Get().(*[]slot)
+	window := (*wp)[:0]
+	defer func() {
+		*wp = window[:0]
+		windowPool.Put(wp)
+	}()
 	head := 0
 	var inBufMB float64
 
 	perEpoch := env.Plan.SamplesPerEpoch(0)
 	batch := env.Cfg.Work.BatchPerWorker
+	if len(stream) > 0 {
+		res.BatchSeconds = make([]float64, 0, (len(stream)+batch-1)/batch+1)
+		res.EpochSeconds = make([]float64, 0, len(stream)/perEpoch+1)
+	}
 
-	var prevConsume, prevComputeDone float64
-	prevConsume = setup
-	prevComputeDone = setup
+	prevComputeDone := setup
 	lastBatchEnd, lastEpochEnd := setup, setup
 
 	// PFS slowness is bursty system noise, not i.i.d. per sample: one slow
@@ -305,8 +470,8 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 			choice.Seconds *= batchJitter
 		}
 		write := model.WriteTime(sz)
-		res.LocSeconds[choice.Loc] += choice.Seconds
-		res.LocCount[choice.Loc]++
+		locSec[choice.Loc] += choice.Seconds
+		locCnt[choice.Loc]++
 		res.StagingWriteSeconds += write
 		readDur := choice.Seconds + write
 
@@ -326,24 +491,12 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 					roomTime = s.consume
 				}
 			}
-			// Pick the least-loaded prefetch thread.
-			ti := 0
-			for i := 1; i < p0; i++ {
-				if threadFree[i] < threadFree[ti] {
-					ti = i
-				}
-			}
-			start := threadFree[ti]
-			if roomTime > start {
-				start = roomTime
-			}
-			avail = start + readDur
-			threadFree[ti] = avail
+			// Least-loaded prefetch thread picks up the fetch.
+			avail = threads.schedule(roomTime, readDur)
 		}
 
 		// Consumption recurrence (paper Sec. 4).
-		ready := prevComputeDone
-		consume := ready
+		consume := prevComputeDone
 		if avail > consume {
 			res.StallSeconds += avail - consume
 			consume = avail
@@ -354,13 +507,12 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 			window = append(window, slot{sizeMB: sz, consume: consume})
 			inBufMB += sz
 			// Periodically compact the window slice.
-			if head > 4096 && head*2 > len(window) {
+			if head > stagingCompactMin && head*2 > len(window) {
 				window = append(window[:0], window[head:]...)
 				head = 0
 			}
 		}
 
-		prevConsume = consume
 		prevComputeDone = computeDone
 
 		if (f+1)%batch == 0 || f == len(stream)-1 {
@@ -372,7 +524,14 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 			lastEpochEnd = computeDone
 		}
 	}
-	_ = prevConsume
+	for l := 0; l < numLocations; l++ {
+		// Fold only locations that saw a fetch, matching the key set the
+		// per-sample map writes used to produce.
+		if locCnt[l] > 0 {
+			res.LocSeconds[perfmodel.Location(l)] += locSec[l]
+			res.LocCount[perfmodel.Location(l)] += locCnt[l]
+		}
+	}
 	res.ExecSeconds = prevComputeDone
 	if len(res.EpochSeconds) < env.Plan.E && len(stream) > 0 && prevComputeDone > lastEpochEnd {
 		res.EpochSeconds = append(res.EpochSeconds, prevComputeDone-lastEpochEnd)

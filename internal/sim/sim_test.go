@@ -435,3 +435,26 @@ func BenchmarkSimAllPoliciesMNIST(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimulateHotLoop isolates the consumption-recurrence inner loop:
+// plan artifacts and the NoPFS assignment are prewarmed in the shared plan
+// cache, so each iteration measures only Prepare-lookup + the simulate()
+// pass over the stream. Allocations here are the per-run Result series, not
+// per-sample accounting.
+func BenchmarkSimulateHotLoop(b *testing.B) {
+	s, _ := ScenarioByID("fig8b")
+	cfg, err := s.Config(0.01, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := Run(cfg, NewNoPFS()); err != nil { // warm the plan cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, NewNoPFS()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

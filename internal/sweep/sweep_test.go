@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/access"
 	"repro/internal/prng"
 	isim "repro/internal/sim"
 )
@@ -495,5 +496,36 @@ func TestWriteTextShape(t *testing.T) {
 		if !bytes.Contains([]byte(out), []byte(want)) {
 			t.Errorf("text report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWarmGridCellsDoZeroShuffleWork drives the acceptance probe at the
+// engine level: many concurrent cells hammer the shared plan cache, and a
+// warm re-run of the same grid — every cell in parallel — performs zero
+// epoch shuffles while producing a bit-identical report.
+func TestWarmGridCellsDoZeroShuffleWork(t *testing.T) {
+	grid := testGrid(t)
+	wide := &Runner{Parallel: 4 * runtime.GOMAXPROCS(0)}
+	cold, err := wide.Run(bg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := access.ShuffleCount()
+	warm, err := wide.Run(bg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := access.ShuffleCount() - before; n != 0 {
+		t.Fatalf("warm grid performed %d shuffles, want 0", n)
+	}
+	var coldBuf, warmBuf bytes.Buffer
+	if err := WriteJSON(&coldBuf, cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&warmBuf, warm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBuf.Bytes(), warmBuf.Bytes()) {
+		t.Fatal("warm grid report differs from cold grid report")
 	}
 }

@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` output into a
+// benchstat-compatible JSON document for the repo's BENCH_<date>.json
+// perf-trajectory files.
+//
+// It reads the benchmark text from stdin, echoes it unchanged to stdout (so
+// it can sit in a pipe after `go test`), and writes a JSON file carrying
+// both the parsed per-benchmark metrics and the raw text lines. The raw
+// lines are the benchstat compatibility surface: extract them with
+//
+//	jq -r '.raw[]' bench/BENCH_2026-07-28.json > old.txt
+//	benchstat old.txt new.txt
+//
+// Usage: go test -run '^$' -bench . -benchmem ./... | benchjson -out FILE
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Package    string `json:"package,omitempty"`
+	Iterations int64  `json:"iterations"`
+	NsPerOp    float64
+	// Metrics holds every reported unit, including ns/op, B/op, allocs/op
+	// and custom units (e.g. "NoPFS/LB").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// MarshalJSON flattens the common units to top-level fields for easy jq
+// access while keeping the full unit map.
+func (b Benchmark) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Name       string             `json:"name"`
+		Package    string             `json:"package,omitempty"`
+		Iterations int64              `json:"iterations"`
+		NsPerOp    float64            `json:"ns_per_op"`
+		BPerOp     float64            `json:"bytes_per_op"`
+		AllocsOp   float64            `json:"allocs_per_op"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	return json.Marshal(alias{
+		Name: b.Name, Package: b.Package, Iterations: b.Iterations,
+		NsPerOp: b.Metrics["ns/op"], BPerOp: b.Metrics["B/op"],
+		AllocsOp: b.Metrics["allocs/op"], Metrics: b.Metrics,
+	})
+}
+
+// Document is the BENCH_<date>.json schema.
+type Document struct {
+	Date       string      `json:"date"`
+	Label      string      `json:"label,omitempty"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw preserves the original `go test -bench` lines (package headers
+	// included) — feed them to benchstat for before/after comparisons.
+	Raw []string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("out", "", "output JSON path (required)")
+	label := flag.String("label", "", "optional run label (e.g. 'pre-plancache baseline')")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+
+	doc := Document{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			doc.Raw = append(doc.Raw, line)
+		case strings.HasPrefix(line, "goos: "), strings.HasPrefix(line, "goarch: "):
+			doc.Raw = append(doc.Raw, line)
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			doc.Raw = append(doc.Raw, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			doc.Raw = append(doc.Raw, line)
+			if b, ok := parseLine(line, pkg); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses one "BenchmarkX-8 N value unit [value unit ...]" line.
+func parseLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the GOMAXPROCS suffix.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

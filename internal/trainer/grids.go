@@ -93,7 +93,7 @@ func sharedEnv(e Experiment) func() (*dataset.Synthetic, hwspec.System, error) {
 	}
 	build := sync.OnceValues(func() (env, error) {
 		spec, sys := e.scaled()
-		ds, err := dataset.New(spec)
+		ds, err := dataset.Cached(spec)
 		return env{ds, sys}, err
 	})
 	return func() (*dataset.Synthetic, hwspec.System, error) {

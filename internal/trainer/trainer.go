@@ -184,7 +184,7 @@ func (e Experiment) scaled() (dataset.Spec, hwspec.System) {
 // mutable state — so the sweep engine may execute cells concurrently.
 func (e Experiment) Cell(gpus int, loader Loader, seed uint64) (ScalePoint, error) {
 	spec, sys := e.scaled()
-	ds, err := dataset.New(spec)
+	ds, err := dataset.Cached(spec)
 	if err != nil {
 		return ScalePoint{}, err
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/cachepolicy"
 	"repro/internal/hwspec"
+	"repro/internal/plancache"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -25,6 +26,10 @@ type Job struct {
 	opts Options
 	ds   Dataset
 	plan *access.Plan
+	// digest is the plan's full-parameter hash, computed once: it is
+	// exchanged in Start's allgather and served to peers on every
+	// KindValue request.
+	digest uint64
 
 	assign   *cachepolicy.Assignment
 	stream   []access.SampleID
@@ -79,10 +84,18 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 		return nil, err
 	}
 	node := nodeFromClasses(opts.Classes)
+	// Plan artifacts and the placement come from the shared plan cache: the
+	// N ranks of one cluster (and every cluster-grid cell sharing a seed)
+	// reconstruct the clairvoyant schedule once, not once per rank. The
+	// shared stream and assignment are immutable; the job only reads them.
+	art := plancache.Shared().Artifacts(*plan)
+	assign := art.Assignment(plancache.FamilyNoPFS, ds, node, func() *cachepolicy.Assignment {
+		return cachepolicy.BuildNoPFSFromStreams(plan, art.Streams, ds, node)
+	})
 	j := &Job{
-		rank: rank, opts: opts, ds: ds, plan: plan,
-		assign:   cachepolicy.BuildNoPFS(plan, sizerAdapter{ds}, node),
-		stream:   plan.WorkerStream(rank),
+		rank: rank, opts: opts, ds: ds, plan: plan, digest: plan.Hash(),
+		assign:   assign,
+		stream:   art.Streams[rank],
 		perEpoch: plan.SamplesPerEpoch(rank),
 		staging:  storage.NewStaging(opts.StagingBytes),
 		net:      net,
@@ -100,12 +113,6 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 	net.SetHandler(j.handle)
 	return j, nil
 }
-
-// sizerAdapter narrows Dataset to the cache policy's needs.
-type sizerAdapter struct{ ds Dataset }
-
-func (s sizerAdapter) Len() int          { return s.ds.Len() }
-func (s sizerAdapter) Size(id int) int64 { return s.ds.Size(id) }
 
 // nodeFromClasses builds the hwspec view of the configured classes (the
 // cache policy only consumes capacities).
@@ -140,14 +147,14 @@ func (j *Job) Start(ctx context.Context) error {
 	// buffer's drain semantics) observes it too.
 	context.AfterFunc(j.ctx, j.shutdown)
 
-	digests, err := transport.AllgatherValue(j.ctx, j.net, j.plan.Hash())
+	digests, err := transport.AllgatherValue(j.ctx, j.net, j.digest)
 	if err != nil {
 		return fmt.Errorf("nopfs: plan allgather: %w", err)
 	}
 	for rank, d := range digests {
-		if d != j.plan.Hash() {
+		if d != j.digest {
 			return fmt.Errorf("nopfs: rank %d derived a different access plan (digest %#x != %#x): seeds or parameters diverge",
-				rank, d, j.plan.Hash())
+				rank, d, j.digest)
 		}
 	}
 	// Storage-class prefetchers: fill each class with its assigned
@@ -221,7 +228,7 @@ func (j *Job) fatalErr() error {
 func (j *Job) handle(ctx context.Context, from int, req transport.Request) transport.Response {
 	switch req.Kind {
 	case transport.KindValue:
-		return transport.Response{OK: true, Value: j.plan.Hash()}
+		return transport.Response{OK: true, Value: j.digest}
 	case transport.KindFetch:
 		for _, b := range j.backends {
 			if data, ok, err := b.Get(ctx, req.Sample); err == nil && ok {
