@@ -8,15 +8,18 @@ BENCHTIME ?= 1x
 BENCHLABEL ?=
 BENCH_DATE := $(shell date -u +%F)
 
-.PHONY: all build test test-race vet fmt lint bench bench-smoke verify
+.PHONY: all build test test-race vet fmt lint bench bench-smoke fuzz-smoke cover verify
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomises test execution order within each package, surfacing
+# inter-test state leaks (shared caches, leaked globals) that a fixed order
+# hides. The shuffle seed is printed on failure for reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-race:
 	$(GO) test -race ./...
@@ -31,17 +34,40 @@ fmt:
 lint: vet fmt
 
 # Two steps (not a pipe) so a failing benchmark run aborts the recipe
-# instead of recording a silently truncated trajectory point.
+# instead of recording a silently truncated trajectory point. One shell with
+# an EXIT trap, so the .raw.txt scratch file is removed on every outcome —
+# success, a failing run, or a failing benchjson step.
 bench:
 	@mkdir -p bench
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) ./... > bench/.raw.txt
+	@trap 'rm -f bench/.raw.txt' EXIT; \
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) ./... > bench/.raw.txt && \
 	$(GO) run ./internal/tools/benchjson -out bench/BENCH_$(BENCH_DATE).json -label '$(BENCHLABEL)' < bench/.raw.txt > /dev/null
-	@rm -f bench/.raw.txt
 
 # Quick rot check: every benchmark must still compile and run one iteration.
 # CI runs this on each push.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Fuzz knobs: `make fuzz-smoke` runs each wire-format fuzz target briefly
+# (CI does this per push); raise FUZZTIME for a longer local session or the
+# workflow_dispatch nightly job.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzHeader$$' -fuzztime $(FUZZTIME)
+
+# Coverage gate for the core packages: fails when total statement coverage
+# of internal/... drops below COVER_MIN percent. CI runs this per push.
+COVER_MIN ?= 80
+
+cover:
+	@trap 'rm -f .cover.out' EXIT; \
+	$(GO) test -coverprofile=.cover.out ./internal/... || { echo "cover: go test failed (not a gate violation)"; exit 1; }; \
+	total=$$($(GO) tool cover -func=.cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total internal/... coverage: $$total% (gate: $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+	{ echo "coverage below gate"; exit 1; }
 
 # Tier-1 verification (ROADMAP).
 verify: build test

@@ -13,6 +13,8 @@
 //	nopfs-sim -all -parallel 8 -replicas 5         # 8-wide pool, 5 seeds/cell
 //	nopfs-sim -all -format json                    # structured output
 //	nopfs-sim -all -scale 1                        # paper-scale datasets (slow)
+//	nopfs-sim -scenario fig8d -chaos straggler     # inject a fault profile
+//	nopfs-sim -all -chaos "tier:0x4@1,drop:0.05"   # custom fault spec
 package main
 
 import (
@@ -22,8 +24,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"repro/internal/chaos"
+	"repro/internal/sweep"
 	"repro/sim"
 )
 
@@ -38,12 +43,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep-engine goroutine pool width (0 = GOMAXPROCS)")
 	replicas := flag.Int("replicas", 1, "replica seeds per (scenario, policy) cell")
 	format := flag.String("format", "text", "output format: text, json, or csv")
+	chaosSpec := flag.String("chaos", "", "fault profile: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a spec like \"straggler:1x2@1,tier:0x4,drop:0.05\"; adds a clean-vs-faulted profile axis to the grid")
 	flag.Parse()
 
 	switch *format {
 	case "text", "json", "csv":
 	default:
 		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
+	}
+	profiles, err := sweep.ChaosAxis(*chaosSpec)
+	if err != nil {
+		fatal(err)
 	}
 	runner := &sim.Runner{Parallel: *parallel}
 	// Ctrl-C / SIGTERM cancels the run context: in-flight grids abort
@@ -55,19 +65,23 @@ func main() {
 	case *table1:
 		printTable1()
 	case *sweepFlag:
-		runSweep(ctx, runner, *scale, *seed, *replicas, *format)
+		runSweep(ctx, runner, *scale, *seed, *replicas, *format, profiles)
 	case *ablation:
 		grid := sim.AblationGrid(*scale, *seed, *replicas)
+		grid.Profiles = profiles
 		emit(ctx, runner, grid, *format)
 	case *all:
 		grid := sim.Fig8Grid(*scale, *seed, *replicas)
+		grid.Profiles = profiles
 		emit(ctx, runner, grid, *format)
 	case *scenario != "":
 		s, err := sim.ScenarioByID(*scenario)
 		if err != nil {
 			fatal(err)
 		}
-		emit(ctx, runner, sim.ScenarioGrid(s, *scale, *seed, *replicas), *format)
+		grid := sim.ScenarioGrid(s, *scale, *seed, *replicas)
+		grid.Profiles = profiles
+		emit(ctx, runner, grid, *format)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -100,13 +114,17 @@ func write(w io.Writer, rep *sim.Report, format string) error {
 // runSweep renders the Fig. 9 study: environment grid plus staging
 // preliminary as one engine run, so json/csv emit a single document and
 // every format honours -replicas. Text mode keeps the legacy RAM × SSD
-// matrix, with means when the grid ran multiple seeds per cell.
-func runSweep(ctx context.Context, runner *sim.Runner, scale float64, seed uint64, replicas int, format string) {
-	rep, err := runner.Run(ctx, sim.Fig9FullGrid(scale, seed, replicas))
+// matrix, with means when the grid ran multiple seeds per cell; with a
+// fault-profile axis it falls back to the generic per-profile table (the
+// matrix has one cell per scenario).
+func runSweep(ctx context.Context, runner *sim.Runner, scale float64, seed uint64, replicas int, format string, profiles []sweep.ProfileSpec) {
+	grid := sim.Fig9FullGrid(scale, seed, replicas)
+	grid.Profiles = profiles
+	rep, err := runner.Run(ctx, grid)
 	if err != nil {
 		fatal(err)
 	}
-	if format != "text" {
+	if format != "text" || len(profiles) > 0 {
 		if err := write(os.Stdout, rep, format); err != nil {
 			fatal(err)
 		}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/chaos"
 	"repro/internal/sweep"
 	"repro/internal/trainer"
 )
@@ -39,6 +40,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replica seeds per grid cell")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	gpus := flag.String("gpus", "", "comma-separated GPU counts to keep (default: the figure's full axis)")
+	chaosSpec := flag.String("chaos", "", "fault profile: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a spec like \"straggler:1x2@1,drop:0.05\"; adds a clean-vs-faulted profile axis to the grid (fault profiles extend beyond the paper's measured configurations)")
 	flag.Parse()
 
 	switch *format {
@@ -47,6 +49,10 @@ func main() {
 		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
 	}
 	keep, err := parseGPUs(*gpus)
+	if err != nil {
+		fatal(err)
+	}
+	profiles, err := sweep.ChaosAxis(*chaosSpec)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,6 +67,7 @@ func main() {
 		format:   *format,
 		seed:     *seed,
 		keepGPUs: keep,
+		profiles: profiles,
 	}
 
 	switch *fig {
@@ -94,6 +101,9 @@ type runConfig struct {
 	format   string
 	seed     uint64
 	keepGPUs []int
+	// profiles is the -chaos fault-profile axis (clean + faulted), empty
+	// without the flag.
+	profiles []sweep.ProfileSpec
 }
 
 // parseGPUs parses the -gpus comma list.
@@ -147,14 +157,20 @@ func (c runConfig) trim(exps []trainer.Experiment) []trainer.Experiment {
 	return out
 }
 
-// run executes one grid through the engine.
+// run executes one grid through the engine, attaching the -chaos
+// clean-vs-faulted profile axis (a no-op without the flag).
 func (c runConfig) run(grid *sweep.Grid) *sweep.Report {
+	grid.Profiles = c.profiles
 	rep, err := c.runner.Run(c.ctx, grid)
 	if err != nil {
 		fatal(err)
 	}
 	return rep
 }
+
+// rowLabel is sweep's shared profile-qualified labelling rule, aliased for
+// the bespoke figure tables below.
+var rowLabel = sweep.RowLabel
 
 // emitExperiment runs one experiment's grid and writes it in the requested
 // format (generic text table, JSON, or CSV).
@@ -188,7 +204,7 @@ func (c runConfig) emitFig11(exp trainer.Experiment) {
 			continue
 		}
 		fmt.Printf("%-24s %-14s %11.3fs %11.3fs %11.3fs\n",
-			s.Scenario, s.Policy,
+			s.Scenario, rowLabel(s.Policy, s.Profile),
 			s.Metric(trainer.MetricBatch0Med).Mean,
 			s.Metric(trainer.MetricBatch0P95).Mean,
 			s.Metric(trainer.MetricBatch0Max).Mean)
@@ -210,7 +226,7 @@ func (c runConfig) emitFig12(exp trainer.Experiment) {
 			continue
 		}
 		fmt.Printf("%-24s %11.2fs %7.1f%% %7.1f%% %7.1f%%\n",
-			s.Scenario,
+			rowLabel(s.Scenario, s.Profile),
 			s.Metric(trainer.MetricStallS).Mean,
 			100*s.Metric(trainer.MetricPFSFrac).Mean,
 			100*s.Metric(trainer.MetricRemoteFrac).Mean,
@@ -238,7 +254,7 @@ func (c runConfig) emitFig13(scale float64) {
 			continue
 		}
 		fmt.Printf("%-20s %-14s %11.3fs %11.3fs %11.3fs\n",
-			s.Scenario, s.Policy,
+			s.Scenario, rowLabel(s.Policy, s.Profile),
 			s.Metric(trainer.MetricBatchMedian).Mean,
 			s.Metric(trainer.MetricBatchP95).Mean,
 			s.Metric(trainer.MetricBatchMax).Mean)
@@ -251,13 +267,9 @@ func (c runConfig) emitFig13(scale float64) {
 func (c runConfig) emitFig16(scale float64) {
 	// Fig. 16 is a single-point figure; honour -gpus the same way every
 	// other figure does (prep errors on a non-matching filter) rather than
-	// silently ignoring it. The grid itself is untrimmable, so prep's
-	// result is only used for validation.
-	c.prep(trainer.Fig16Experiment(scale))
-	grid := trainer.Fig16Grid(scale, c.replicas)
-	if c.seed != 0 {
-		grid.BaseSeed = c.seed
-	}
+	// silently ignoring it, and carry the seed override and chaos profile
+	// into the grid like every other figure.
+	grid := trainer.Fig16GridFrom(c.prep(trainer.Fig16Experiment(scale)), c.replicas)
 	rep := c.run(grid)
 	if c.format != "text" {
 		check(writeReport(os.Stdout, rep, c.format))
@@ -270,11 +282,11 @@ func (c runConfig) emitFig16(scale float64) {
 		}
 		r, ok := cell.Outcome.Payload.(trainer.EndToEndResult)
 		if !ok || len(r.Curve) == 0 {
-			fmt.Printf("%-14s failed\n", cell.Policy)
+			fmt.Printf("%-14s failed\n", rowLabel(cell.Policy, cell.Profile))
 			continue
 		}
 		fmt.Printf("%-14s total %.1f min, final top-1 %.1f%%\n",
-			r.Loader, r.TotalSeconds/60, r.FinalTop1)
+			rowLabel(r.Loader, cell.Profile), r.TotalSeconds/60, r.FinalTop1)
 		for _, pt := range r.Curve {
 			if pt.Epoch%10 == 0 {
 				fmt.Printf("    epoch %2d  t=%8.1fs  top1=%.1f%%\n", pt.Epoch, pt.Seconds, pt.Top1Percent)

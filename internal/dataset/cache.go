@@ -20,8 +20,9 @@ var (
 // bound only guards pathological spec churn — e.g. a sweep materialising
 // many distinct paper-scale specs. On overflow the memo is cleared
 // wholesale: entries are cheap to rebuild and LRU bookkeeping is not worth
-// carrying for a map that normally holds < 10 entries.
-const cacheByteLimit = 1 << 30
+// carrying for a map that normally holds < 10 entries. A variable so tests
+// can drive the overflow path without materialising a gigabyte.
+var cacheByteLimit int64 = 1 << 30
 
 // entryBytes approximates a dataset's retained memory: the int64 size
 // table plus the float64 MB view.

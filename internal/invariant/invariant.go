@@ -1,0 +1,165 @@
+// Package invariant is the repo's property/metamorphic test harness: the
+// laws every simulated (and live) run must obey, stated as reusable checks.
+//
+// The checks are exported so future scenario work — new policies, new fault
+// profiles, new hardware presets — can assert the same laws instead of
+// re-deriving ad-hoc expectations. The package's tests drive them over
+// randomized plans and fault profiles; they double as the acceptance oracle
+// for the chaos layer:
+//
+//   - Basic laws (CheckResult): stall and exec times are non-negative,
+//     stall never exceeds exec, coverage lies in [0, 1], and the per-epoch
+//     series sums back to the run's training time.
+//   - No-prefetch bound (CheckStallBound): a pipelined policy's stall time
+//     cannot exceed the fully synchronous Naive run's execution time — if
+//     waiting on the staging buffer cost more than doing all I/O inline,
+//     the pipeline would be worse than no pipeline.
+//   - Cache monotonicity (CheckNotSlower): enlarging any cache tier never
+//     increases epoch time — more capacity means a superset of caching
+//     options under the argmin fetch rule.
+//   - Fault-removal monotonicity (CheckNotSlower): removing a
+//     non-structural fault (stragglers, tier degradation, fabric faults —
+//     anything that stretches durations without changing the access
+//     schedule) never slows a run. The chaos layer guarantees this by
+//     construction: faults perturb durations only, never the policy's
+//     source decisions or the γ-estimation feedback.
+//   - Determinism: identical grids produce bit-identical encoded reports at
+//     any engine pool width, chaos included.
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chaos"
+	"repro/internal/prng"
+	isim "repro/internal/sim"
+)
+
+// Tol is the relative tolerance for the monotonicity comparisons: the laws
+// hold exactly in the model's real-number semantics, and floating-point
+// evaluation tracks it to well below this.
+const Tol = 1e-9
+
+// CheckResult verifies the basic laws of one simulated result. Failed
+// results (configurations that legitimately cannot run) pass trivially.
+func CheckResult(r *isim.Result) error {
+	if r.Failed {
+		return nil
+	}
+	switch {
+	case r.StallSeconds < 0:
+		return fmt.Errorf("invariant: stall %g < 0", r.StallSeconds)
+	case r.ExecSeconds < 0 || math.IsNaN(r.ExecSeconds) || math.IsInf(r.ExecSeconds, 0):
+		return fmt.Errorf("invariant: exec %g not a finite non-negative time", r.ExecSeconds)
+	case r.SetupSeconds < 0:
+		return fmt.Errorf("invariant: setup %g < 0", r.SetupSeconds)
+	case r.StallSeconds > r.ExecSeconds*(1+Tol):
+		return fmt.Errorf("invariant: stall %g exceeds exec %g", r.StallSeconds, r.ExecSeconds)
+	case r.Coverage < 0 || r.Coverage > 1+Tol:
+		return fmt.Errorf("invariant: coverage %g outside [0, 1]", r.Coverage)
+	}
+	var epochSum float64
+	for i, e := range r.EpochSeconds {
+		if e < 0 {
+			return fmt.Errorf("invariant: epoch %d duration %g < 0", i, e)
+		}
+		epochSum += e
+	}
+	// Epoch durations cover at most the training time (exec minus
+	// prestaging setup). One-sided: policies that reorder their stream
+	// (LocalityAware) can leave a sub-epoch tail beyond the last boundary.
+	training := r.ExecSeconds - r.SetupSeconds
+	if epochSum > training*(1+1e-6)+Tol {
+		return fmt.Errorf("invariant: epoch sum %g exceeds training time %g", epochSum, training)
+	}
+	for i, b := range r.BatchSeconds {
+		if b < 0 {
+			return fmt.Errorf("invariant: batch %d duration %g < 0", i, b)
+		}
+	}
+	return nil
+}
+
+// CheckStallBound verifies the no-prefetch bound: the policy's total stall
+// time cannot exceed the synchronous no-prefetch run's execution time for
+// the same fault-free configuration. The bound is a fault-free law: Naive
+// never touches caches or the fabric, so faults targeting those tiers slow
+// the compared policy while leaving the bound untouched.
+func CheckStallBound(r, noPrefetch *isim.Result) error {
+	if r.Failed || noPrefetch.Failed {
+		return nil
+	}
+	if r.StallSeconds > noPrefetch.ExecSeconds*(1+Tol) {
+		return fmt.Errorf("invariant: stall %g exceeds the no-prefetch bound %g (%s vs %s)",
+			r.StallSeconds, noPrefetch.ExecSeconds, r.Policy, noPrefetch.Policy)
+	}
+	return nil
+}
+
+// SameStreamPolicies lists the policies that consume the plan's true access
+// stream end to end. Only for these is LowerBound ("Perfect") an actual
+// execution-time lower bound — policies that cycle their cached subset
+// (ParallelStaging, opportunistic DeepIO) or reorder and resize the stream
+// (LocalityAware) train on different bytes.
+func SameStreamPolicies() map[string]bool {
+	return map[string]bool{
+		isim.NameLowerBound:    true,
+		isim.NameNaive:         true,
+		isim.NameStagingBuffer: true,
+		isim.NameDeepIOOrdered: true,
+		isim.NameLBANNDynamic:  true,
+		isim.NameLBANNPreload:  true,
+		isim.NameNoPFS:         true,
+	}
+}
+
+// CheckNotSlower verifies the monotonicity laws: the "better" run (larger
+// caches, or faults removed) must not be slower than the "worse" one.
+func CheckNotSlower(better, worse *isim.Result, law string) error {
+	if better.Failed || worse.Failed {
+		return nil
+	}
+	if better.ExecSeconds > worse.ExecSeconds*(1+Tol) {
+		return fmt.Errorf("invariant: %s violated: %g > %g (%s)",
+			law, better.ExecSeconds, worse.ExecSeconds, better.Policy)
+	}
+	return nil
+}
+
+// RandomProfile draws a random fault profile for property tests: a mix of
+// stragglers, tier degradations (including the PFS), and fabric faults,
+// plus — when structural is true — node crashes. Deterministic in the
+// generator's state.
+func RandomProfile(g *prng.Generator, workers, epochs, classes int, structural bool) chaos.Profile {
+	p := chaos.Profile{Name: "random"}
+	factor := func() float64 { return 1 + 3*g.Float64() }
+	epoch := func() int { return g.Intn(epochs) }
+	if g.Float64() < 0.7 {
+		p.Stragglers = append(p.Stragglers, chaos.Straggler{
+			Worker: g.Intn(workers), Factor: factor(), FromEpoch: epoch(),
+		})
+	}
+	if g.Float64() < 0.7 {
+		class := chaos.PFSTier
+		if classes > 0 && g.Float64() < 0.7 {
+			class = g.Intn(classes)
+		}
+		p.Tiers = append(p.Tiers, chaos.TierDegradation{
+			Class: class, Factor: factor(), FromEpoch: epoch(),
+		})
+	}
+	if g.Float64() < 0.7 {
+		p.Fabric = chaos.FabricFault{
+			LatencySeconds: 0.002 * g.Float64(),
+			JitterSeconds:  0.002 * g.Float64(),
+			FailRate:       0.3 * g.Float64(),
+		}
+	}
+	if structural && epochs > 1 && workers > 1 && g.Float64() < 0.6 {
+		p.Crashes = append(p.Crashes, chaos.Crash{
+			Worker: g.Intn(workers), AtEpoch: 1 + g.Intn(epochs-1),
+		})
+	}
+	return p
+}

@@ -1,0 +1,122 @@
+package invariant
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/chaos"
+	"repro/internal/dataset"
+	"repro/internal/prng"
+	"repro/nopfs"
+)
+
+// The live half of the invariant suite: the laws that survive wall-clock
+// noise on the channel-fabric path. Live runs are not schedule-deterministic
+// in their timing metrics, but delivery is — every worker must receive
+// exactly its clairvoyant stream, faults or not, and stalls are never
+// negative.
+
+// liveOptions is the invariant tier's standard small cluster.
+func liveOptions(seed uint64) nopfs.Options {
+	return nopfs.NewOptions(
+		nopfs.WithSeed(seed),
+		nopfs.WithEpochs(3),
+		nopfs.WithBatchPerWorker(4),
+		nopfs.WithStagingBuffer(64<<10),
+		nopfs.WithStagingThreads(3),
+		nopfs.WithClasses(nopfs.Class{Name: "ram", CapacityBytes: 256 << 10, Threads: 2}),
+		nopfs.WithVerifySamples(true),
+	)
+}
+
+// runLive executes a chan-fabric cluster and returns per-rank delivered ids
+// and stats.
+func runLive(t *testing.T, workers, f int, opts nopfs.Options) ([][]int, []nopfs.Stats) {
+	t.Helper()
+	ds := dataset.MustNew(dataset.Spec{
+		Name: "invariant-live", F: f, MeanSize: 2048, StddevSize: 512, Classes: 10, Seed: 5,
+	})
+	delivered := make([][]int, workers)
+	var mu sync.Mutex
+	stats, err := nopfs.RunCluster(context.Background(), ds, workers, opts,
+		func(ctx context.Context, j *nopfs.Job) error {
+			var ids []int
+			for s, err := range j.Samples(ctx) {
+				if err != nil {
+					return err
+				}
+				ids = append(ids, s.ID)
+			}
+			mu.Lock()
+			delivered[j.Rank()] = ids
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return delivered, stats
+}
+
+// checkExactSchedule asserts every rank received its clairvoyant stream.
+func checkExactSchedule(t *testing.T, delivered [][]int, f, workers int, opts nopfs.Options) {
+	t.Helper()
+	plan := &access.Plan{
+		Seed: opts.Seed, F: f, N: workers, E: opts.Epochs,
+		BatchPerWorker: opts.BatchPerWorker, DropLast: opts.DropLast,
+	}
+	for w := 0; w < workers; w++ {
+		want := plan.WorkerStream(w)
+		if len(delivered[w]) != len(want) {
+			t.Fatalf("rank %d delivered %d samples, want %d", w, len(delivered[w]), len(want))
+		}
+		for i := range want {
+			if delivered[w][i] != int(want[i]) {
+				t.Fatalf("rank %d position %d: got %d, want %d", w, i, delivered[w][i], want[i])
+			}
+		}
+	}
+}
+
+// TestLiveLawsUnderRandomProfiles drives randomized non-structural fault
+// profiles through real chan-fabric clusters: exact schedule delivery and
+// non-negative stalls must survive stragglers, degraded tiers, and flaky
+// fabrics.
+func TestLiveLawsUnderRandomProfiles(t *testing.T) {
+	g := prng.New(0x11FE)
+	for trial := 0; trial < 4; trial++ {
+		const workers, f = 3, 72
+		opts := liveOptions(g.Uint64())
+		opts.Chaos = RandomProfile(g.Derive(uint64(trial)), workers, opts.Epochs, len(opts.Classes), false)
+		// Keep injected fabric delays tiny: this is a correctness tier, not
+		// a timing benchmark.
+		opts.Chaos.Fabric.LatencySeconds /= 10
+		opts.Chaos.Fabric.JitterSeconds /= 10
+		delivered, stats := runLive(t, workers, f, opts)
+		checkExactSchedule(t, delivered, f, workers, opts)
+		for _, s := range stats {
+			if s.StallSeconds < 0 {
+				t.Errorf("trial %d rank %d: negative stall %g", trial, s.Rank, s.StallSeconds)
+			}
+			if s.Delivered == 0 {
+				t.Errorf("trial %d rank %d: delivered nothing", trial, s.Rank)
+			}
+		}
+	}
+}
+
+// TestLiveCrashProfileIsIgnored pins the documented live semantics of
+// crashes: they are simulator-only, so a crash-bearing profile behaves like
+// the same profile without its crashes — the run completes with exact
+// delivery.
+func TestLiveCrashProfileIsIgnored(t *testing.T) {
+	const workers, f = 3, 48
+	opts := liveOptions(99)
+	opts.Chaos = nopfs.ChaosProfile{
+		Crashes: []chaos.Crash{{Worker: 1, AtEpoch: 1}},
+	}
+	delivered, _ := runLive(t, workers, f, opts)
+	checkExactSchedule(t, delivered, f, workers, opts)
+}

@@ -118,6 +118,10 @@ type Choice struct {
 	Class int
 	// Seconds is the fetch time (excluding the staging write).
 	Seconds float64
+	// Holder is the serving worker's rank for LocRemote fetches (meaningless
+	// for other locations). Fault injection uses it to reroute fetches whose
+	// holder has crashed.
+	Holder int32
 }
 
 // Best returns the fastest applicable fetch source for a sample of sizeMB,

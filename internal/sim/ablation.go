@@ -77,9 +77,13 @@ func (n *nopfsAblated) StagingMB(env *Env) float64 {
 func (n *nopfsAblated) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	sz := env.SizesMB[k]
 	localClass := n.assign.LocalAvail(0, k, int32(f))
-	remoteClass := -1
+	remoteClass, holder := -1, -1
 	if !n.v.NoRemote {
-		remoteClass, _ = n.assign.RemoteAvail(0, k, int32(f))
+		remoteClass, holder = n.assign.RemoteAvail(0, k, int32(f))
 	}
-	return env.Model.Best(sz, localClass, remoteClass, env.Gamma())
+	ch := env.Model.Best(sz, localClass, remoteClass, env.Gamma())
+	if ch.Loc == perfmodel.LocRemote {
+		ch.Holder = int32(holder)
+	}
+	return ch
 }

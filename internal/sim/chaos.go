@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"repro/internal/access"
+	"repro/internal/chaos"
+	"repro/internal/perfmodel"
+)
+
+// This file is the simulator's half of the fault-injection contract
+// (internal/chaos): crash re-planning reshapes the simulated worker's stream
+// before the hot loop, and chaosAdjust stretches per-fetch durations inside
+// it. All adjustments are duration-only (the policy's source decisions and
+// the γ heuristic see the fault-free world), which is what makes removing a
+// non-structural fault provably never slow a run — the monotonicity law the
+// invariant suite asserts.
+
+// chaosAdjust applies the per-fetch fault effects to one source choice:
+// crashed-holder rerouting, tier bandwidth rescaling, and fabric
+// latency/jitter/transient failures. f is the stream position (the
+// deterministic fabric-draw index); epoch the current epoch.
+func chaosAdjust(env *Env, sched *chaos.Schedule, epoch, f int, sz float64, choice *perfmodel.Choice, res *Result) {
+	n := env.Plan.N
+	// A crashed holder serves nothing: the fetch lands on the PFS, which is
+	// always available (its clairvoyant placement was redistributed, but the
+	// bytes it cached are gone).
+	if choice.Loc == perfmodel.LocRemote && sched.CrashedAt(int(choice.Holder), epoch, n) {
+		*choice = perfmodel.Choice{
+			Loc: perfmodel.LocPFS, Class: -1,
+			Seconds: env.Model.FetchPFS(sz, env.Gamma()),
+		}
+	}
+	// Tier degradation divides the serving tier's bandwidth.
+	switch choice.Loc {
+	case perfmodel.LocPFS:
+		choice.Seconds *= sched.TierFactor(chaos.PFSTier, epoch)
+	case perfmodel.LocLocal, perfmodel.LocRemote:
+		if choice.Class >= 0 {
+			choice.Seconds *= sched.TierFactor(choice.Class, epoch)
+		}
+	}
+	// Fabric faults hit remote fetches only: added latency/jitter, and a
+	// transient failure costs the full timed-out attempt plus the PFS
+	// fallback (never cheaper than succeeding, so fault removal is monotone
+	// even when a policy's remote pick was slower than the PFS).
+	if choice.Loc == perfmodel.LocRemote {
+		delay, fail := sched.FabricCall(0, uint64(f))
+		choice.Seconds += delay
+		if fail {
+			choice.Seconds += env.Model.FetchPFS(sz, env.Gamma()) * sched.TierFactor(chaos.PFSTier, epoch)
+			res.RemoteFalsePositives++
+		}
+	}
+}
+
+// chaosStream applies crash re-planning to the simulated worker's stream:
+// from each crash epoch onwards, the crashed workers' plan entries are
+// redistributed round-robin across the survivors, and worker 0 — the
+// simulated survivor, by construction never the crashed rank — picks up its
+// share. The returned epochEnds carries the now-unequal cumulative epoch
+// boundaries; a fault-free schedule returns the stream untouched with nil
+// boundaries (the uniform legacy rule).
+//
+// Redistribution slices the policy's stream into E near-equal chunks, so
+// policies that reorder or cycle their stream (DeepIO opportunistic,
+// ParallelStaging) keep their own epoch structure while still absorbing the
+// crashed workers' plan entries.
+func chaosStream(env *Env, stream []access.SampleID) ([]access.SampleID, []int) {
+	sched := env.Chaos
+	n := env.Plan.N
+	if sched == nil || !sched.HasCrashes(n) || len(stream) == 0 {
+		return stream, nil
+	}
+	e0 := len(stream) / env.Plan.E
+	rem := len(stream) % env.Plan.E
+	out := make([]access.SampleID, 0, len(stream)+len(stream)/n+1)
+	ends := make([]int, 0, env.Plan.E)
+	off := 0
+	for e := 0; e < env.Plan.E; e++ {
+		size := e0
+		if e < rem {
+			size++
+		}
+		out = append(out, stream[off:off+size]...)
+		off += size
+		if crashed := sched.CrashedWorkers(e, n); len(crashed) > 0 {
+			survivors := n - len(crashed)
+			for _, w := range crashed {
+				// Worker w's plan entries for this epoch, from the shared
+				// artifact streams.
+				pe := env.Plan.SamplesPerEpoch(w)
+				ws := env.Art.Streams[w]
+				lo, hi := e*pe, (e+1)*pe
+				if hi > len(ws) {
+					hi = len(ws)
+				}
+				// Survivors split the orphaned entries round-robin; worker 0
+				// is survivor index 0 and takes positions 0, S, 2S, ...
+				for i := lo; i < hi; i += survivors {
+					out = append(out, ws[i])
+				}
+			}
+		}
+		ends = append(ends, len(out))
+	}
+	return out, ends
+}

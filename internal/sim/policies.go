@@ -249,8 +249,8 @@ func (d *deepIO) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	if c := d.assign.LocalAvail(0, k, int32(f)); c >= 0 {
 		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Model.FetchLocal(sz, c)}
 	}
-	if c, _ := d.assign.RemoteAvail(0, k, int32(f)); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c)}
+	if c, w := d.assign.RemoteAvail(0, k, int32(f)); c >= 0 {
+		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c), Holder: int32(w)}
 	}
 	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Model.FetchPFS(sz, env.Gamma())}
 }
@@ -353,8 +353,8 @@ func (l *lbann) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	if c := l.assign.LocalAvail(0, k, int32(f)); c >= 0 {
 		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Model.FetchLocal(sz, c)}
 	}
-	if c, _ := l.assign.RemoteAvail(0, k, int32(f)); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c)}
+	if c, w := l.assign.RemoteAvail(0, k, int32(f)); c >= 0 {
+		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c), Holder: int32(w)}
 	}
 	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Model.FetchPFS(sz, env.Gamma())}
 }
@@ -430,8 +430,8 @@ func (l *localityAware) Source(env *Env, f int, k access.SampleID) perfmodel.Cho
 	if c := l.assign.Local(0, k); c >= 0 {
 		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Model.FetchLocal(sz, c)}
 	}
-	if c, _ := l.assign.RemoteBest(0, k); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c)}
+	if c, w := l.assign.RemoteBest(0, k); c >= 0 {
+		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c), Holder: int32(w)}
 	}
 	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Model.FetchPFS(sz, env.Gamma())}
 }
@@ -464,8 +464,12 @@ func (n *nopfs) StagingMB(env *Env) float64        { return nodeStagingMB(env) }
 func (n *nopfs) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	sz := env.SizesMB[k]
 	localClass := n.assign.LocalAvail(0, k, int32(f))
-	remoteClass, _ := n.assign.RemoteAvail(0, k, int32(f))
-	return env.Model.Best(sz, localClass, remoteClass, env.Gamma())
+	remoteClass, holder := n.assign.RemoteAvail(0, k, int32(f))
+	ch := env.Model.Best(sz, localClass, remoteClass, env.Gamma())
+	if ch.Loc == perfmodel.LocRemote {
+		ch.Holder = int32(holder)
+	}
+	return ch
 }
 
 // nodeThreads returns the node's configured staging thread count p0.

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/cachepolicy"
+	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/internal/hwspec"
 	"repro/internal/perfmodel"
@@ -48,6 +49,10 @@ type Config struct {
 	PFSJitter float64
 	// DropLast drops trailing partial batches.
 	DropLast bool
+	// Chaos is the fault/degradation scenario (see internal/chaos). The
+	// zero value injects nothing and reproduces the fault-free simulation
+	// byte for byte.
+	Chaos chaos.Profile
 }
 
 // Plan derives the access plan implied by the config.
@@ -67,6 +72,9 @@ func (c *Config) Validate() error {
 		return err
 	}
 	if err := c.Work.Validate(); err != nil {
+		return err
+	}
+	if err := c.Chaos.Validate(); err != nil {
 		return err
 	}
 	return c.Plan().Validate()
@@ -127,6 +135,8 @@ type Env struct {
 	// Art is the cached artifact set backing Streams/FirstPos0; policies
 	// use it for epoch orders and shared placement assignments.
 	Art *plancache.Artifacts
+	// Chaos is the compiled fault schedule (nil for the fault-free run).
+	Chaos *chaos.Schedule
 
 	rng  *prng.Generator
 	ewma float64 // recent fraction of staging fetches served by the PFS
@@ -150,9 +160,10 @@ func newEnv(cfg *Config) (*Env, error) {
 	return &Env{
 		Cfg: cfg, Model: model, Plan: plan,
 		SizesMB: sizes, Streams: art.Streams, FirstPos0: art.FirstPos0,
-		Art:  art,
-		rng:  prng.New(cfg.Seed).Derive(0x51),
-		ewma: 1, // epoch 0 starts all-PFS
+		Art:   art,
+		Chaos: cfg.Chaos.Compile(cfg.Seed),
+		rng:   prng.New(cfg.Seed).Derive(0x51),
+		ewma:  1, // epoch 0 starts all-PFS
 	}, nil
 }
 
@@ -304,7 +315,11 @@ func Run(cfg Config, pol Policy) (*Result, error) {
 	res.SetupSeconds = setup
 	res.Coverage = pol.Coverage(env)
 	stream := pol.Stream(env)
-	simulate(env, pol, stream, setup, res)
+	// Node crashes redistribute the crashed workers' plan across the
+	// survivors: the simulated worker's stream grows and epoch boundaries
+	// shift (nil epochEnds means the fault-free uniform boundaries).
+	stream, epochEnds := chaosStream(env, stream)
+	simulate(env, pol, stream, setup, res, epochEnds)
 	return res, nil
 }
 
@@ -402,7 +417,11 @@ func (t *threadPool) schedule(roomTime, readDur float64) float64 {
 // allocation-lean: per-location accounting uses fixed arrays folded into the
 // Result maps only at the end, and the per-batch/per-epoch series are
 // preallocated to their known lengths.
-func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res *Result) {
+//
+// epochEnds, when non-nil, carries the cumulative stream position at which
+// each epoch ends (chaos crash redistribution makes epochs unequal); nil
+// means the plan's uniform per-epoch boundaries.
+func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res *Result, epochEnds []int) {
 	model := env.Model
 	c := env.Cfg.Work.ComputeMBps
 	p0 := pol.PrefetchThreads(env)
@@ -443,6 +462,24 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 	prevComputeDone := setup
 	lastBatchEnd, lastEpochEnd := setup, setup
 
+	// Epoch tracking: boundaries come from epochEnds when chaos reshaped the
+	// stream, otherwise every perEpoch samples (the legacy rule).
+	epoch := 0
+	nextEpochEnd := perEpoch
+	if len(epochEnds) > 0 {
+		nextEpochEnd = epochEnds[0]
+	}
+
+	// Chaos multipliers are epoch-constant: resolve them at boundaries, not
+	// per sample. barrier paces the allreduce when a peer straggles; self
+	// slows this worker's own prefetch threads.
+	sched := env.Chaos
+	barrier, self := 1.0, 1.0
+	if sched != nil {
+		n := env.Plan.N
+		barrier, self = sched.BarrierFactor(0, n), sched.Slowdown(0, 0, n)
+	}
+
 	// PFS slowness is bursty system noise, not i.i.d. per sample: one slow
 	// OST or contention spike delays every read issued in that window. We
 	// model it as one jitter draw per batch, which is what produces the
@@ -457,6 +494,10 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 		}
 
 		choice := pol.Source(env, f, k)
+		// γ estimation folds the policy's decision, not the chaos-perturbed
+		// outcome: faults stretch durations without feeding back into the
+		// contention heuristic, which keeps the fault-free run bit-identical
+		// and makes fault injection monotone (see internal/invariant).
 		env.notePFS(choice.Loc == perfmodel.LocPFS)
 		if choice.Loc == perfmodel.LocPFS {
 			// t(γ)/γ is the node's total PFS share: concurrent prefetch
@@ -469,11 +510,19 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 			}
 			choice.Seconds *= batchJitter
 		}
+		if sched != nil {
+			chaosAdjust(env, sched, epoch, f, sz, &choice, res)
+		}
 		write := model.WriteTime(sz)
 		locSec[choice.Loc] += choice.Seconds
 		locCnt[choice.Loc]++
 		res.StagingWriteSeconds += write
 		readDur := choice.Seconds + write
+		if self != 1 {
+			// Straggler self-slowdown: every prefetch thread of this worker
+			// runs factor× slower.
+			readDur *= self
+		}
 
 		var avail float64
 		if sync {
@@ -495,13 +544,14 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 			avail = threads.schedule(roomTime, readDur)
 		}
 
-		// Consumption recurrence (paper Sec. 4).
+		// Consumption recurrence (paper Sec. 4). barrier > 1 paces every
+		// iteration at the slowest surviving peer's rate (allreduce).
 		consume := prevComputeDone
 		if avail > consume {
 			res.StallSeconds += avail - consume
 			consume = avail
 		}
-		computeDone := consume + sz/c
+		computeDone := consume + sz/c*barrier
 
 		if !sync {
 			window = append(window, slot{sizeMB: sz, consume: consume})
@@ -519,9 +569,21 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 			res.BatchSeconds = append(res.BatchSeconds, computeDone-lastBatchEnd)
 			lastBatchEnd = computeDone
 		}
-		if (f+1)%perEpoch == 0 {
+		if f+1 == nextEpochEnd {
 			res.EpochSeconds = append(res.EpochSeconds, computeDone-lastEpochEnd)
 			lastEpochEnd = computeDone
+			epoch++
+			if len(epochEnds) > 0 {
+				if epoch < len(epochEnds) {
+					nextEpochEnd = epochEnds[epoch]
+				}
+			} else {
+				nextEpochEnd += perEpoch
+			}
+			if sched != nil {
+				n := env.Plan.N
+				barrier, self = sched.BarrierFactor(epoch, n), sched.Slowdown(0, epoch, n)
+			}
 		}
 	}
 	for l := 0; l < numLocations; l++ {

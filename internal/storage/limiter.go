@@ -32,6 +32,19 @@ func NewLimiter(mbps float64) *Limiter {
 	return &Limiter{bytesPerSec: mbps * (1 << 20)}
 }
 
+// SetRate changes the limiter's aggregate rate to mbps (values <= 0 are
+// ignored: an unlimited limiter is nil, not a zero rate). Reservations
+// already on the clock keep their grants; later callers are paced at the new
+// rate. Fault injection uses this to degrade a tier's bandwidth mid-run.
+func (l *Limiter) SetRate(mbps float64) {
+	if l == nil || mbps <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.bytesPerSec = mbps * (1 << 20)
+	l.mu.Unlock()
+}
+
 // sleepQuantum bounds timer overhead: reservations shorter than this pass
 // immediately and are paid for by later callers once the backlog
 // accumulates past the quantum. Aggregate throughput still converges to the
@@ -51,8 +64,9 @@ func (l *Limiter) Wait(ctx context.Context, n int64) error {
 	if l == nil || n <= 0 {
 		return nil
 	}
-	dur := time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
+	// bytesPerSec is read under the mutex: SetRate mutates it mid-run.
 	l.mu.Lock()
+	dur := time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
 	now := time.Now()
 	if l.next.Before(now) {
 		l.next = now

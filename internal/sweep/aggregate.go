@@ -13,6 +13,9 @@ import (
 type Summary struct {
 	Scenario string `json:"scenario"`
 	Policy   string `json:"policy"`
+	// Profile names the fault-profile column; empty (and omitted) for grids
+	// without a fault-profile axis.
+	Profile  string `json:"profile,omitempty"`
 	Replicas int    `json:"replicas"`
 	// Failed is set when every replica failed (cells fail a configuration
 	// deterministically, so mixed outcomes indicate a bug).
@@ -31,14 +34,14 @@ func (s Summary) Metric(name string) stats.Summary {
 	return s.Metrics[name]
 }
 
-// Aggregate groups the report's cells by (scenario, policy) in grid order
-// and summarises each group's replicas metric by metric.
+// Aggregate groups the report's cells by (scenario, policy, profile) in
+// grid order and summarises each group's replicas metric by metric.
 func (rep *Report) Aggregate() []Summary {
-	type key struct{ scenario, policy string }
+	type key struct{ scenario, policy, profile string }
 	order := []key{}
 	groups := map[key][]CellResult{}
 	for _, c := range rep.Cells {
-		k := key{c.Scenario, c.Policy}
+		k := key{c.Scenario, c.Policy, c.Profile}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -49,7 +52,7 @@ func (rep *Report) Aggregate() []Summary {
 	for _, k := range order {
 		cells := groups[k]
 		s := Summary{
-			Scenario: k.scenario, Policy: k.policy, Replicas: len(cells),
+			Scenario: k.scenario, Policy: k.policy, Profile: k.profile, Replicas: len(cells),
 			Metrics: map[string]stats.Summary{},
 		}
 		values := map[string][]float64{}

@@ -26,11 +26,18 @@ func WriteJSON(w io.Writer, rep *Report) error {
 	return enc.Encode(jsonReport{Report: rep, Summaries: rep.Aggregate()})
 }
 
-// WriteCSV emits one row per aggregated (scenario, policy) summary, with
-// four columns (mean, median, 95% CI bounds) per schema metric.
+// WriteCSV emits one row per aggregated (scenario, policy, profile)
+// summary, with four columns (mean, median, 95% CI bounds) per schema
+// metric. The profile column appears only when the grid declares a
+// fault-profile axis, keeping profile-less reports byte-identical.
 func WriteCSV(w io.Writer, rep *Report) error {
 	cw := csv.NewWriter(w)
-	header := []string{"grid", "scenario", "policy", "replicas", "failed", "fail_reason", "note"}
+	hasProfiles := len(rep.Profiles) > 0
+	header := []string{"grid", "scenario", "policy"}
+	if hasProfiles {
+		header = append(header, "profile")
+	}
+	header = append(header, "replicas", "failed", "fail_reason", "note")
 	for _, m := range rep.Metrics {
 		header = append(header,
 			m.Name+"_mean", m.Name+"_median", m.Name+"_ci_lo", m.Name+"_ci_hi")
@@ -40,10 +47,12 @@ func WriteCSV(w io.Writer, rep *Report) error {
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, s := range rep.Aggregate() {
-		row := []string{
-			rep.Grid, s.Scenario, s.Policy, strconv.Itoa(s.Replicas),
-			strconv.FormatBool(s.Failed), s.FailReason, s.Note,
+		row := []string{rep.Grid, s.Scenario, s.Policy}
+		if hasProfiles {
+			row = append(row, s.Profile)
 		}
+		row = append(row, strconv.Itoa(s.Replicas),
+			strconv.FormatBool(s.Failed), s.FailReason, s.Note)
 		for _, m := range rep.Metrics {
 			sm := s.Metrics[m.Name]
 			row = append(row, f(sm.Mean), f(sm.Median), f(sm.CILow), f(sm.CIHigh))
@@ -58,6 +67,17 @@ func WriteCSV(w io.Writer, rep *Report) error {
 
 // textColWidth is the text-report column width for metric values.
 const textColWidth = 13
+
+// RowLabel qualifies a policy/loader label with its fault-profile column
+// ("NoPFS @meltdown") — the one labelling rule shared by WriteText and the
+// CLIs' bespoke figure tables, so the same grid renders consistently on
+// every path. Profile-less rows are the bare label.
+func RowLabel(policy, profile string) string {
+	if profile == "" {
+		return policy
+	}
+	return policy + " @" + profile
+}
 
 // WriteText renders the report in the repo's bar-chart style: one block per
 // scenario, one row per policy, one column per visible schema metric, with a
@@ -106,7 +126,7 @@ func WriteText(w io.Writer, rep *Report) error {
 				continue
 			}
 			var row strings.Builder
-			fmt.Fprintf(&row, "%-20s", s.Policy)
+			fmt.Fprintf(&row, "%-20s", RowLabel(s.Policy, s.Profile))
 			for i, m := range visible {
 				cell := "-"
 				ci := "-"

@@ -64,8 +64,10 @@ func SimOutcome(r *isim.Result) *Outcome {
 }
 
 // simCellFunc is the default cell binding: materialise the scenario's
-// simulator configuration for the seed, build a fresh policy, and simulate.
-func simCellFunc(s ScenarioSpec, p PolicySpec) CellFunc {
+// simulator configuration for the seed, stamp the cell's fault profile onto
+// it, build a fresh policy, and simulate. The implicit fault-free profile is
+// the zero value, leaving the configuration untouched.
+func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec) CellFunc {
 	return func(ctx context.Context, seed uint64) (*Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -74,6 +76,7 @@ func simCellFunc(s ScenarioSpec, p PolicySpec) CellFunc {
 		if err != nil {
 			return nil, err
 		}
+		cfg.Chaos = prof.Profile
 		pol := p.New()
 		if pol == nil {
 			return nil, fmt.Errorf("policy %q constructor returned nil", p.Name)

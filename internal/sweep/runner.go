@@ -50,6 +50,9 @@ type Report struct {
 	Parallel int    `json:"-"`
 	Replicas int    `json:"replicas"`
 	BaseSeed uint64 `json:"baseSeed"`
+	// Profiles names the grid's fault-profile axis, in column order; empty
+	// (and omitted from encodings) for grids without one.
+	Profiles []string `json:"profiles,omitempty"`
 	// Metrics is the grid's result schema, in column order.
 	Metrics []Metric `json:"metrics"`
 	// Labels maps scenario IDs to their human captions for text reports.
@@ -107,8 +110,12 @@ dispatch:
 	for i, err := range errs {
 		if err != nil {
 			c := cells[i]
-			return nil, fmt.Errorf("sweep: grid %q cell %s/%s replica %d: %w",
-				g.Name, c.Scenario, c.Policy, c.Replica, err)
+			label := c.Scenario + "/" + c.Policy
+			if c.Profile != "" {
+				label += "/" + c.Profile
+			}
+			return nil, fmt.Errorf("sweep: grid %q cell %s replica %d: %w",
+				g.Name, label, c.Replica, err)
 		}
 	}
 	labels := map[string]string{}
@@ -117,16 +124,20 @@ dispatch:
 			labels[s.ID] = s.Label
 		}
 	}
+	var profiles []string
+	for _, p := range g.Profiles {
+		profiles = append(profiles, p.Name)
+	}
 	return &Report{
 		Grid: g.Name, Parallel: r.Parallel, Replicas: g.replicas(),
-		BaseSeed: g.BaseSeed, Metrics: g.metrics(), Labels: labels,
+		BaseSeed: g.BaseSeed, Profiles: profiles, Metrics: g.metrics(), Labels: labels,
 		Cells: results,
 	}, nil
 }
 
 // runCell resolves and executes one cell.
 func runCell(ctx context.Context, g *Grid, c Cell) (*Outcome, error) {
-	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx)
+	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx, c.ProfileIdx)
 	if err != nil {
 		return nil, err
 	}

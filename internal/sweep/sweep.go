@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/prng"
 	isim "repro/internal/sim"
 )
@@ -116,6 +117,48 @@ func AllPolicySpecs() []PolicySpec {
 	return specs
 }
 
+// ProfileSpec is one column of a grid's optional fault-profile axis: a named
+// chaos scenario every (scenario, policy) pair additionally runs under. The
+// empty Profile is a legal column (the explicit fault-free baseline); grids
+// without a Profiles axis run exactly one implicit empty profile, preserving
+// the legacy cell enumeration byte for byte.
+type ProfileSpec struct {
+	// Name labels the column in reports; required when the axis is present.
+	Name string
+	// Profile is the fault scenario, compiled per cell against the cell's
+	// replica seed by the engine binding that consumes it.
+	Profile chaos.Profile
+}
+
+// ChaosProfiles builds a profile axis from chaos profiles, labelling each
+// column with the profile's Label.
+func ChaosProfiles(profiles ...chaos.Profile) []ProfileSpec {
+	specs := make([]ProfileSpec, len(profiles))
+	for i, p := range profiles {
+		specs[i] = ProfileSpec{Name: p.Label(), Profile: p}
+	}
+	return specs
+}
+
+// ChaosAxis turns a -chaos flag value (preset name or spec grammar, see
+// chaos.ParseProfile) into a clean-vs-faulted profile axis, so every report
+// pairs both numbers on identical access streams. An empty or no-op spec
+// returns no axis at all, preserving byte-identical legacy output. Both
+// CLIs build their -chaos axis through this one helper.
+func ChaosAxis(spec string) ([]ProfileSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p, err := chaos.ParseProfile(spec)
+	if err != nil {
+		return nil, err
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	return ChaosProfiles(chaos.Profile{Name: "clean"}, p), nil
+}
+
 // PolicySpecByName resolves a single registry column.
 func PolicySpecByName(name string) (PolicySpec, error) {
 	if _, err := isim.PolicyByName(name); err != nil {
@@ -130,16 +173,20 @@ func PolicySpecByName(name string) (PolicySpec, error) {
 	}}, nil
 }
 
-// Grid is a (scenario × policy × replica) experiment plan. It is pure data:
-// nothing runs until a Runner executes it.
+// Grid is a (scenario × policy × fault-profile × replica) experiment plan.
+// It is pure data: nothing runs until a Runner executes it.
 type Grid struct {
 	// Name labels the whole grid in reports.
 	Name string
 	// Scenarios are the rows; Policies the columns.
 	Scenarios []ScenarioSpec
 	Policies  []PolicySpec
-	// Replicas is the number of seeds per (scenario, policy) cell; values
-	// below 1 mean 1.
+	// Profiles is the optional fault-profile axis. Empty means one implicit
+	// fault-free profile: the legacy (scenario × policy × replica)
+	// enumeration, byte-identical reports included.
+	Profiles []ProfileSpec
+	// Replicas is the number of seeds per (scenario, policy, profile) cell;
+	// values below 1 mean 1.
 	Replicas int
 	// BaseSeed derives every replica seed. Replica 0 uses BaseSeed itself,
 	// so a 1-replica grid reproduces the legacy serial paths bit for bit.
@@ -147,25 +194,28 @@ type Grid struct {
 	// Metrics is the result schema shared by every cell. Nil means the
 	// simulator schema (SimMetrics).
 	Metrics []Metric
-	// Cell binds the (scenario, policy) pair at the given indices to an
-	// executable cell. Nil means the simulator binding: Scenarios[si].Config
-	// × Policies[pi].New × isim.Run.
-	Cell func(scenario, policy int) CellFunc
+	// Cell binds the (scenario, policy, profile) triple at the given indices
+	// to an executable cell. Nil means the simulator binding:
+	// Scenarios[si].Config × Policies[pi].New × Profiles[fi] × isim.Run.
+	Cell func(scenario, policy, profile int) CellFunc
 }
 
 // Cell identifies one run within a grid.
 type Cell struct {
 	// Index is the cell's position in the deterministic enumeration order
-	// (scenario-major, then policy, then replica).
+	// (scenario-major, then policy, then profile, then replica).
 	Index int `json:"index"`
-	// Scenario and Policy are report labels; the *Idx fields index into the
-	// grid's spec slices.
+	// Scenario, Policy and Profile are report labels; the *Idx fields index
+	// into the grid's spec slices. Profile is empty for grids without a
+	// fault-profile axis (keeping their encodings byte-identical).
 	Scenario    string `json:"scenario"`
 	Policy      string `json:"policy"`
+	Profile     string `json:"profile,omitempty"`
 	Replica     int    `json:"replica"`
 	Seed        uint64 `json:"seed"`
 	ScenarioIdx int    `json:"-"`
 	PolicyIdx   int    `json:"-"`
+	ProfileIdx  int    `json:"-"`
 }
 
 // ReplicaSeed derives the seed for replica r from the grid base seed.
@@ -189,6 +239,15 @@ func (g *Grid) replicas() int {
 	return g.Replicas
 }
 
+// profiles returns the effective fault-profile axis: the declared columns,
+// or one implicit fault-free profile.
+func (g *Grid) profiles() []ProfileSpec {
+	if len(g.Profiles) > 0 {
+		return g.Profiles
+	}
+	return []ProfileSpec{{}}
+}
+
 // metrics returns the effective result schema.
 func (g *Grid) metrics() []Metric {
 	if len(g.Metrics) > 0 {
@@ -199,41 +258,47 @@ func (g *Grid) metrics() []Metric {
 
 // Size returns the number of cells in the grid.
 func (g *Grid) Size() int {
-	return len(g.Scenarios) * len(g.Policies) * g.replicas()
+	return len(g.Scenarios) * len(g.Policies) * len(g.profiles()) * g.replicas()
 }
 
 // Cells enumerates the grid in deterministic order: scenario-major, then
-// policy, then replica. All parallelism downstream preserves this order in
-// the Report, so output is independent of scheduling.
+// policy, then profile, then replica. All parallelism downstream preserves
+// this order in the Report, so output is independent of scheduling.
+// Replica seeds are shared across scenarios, policies AND profiles: fault
+// scenarios are compared on identical training access streams, exactly as
+// the paper compares policies.
 func (g *Grid) Cells() []Cell {
 	cells := make([]Cell, 0, g.Size())
 	for si, s := range g.Scenarios {
 		for pi, p := range g.Policies {
-			for r := 0; r < g.replicas(); r++ {
-				cells = append(cells, Cell{
-					Index:    len(cells),
-					Scenario: s.ID, Policy: p.Name,
-					Replica: r, Seed: ReplicaSeed(g.BaseSeed, r),
-					ScenarioIdx: si, PolicyIdx: pi,
-				})
+			for fi, prof := range g.profiles() {
+				for r := 0; r < g.replicas(); r++ {
+					cells = append(cells, Cell{
+						Index:    len(cells),
+						Scenario: s.ID, Policy: p.Name, Profile: prof.Name,
+						Replica: r, Seed: ReplicaSeed(g.BaseSeed, r),
+						ScenarioIdx: si, PolicyIdx: pi, ProfileIdx: fi,
+					})
+				}
 			}
 		}
 	}
 	return cells
 }
 
-// cellFunc resolves the executable cell for (scenario, policy) indices,
-// applying the simulator default when the grid carries no custom binding.
-func (g *Grid) cellFunc(si, pi int) (CellFunc, error) {
+// cellFunc resolves the executable cell for (scenario, policy, profile)
+// indices, applying the simulator default when the grid carries no custom
+// binding.
+func (g *Grid) cellFunc(si, pi, fi int) (CellFunc, error) {
 	if g.Cell != nil {
-		fn := g.Cell(si, pi)
+		fn := g.Cell(si, pi, fi)
 		if fn == nil {
 			return nil, fmt.Errorf("sweep: grid %q cell binding returned nil for %s/%s",
 				g.Name, g.Scenarios[si].ID, g.Policies[pi].Name)
 		}
 		return fn, nil
 	}
-	return simCellFunc(g.Scenarios[si], g.Policies[pi]), nil
+	return simCellFunc(g.Scenarios[si], g.Policies[pi], g.profiles()[fi]), nil
 }
 
 // Validate reports whether the grid is runnable.
@@ -243,6 +308,16 @@ func (g *Grid) Validate() error {
 	}
 	if len(g.Policies) == 0 {
 		return fmt.Errorf("sweep: grid %q has no policies", g.Name)
+	}
+	for _, prof := range g.Profiles {
+		// An explicit axis needs distinguishable column labels (the empty
+		// Profile itself is legal: the fault-free baseline column).
+		if prof.Name == "" {
+			return fmt.Errorf("sweep: grid %q has a fault-profile column without a name", g.Name)
+		}
+		if err := prof.Profile.Validate(); err != nil {
+			return fmt.Errorf("sweep: grid %q profile %q: %w", g.Name, prof.Name, err)
+		}
 	}
 	if g.Cell != nil {
 		// Custom binding: specs are labels only, but the grid must declare

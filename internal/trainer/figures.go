@@ -160,7 +160,7 @@ func Fig16Experiment(scale float64) Experiment {
 // times into the accuracy-vs-time curve (the Goyal et al. schedule).
 func fig16Cell(exp Experiment, ds *dataset.Synthetic, sys hwspec.System, loader Loader, seed uint64) (EndToEndResult, error) {
 	work := loader.AdjustWorkload(exp.Workload(exp.GPUCounts[0]))
-	cfg := sim.Config{Sys: sys, Work: work, DS: ds, Seed: seed, PFSJitter: exp.Jitter, DropLast: true}
+	cfg := sim.Config{Sys: sys, Work: work, DS: ds, Seed: seed, PFSJitter: exp.Jitter, DropLast: true, Chaos: exp.Chaos}
 	pol, err := loader.Policy()
 	if err != nil {
 		return EndToEndResult{}, err
@@ -192,14 +192,19 @@ func fig16Cell(exp Experiment, ds *dataset.Synthetic, sys hwspec.System, loader 
 // Fig16Grid plans the end-to-end comparison as a sweep grid: one row (256
 // GPUs), one column per loader, cells carrying EndToEndResult payloads.
 func Fig16Grid(scale float64, replicas int) *sweep.Grid {
-	exp := Fig16Experiment(scale)
+	return Fig16GridFrom(Fig16Experiment(scale), replicas)
+}
+
+// Fig16GridFrom is Fig16Grid over a caller-prepared experiment (seed
+// overrides, trimmed axes, chaos profiles).
+func Fig16GridFrom(exp Experiment, replicas int) *sweep.Grid {
 	cols := make([]sweep.PolicySpec, len(exp.Loaders))
 	for i, l := range exp.Loaders {
 		cols[i] = sweep.PolicySpec{Name: l.String()}
 	}
 	loaders := exp.Loaders
 	env := sharedEnv(exp)
-	return &sweep.Grid{
+	grid := &sweep.Grid{
 		Name: exp.Name,
 		Scenarios: []sweep.ScenarioSpec{{
 			ID:    fmt.Sprintf("%s-g%d", exp.Name, exp.GPUCounts[0]),
@@ -208,34 +213,37 @@ func Fig16Grid(scale float64, replicas int) *sweep.Grid {
 		Policies: cols,
 		Replicas: replicas, BaseSeed: exp.Seed,
 		Metrics: Fig16Metrics(),
-		Cell: func(si, pi int) sweep.CellFunc {
-			l := loaders[pi]
-			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				ds, sys, err := env()
-				if err != nil {
-					return nil, err
-				}
-				res, err := fig16Cell(exp, ds, sys, l, seed)
-				if err != nil {
-					return nil, err
-				}
-				o := &sweep.Outcome{Payload: res}
-				if len(res.Curve) == 0 {
-					o.Failed = true
-					o.FailReason = fmt.Sprintf("%s cannot run fig16", res.Loader)
-					return o, nil
-				}
-				o.Values = map[string]float64{
-					MetricTotalS:    res.TotalSeconds,
-					MetricFinalTop1: res.FinalTop1,
-				}
+	}
+	grid.Cell = func(si, pi, fi int) sweep.CellFunc {
+		l := loaders[pi]
+		cell := exp
+		cell.Chaos = effectiveChaos(exp, grid, fi)
+		return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			ds, sys, err := env()
+			if err != nil {
+				return nil, err
+			}
+			res, err := fig16Cell(cell, ds, sys, l, seed)
+			if err != nil {
+				return nil, err
+			}
+			o := &sweep.Outcome{Payload: res}
+			if len(res.Curve) == 0 {
+				o.Failed = true
+				o.FailReason = fmt.Sprintf("%s cannot run fig16", res.Loader)
 				return o, nil
 			}
-		},
+			o.Values = map[string]float64{
+				MetricTotalS:    res.TotalSeconds,
+				MetricFinalTop1: res.FinalTop1,
+			}
+			return o, nil
+		}
 	}
+	return grid
 }
 
 // Fig16EndToEnd reproduces the end-to-end comparison: ResNet-50 on

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/internal/hwspec"
 	"repro/internal/perfmodel"
@@ -102,16 +103,32 @@ func sharedEnv(e Experiment) func() (*dataset.Synthetic, hwspec.System, error) {
 	}
 }
 
-// sharedCells returns a cell executor over one shared environment.
-func sharedCells(e Experiment) func(gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+// sharedCells returns a cell executor over one shared environment, running
+// under the cell's resolved fault profile (see effectiveChaos) — the grids'
+// fault-profile axis reuses one shared dataset across its clean and faulted
+// columns.
+func sharedCells(e Experiment) func(gpus int, loader Loader, seed uint64, prof chaos.Profile) (ScalePoint, error) {
 	env := sharedEnv(e)
-	return func(gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+	return func(gpus int, loader Loader, seed uint64, prof chaos.Profile) (ScalePoint, error) {
 		ds, sys, err := env()
 		if err != nil {
 			return ScalePoint{}, err
 		}
-		return e.cell(ds, sys, gpus, loader, seed)
+		cell := e
+		cell.Chaos = prof
+		return cell.cell(ds, sys, gpus, loader, seed)
 	}
+}
+
+// effectiveChaos resolves one cell's fault profile: a declared profile axis
+// fully determines it — an empty column there is a genuinely clean baseline,
+// matching the sweep engine's default binding — while grids without the
+// axis fall back to the experiment's own Chaos field.
+func effectiveChaos(e Experiment, g *sweep.Grid, fi int) chaos.Profile {
+	if len(g.Profiles) > 0 {
+		return g.Profiles[fi].Profile
+	}
+	return e.Chaos
 }
 
 // Grid plans the experiment as a sweep grid: one row per GPU count, one
@@ -131,24 +148,27 @@ func (e Experiment) Grid(replicas int) *sweep.Grid {
 	}
 	gpus, loaders := e.GPUCounts, e.Loaders
 	run := sharedCells(e)
-	return &sweep.Grid{
+	grid := &sweep.Grid{
 		Name: e.Name, Scenarios: rows, Policies: cols,
 		Replicas: replicas, BaseSeed: e.Seed,
 		Metrics: GridMetrics(),
-		Cell: func(si, pi int) sweep.CellFunc {
-			g, l := gpus[si], loaders[pi]
-			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				p, err := run(g, l, seed)
-				if err != nil {
-					return nil, err
-				}
-				return PointOutcome(p), nil
-			}
-		},
 	}
+	// The binding closes over the grid so a Profiles axis assigned by the
+	// caller (nopfs-train -chaos) reaches the cells.
+	grid.Cell = func(si, pi, fi int) sweep.CellFunc {
+		g, l, prof := gpus[si], loaders[pi], effectiveChaos(e, grid, fi)
+		return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p, err := run(g, l, seed, prof)
+			if err != nil {
+				return nil, err
+			}
+			return PointOutcome(p), nil
+		}
+	}
+	return grid
 }
 
 // MultiGrid plans several experiments as one grid — one row per
@@ -192,28 +212,29 @@ func MultiGrid(name string, exps []Experiment, replicas int) (*sweep.Grid, error
 		cols[i] = sweep.PolicySpec{Name: l.String()}
 	}
 	loaders := exps[0].Loaders
-	runs := make([]func(int, Loader, uint64) (ScalePoint, error), len(exps))
+	runs := make([]func(int, Loader, uint64, chaos.Profile) (ScalePoint, error), len(exps))
 	for i, e := range exps {
 		runs[i] = sharedCells(e)
 	}
-	return &sweep.Grid{
+	grid := &sweep.Grid{
 		Name: name, Scenarios: rows, Policies: cols,
 		Replicas: replicas, BaseSeed: exps[0].Seed,
 		Metrics: GridMetrics(),
-		Cell: func(si, pi int) sweep.CellFunc {
-			k, l := keys[si], loaders[pi]
-			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				p, err := runs[k.exp](k.gpus, l, seed)
-				if err != nil {
-					return nil, err
-				}
-				return PointOutcome(p), nil
+	}
+	grid.Cell = func(si, pi, fi int) sweep.CellFunc {
+		k, l, prof := keys[si], loaders[pi], effectiveChaos(exps[keys[si].exp], grid, fi)
+		return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-		},
-	}, nil
+			p, err := runs[k.exp](k.gpus, l, seed, prof)
+			if err != nil {
+				return nil, err
+			}
+			return PointOutcome(p), nil
+		}
+	}
+	return grid, nil
 }
 
 // PointsFromReport recovers the per-cell ScalePoints of a trainer grid

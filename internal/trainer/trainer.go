@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/internal/hwspec"
 	"repro/internal/perfmodel"
@@ -166,6 +167,9 @@ type Experiment struct {
 	Scale  float64
 	Seed   uint64
 	Jitter float64
+	// Chaos injects a fault/degradation scenario into every cell (zero =
+	// fault-free, identical to the paper's healthy clusters).
+	Chaos chaos.Profile
 }
 
 // scaled returns the experiment's dataset spec and system at its Scale.
@@ -199,6 +203,7 @@ func (e Experiment) cell(ds *dataset.Synthetic, sys hwspec.System, gpus int, loa
 	cfg := sim.Config{
 		Sys: sys, Work: work, DS: ds,
 		Seed: seed, PFSJitter: e.Jitter, DropLast: true,
+		Chaos: e.Chaos,
 	}
 	if err := cfg.Validate(); err != nil {
 		return ScalePoint{}, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)

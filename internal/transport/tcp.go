@@ -2,7 +2,6 @@ package transport
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -108,12 +107,6 @@ func (e *TCPEndpoint) SetHandler(h Handler) {
 	})
 }
 
-// Wire format, little endian:
-//
-//	request:  from(4) kind(1) sample(4) value(8)
-//	response: ok(1) value(8) len(4) data(len)
-const reqSize = 4 + 1 + 4 + 8
-
 func (e *TCPEndpoint) serve(conn net.Conn) {
 	if !e.track(conn) {
 		return
@@ -125,11 +118,9 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 		if _, err := io.ReadFull(conn, buf[:]); err != nil {
 			return
 		}
-		from := int(int32(binary.LittleEndian.Uint32(buf[0:4])))
-		req := Request{
-			Kind:   buf[4],
-			Sample: int32(binary.LittleEndian.Uint32(buf[5:9])),
-			Value:  binary.LittleEndian.Uint64(buf[9:17]),
+		from, req, err := decodeRequest(buf[:])
+		if err != nil {
+			return
 		}
 		e.mu.Lock()
 		h := e.handler
@@ -143,13 +134,11 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 				return // endpoint closed mid-response
 			}
 		}
-		head := make([]byte, 1+8+4)
-		if resp.OK {
-			head[0] = 1
+		var head [respHeadSize]byte
+		if err := encodeResponseHeader(&head, resp); err != nil {
+			return // over-cap payload: sever rather than desync the stream
 		}
-		binary.LittleEndian.PutUint64(head[1:9], resp.Value)
-		binary.LittleEndian.PutUint32(head[9:13], uint32(len(resp.Data)))
-		if _, err := conn.Write(head); err != nil {
+		if _, err := conn.Write(head[:]); err != nil {
 			return
 		}
 		if len(resp.Data) > 0 {
@@ -204,23 +193,20 @@ func (e *TCPEndpoint) Call(ctx context.Context, to int, req Request) (Response, 
 	}
 
 	var buf [reqSize]byte
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.rank))
-	buf[4] = req.Kind
-	binary.LittleEndian.PutUint32(buf[5:9], uint32(req.Sample))
-	binary.LittleEndian.PutUint64(buf[9:17], req.Value)
+	encodeRequest(&buf, e.rank, req)
 	if _, err := conn.Write(buf[:]); err != nil {
 		return Response{}, ctxErr(err)
 	}
 
-	head := make([]byte, 1+8+4)
-	if _, err := io.ReadFull(conn, head); err != nil {
+	var head [respHeadSize]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
 		return Response{}, ctxErr(err)
 	}
-	resp := Response{
-		OK:    head[0] == 1,
-		Value: binary.LittleEndian.Uint64(head[1:9]),
+	resp, n, err := decodeResponseHeader(head[:])
+	if err != nil {
+		return Response{}, ctxErr(err)
 	}
-	if n := binary.LittleEndian.Uint32(head[9:13]); n > 0 {
+	if n > 0 {
 		resp.Data = make([]byte, n)
 		if _, err := io.ReadFull(conn, resp.Data); err != nil {
 			return Response{}, ctxErr(err)

@@ -9,23 +9,6 @@ import (
 	"time"
 )
 
-// goroutinesSettle polls until the live goroutine count drops back to (or
-// below) want, failing with a full stack dump if it does not: the leak
-// check behind the cancellation contract.
-func goroutinesSettle(t *testing.T, want int) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= want {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d live, want <= %d\n%s", runtime.NumGoroutine(), want, buf[:n])
-}
-
 // testCancelMidStream cancels the run context after a handful of samples
 // and checks the cancellation contract on the given fabric: RunCluster
 // returns context.Canceled within bounded time and every goroutine the

@@ -1,0 +1,123 @@
+package nopfs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// This file is the live middleware's half of the fault-injection contract
+// (internal/chaos):
+//
+//   - chaosFabric decorates the run's Fabric, adding deterministic-rate
+//     latency/jitter and transient fetch failures to every remote call;
+//   - tierThrottle paces reads from a degraded storage class through a
+//     storage.Limiter whose rate follows the schedule epoch by epoch;
+//   - the Job paces straggler ranks by stretching each fetch to Factor×
+//     its measured duration.
+//
+// The empty profile installs none of this: the run takes exactly the
+// fault-free code path. Node crashes are simulator-only and ignored here.
+
+// errChaosDrop is the injected transient fabric failure. Jobs treat any
+// fabric Call error as a remote miss and fall back to the PFS, so a dropped
+// fetch degrades throughput without failing the run.
+var errChaosDrop = errors.New("nopfs: chaos: injected transient fabric failure")
+
+// chaosFabric wraps a fabric so every built endpoint injects faults.
+type chaosFabric struct {
+	inner Fabric
+	sched *chaos.Schedule
+}
+
+// Name reports the inner fabric's registry name: fault injection is a
+// decorator, not a different transport.
+func (f chaosFabric) Name() string { return f.inner.Name() }
+
+func (f chaosFabric) Build(ctx context.Context, workers int, interconnectMBps float64) ([]Endpoint, error) {
+	eps, err := f.inner.Build(ctx, workers, interconnectMBps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Endpoint, len(eps))
+	for i, ep := range eps {
+		out[i] = &chaosEndpoint{Network: ep, sched: f.sched}
+	}
+	return out, nil
+}
+
+// chaosEndpoint injects per-call latency/jitter and transient failures. The
+// fault draw is the schedule's stateless function of (rank, call index); the
+// call index is a local counter, so the live failure *rate* matches the
+// profile while the exact failing calls vary with scheduling — live runs
+// measure wall-clock effects, not schedules.
+type chaosEndpoint struct {
+	transport.Network
+	sched *chaos.Schedule
+	calls atomic.Uint64
+}
+
+func (e *chaosEndpoint) Call(ctx context.Context, to int, req transport.Request) (transport.Response, error) {
+	delay, fail := e.sched.FabricCall(e.Rank(), e.calls.Add(1)-1)
+	if delay > 0 {
+		timer := time.NewTimer(time.Duration(delay * float64(time.Second)))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return transport.Response{}, ctx.Err()
+		}
+	}
+	// Only sample fetches fail transiently: the setup allgather is control
+	// plane (real launchers retry it to death), and failing it would turn a
+	// degraded-performance scenario into a failed run.
+	if fail && req.Kind == transport.KindFetch {
+		return transport.Response{}, errChaosDrop
+	}
+	return e.Network.Call(ctx, to, req)
+}
+
+// tierThrottle paces reads from one degraded storage class: a
+// storage.Limiter at base/factor MB/s, whose factor follows the schedule as
+// the run advances through epochs. A class with no configured bandwidth is
+// throttled against chaos.DefaultLiveTierMBps.
+type tierThrottle struct {
+	baseMBps float64
+	lim      *storage.Limiter
+	// mu couples the factor check with the rate update: concurrent fetches
+	// straddling an epoch boundary must not leave the limiter's rate
+	// disagreeing with the recorded factor.
+	mu     sync.Mutex
+	factor float64
+}
+
+// newTierThrottle builds the throttle for one class at its base rate.
+func newTierThrottle(class Class) *tierThrottle {
+	base := class.ReadMBps
+	if base <= 0 {
+		base = chaos.DefaultLiveTierMBps
+	}
+	return &tierThrottle{baseMBps: base, lim: storage.NewLimiter(base)}
+}
+
+// wait paces n bytes at the epoch's degraded rate. factor <= 1 passes
+// unthrottled (the limiter at base rate would still pace runs whose class
+// declared no bandwidth at all, changing fault-free behaviour).
+func (t *tierThrottle) wait(ctx context.Context, factor float64, n int64) error {
+	if factor <= 1 {
+		return nil
+	}
+	t.mu.Lock()
+	if factor != t.factor {
+		t.factor = factor
+		t.lim.SetRate(t.baseMBps / factor)
+	}
+	t.mu.Unlock()
+	return t.lim.Wait(ctx, n)
+}

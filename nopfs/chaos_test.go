@@ -1,0 +1,219 @@
+package nopfs
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/chaos"
+	"repro/internal/sweep"
+	"repro/internal/transport"
+)
+
+// chaosProfile is the standard live fault mix: a straggler rank, a degraded
+// RAM tier, a degraded PFS, and a flaky fabric. (No crashes: those are
+// simulator-only and ignored live.)
+func chaosProfile() ChaosProfile {
+	return ChaosProfile{
+		Name:       "live-test",
+		Stragglers: []chaos.Straggler{{Worker: 1, Factor: 2, FromEpoch: 1}},
+		Tiers: []chaos.TierDegradation{
+			{Class: 0, Factor: 3, FromEpoch: 1},
+			{Class: chaos.PFSTier, Factor: 2},
+		},
+		Fabric: chaos.FabricFault{LatencySeconds: 0.0002, JitterSeconds: 0.0003, FailRate: 0.05},
+	}
+}
+
+// TestChaosClusterDeliversExactSchedule pins the core chaos contract on the
+// live path: under stragglers, degraded tiers, and a flaky fabric, every
+// worker still receives exactly its clairvoyant stream — faults degrade
+// timing, never correctness.
+func TestChaosClusterDeliversExactSchedule(t *testing.T) {
+	ds := testDataset(t, 96)
+	opts := baseOptions()
+	opts.Chaos = chaosProfile()
+	const workers = 3
+	delivered, stats := runAndCollect(t, ds, workers, opts)
+
+	plan := &access.Plan{
+		Seed: opts.Seed, F: ds.Len(), N: workers, E: opts.Epochs,
+		BatchPerWorker: opts.BatchPerWorker, DropLast: opts.DropLast,
+	}
+	for w := 0; w < workers; w++ {
+		want := plan.WorkerStream(w)
+		if len(delivered[w]) != len(want) {
+			t.Fatalf("worker %d delivered %d samples under chaos, want %d", w, len(delivered[w]), len(want))
+		}
+		for i := range want {
+			if delivered[w][i] != int(want[i]) {
+				t.Fatalf("worker %d position %d: got %d, want %d", w, i, delivered[w][i], want[i])
+			}
+		}
+	}
+	for _, s := range stats {
+		if s.StallSeconds < 0 {
+			t.Errorf("rank %d negative stall under chaos", s.Rank)
+		}
+	}
+}
+
+// TestChaosFabricDropsFallBackToPFS checks injected transient fabric
+// failures surface as remote-miss fallbacks, not run failures.
+func TestChaosFabricDropsFallBackToPFS(t *testing.T) {
+	ds := testDataset(t, 96)
+	opts := baseOptions()
+	opts.Epochs = 4
+	opts.Chaos = ChaosProfile{
+		Fabric: chaos.FabricFault{FailRate: 0.5},
+	}
+	delivered, stats := runAndCollect(t, ds, 3, opts)
+	for w := range delivered {
+		if len(delivered[w]) == 0 {
+			t.Fatalf("worker %d starved under fabric drops", w)
+		}
+	}
+	var falsePos int64
+	for _, s := range stats {
+		falsePos += s.RemoteFalsePositives
+	}
+	if falsePos == 0 {
+		t.Error("a 50% fabric drop rate produced no remote-miss fallbacks")
+	}
+}
+
+// TestChaosStragglerSlowsOnlyItsRank compares a clean run against one with
+// a heavily straggling rank: the run still completes and the straggler's
+// pacing does not corrupt any other rank's schedule.
+func TestChaosStragglerSlowsOnlyItsRank(t *testing.T) {
+	ds := testDataset(t, 48)
+	opts := baseOptions()
+	opts.Epochs = 2
+	opts.Chaos = ChaosProfile{
+		Stragglers: []chaos.Straggler{{Worker: 1, Factor: 3}},
+	}
+	delivered, _ := runAndCollect(t, ds, 2, opts)
+	total := 0
+	for _, ids := range delivered {
+		total += len(ids)
+	}
+	if total != 48*2 {
+		t.Fatalf("delivered %d samples, want 96", total)
+	}
+}
+
+// TestChaosEmptyProfileInstallsNothing pins the zero-overhead contract: an
+// empty profile must not wrap the fabric, build throttles, or compile a
+// schedule — the fault-free code path, exactly.
+func TestChaosEmptyProfileInstallsNothing(t *testing.T) {
+	ds := testDataset(t, 32)
+	opts := baseOptions().withDefaults()
+	j, err := newJob(bg, ds, 0, 1, opts, nullEndpoint{}, &pfs{ds: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.chaosSched != nil || j.chaosTiers != nil {
+		t.Error("empty profile installed chaos state on the job")
+	}
+	var p ChaosProfile
+	if p.Compile(opts.Seed) != nil {
+		t.Error("empty profile compiled")
+	}
+}
+
+// nullEndpoint satisfies Endpoint for single-worker job construction tests.
+type nullEndpoint struct{}
+
+func (nullEndpoint) Rank() int                    { return 0 }
+func (nullEndpoint) Size() int                    { return 1 }
+func (nullEndpoint) SetHandler(transport.Handler) {}
+func (nullEndpoint) Close() error                 { return nil }
+func (nullEndpoint) Call(context.Context, int, transport.Request) (transport.Response, error) {
+	return transport.Response{}, transport.ErrClosed
+}
+
+// TestChaosClusterGridDeterministicDelivery runs a (scenario × fabric-chan ×
+// profile) live grid at two pool widths: schedule-derived metrics must not
+// depend on engine parallelism, chaos or not.
+func TestChaosClusterGridDeterministicDelivery(t *testing.T) {
+	grid := func() *sweep.Grid {
+		return ClusterGrid("chaos-live",
+			[]ClusterScenario{{
+				ID: "c64", Workers: 2,
+				Dataset: func() (Dataset, error) {
+					return testDataset(t, 64), nil
+				},
+				Options: NewOptions(
+					WithEpochs(2),
+					WithBatchPerWorker(4),
+					WithStagingBuffer(64<<10),
+					WithStagingThreads(2),
+					WithClasses(Class{Name: "ram", CapacityBytes: 256 << 10, Threads: 1}),
+				),
+			}},
+			ChanFabric(), 2, 17,
+			sweep.ChaosProfiles(ChaosProfile{Name: "clean"}, chaosProfile())...)
+	}
+	rep2, err := (&sweep.Runner{Parallel: 4}).Run(bg, grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := (&sweep.Runner{Parallel: 1}).Run(bg, grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Cells) != 4 { // 1 scenario × 1 fabric × 2 profiles × 2 replicas
+		t.Fatalf("%d cells, want 4", len(rep2.Cells))
+	}
+	for i := range rep2.Cells {
+		a, b := rep2.Cells[i], rep1.Cells[i]
+		if a.Profile != b.Profile || a.Seed != b.Seed {
+			t.Errorf("cell %d enumeration differs across widths", i)
+		}
+		if a.Outcome.Values[MetricDelivered] != b.Outcome.Values[MetricDelivered] {
+			t.Errorf("cell %d delivered differs across widths", i)
+		}
+		if a.Outcome.Values[MetricDelivered] == 0 {
+			t.Errorf("cell %d delivered nothing", i)
+		}
+	}
+}
+
+// TestChaosCancelTearsDownCleanly verifies the chaos decorators (fabric
+// sleeps, tier throttles, straggler pacing) all honour cancellation: no
+// goroutine outlives a canceled chaotic cluster.
+func TestChaosCancelTearsDownCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ds := testDataset(t, 96)
+	opts := baseOptions()
+	opts.Epochs = 4
+	opts.PFSAggregateMBps = 4 // park prefetchers in limiter waits
+	opts.Chaos = chaosProfile()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunCluster(ctx, ds, 3, opts, func(ctx context.Context, j *Job) error {
+			n := 0
+			for _, err := range j.Samples(ctx) {
+				if err != nil {
+					return err
+				}
+				if n++; n == 5 {
+					cancel()
+				}
+			}
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled chaotic cluster did not tear down in bounded time")
+	}
+	goroutinesSettle(t, before+2)
+}

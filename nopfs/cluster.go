@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/internal/storage"
 )
@@ -50,6 +51,21 @@ func RunCluster(ctx context.Context, ds Dataset, workers int, opts Options, fn R
 		return nil, err
 	}
 	shared := &pfs{ds: ds, limiter: storage.NewLimiter(opts.PFSAggregateMBps)}
+	if sched := opts.Chaos.Compile(opts.Seed); sched != nil {
+		// Fault injection: wrap the fabric in the latency/failure decorator
+		// and throttle a degraded PFS. The PFS degradation is cluster-wide
+		// state, so it applies from startup (per-epoch ramping of a shared
+		// tier would need a global epoch clock the live system does not
+		// have; the simulator models the ramp exactly).
+		fab = chaosFabric{inner: fab, sched: sched}
+		if factor := sched.MaxTierFactor(chaos.PFSTier); factor > 1 {
+			base := opts.PFSAggregateMBps
+			if base <= 0 {
+				base = chaos.DefaultLiveTierMBps
+			}
+			shared.limiter = storage.NewLimiter(base / factor)
+		}
+	}
 
 	nets, err := fab.Build(ctx, workers, opts.InterconnectMBps)
 	if err != nil {

@@ -108,10 +108,13 @@ func ClusterOutcome(stats []Stats) *sweep.Outcome {
 	}
 }
 
-// ClusterGrid plans (scenario × fabric × replica) live cluster runs as a
-// sweep grid. Each cell executes RunCluster with the cell's derived seed,
-// draining every worker's stream.
-func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec, replicas int, baseSeed uint64) *sweep.Grid {
+// ClusterGrid plans (scenario × fabric × fault-profile × replica) live
+// cluster runs as a sweep grid. Each cell executes RunCluster with the
+// cell's derived seed, draining every worker's stream. The optional
+// trailing profiles add a fault-injection axis (sweep.ChaosProfiles builds
+// one from chaos profiles); with none, the grid is the legacy
+// (scenario × fabric × replica) shape.
+func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec, replicas int, baseSeed uint64, profiles ...sweep.ProfileSpec) *sweep.Grid {
 	rows := make([]sweep.ScenarioSpec, len(scenarios))
 	for i, sc := range scenarios {
 		rows[i] = sweep.ScenarioSpec{ID: sc.ID, Label: sc.Label}
@@ -121,11 +124,15 @@ func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec,
 		cols[i] = sweep.PolicySpec{Name: f.Name}
 	}
 	return &sweep.Grid{
-		Name: name, Scenarios: rows, Policies: cols,
+		Name: name, Scenarios: rows, Policies: cols, Profiles: profiles,
 		Replicas: replicas, BaseSeed: baseSeed,
 		Metrics: ClusterMetrics(),
-		Cell: func(si, pi int) sweep.CellFunc {
+		Cell: func(si, pi, fi int) sweep.CellFunc {
 			sc, f := scenarios[si], fabrics[pi]
+			var prof ChaosProfile
+			if len(profiles) > 0 {
+				prof = profiles[fi].Profile
+			}
 			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
 				if sc.Dataset == nil {
 					return nil, fmt.Errorf("nopfs: cluster scenario %q has no dataset", sc.ID)
@@ -137,6 +144,7 @@ func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec,
 				opts := sc.Options
 				opts.Seed = seed
 				opts.Fabric = f.Name
+				opts.Chaos = prof
 				stats, err := RunCluster(ctx, ds, sc.Workers, opts, DrainAll(nil))
 				if err != nil {
 					return nil, err

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/cachepolicy"
+	"repro/internal/chaos"
 	"repro/internal/hwspec"
 	"repro/internal/plancache"
 	"repro/internal/storage"
@@ -39,6 +40,11 @@ type Job struct {
 	staging  *storage.Staging
 	net      Endpoint
 	pfs      *pfs
+
+	// chaosSched is the compiled fault schedule (nil for fault-free runs);
+	// chaosTiers throttle this rank's degraded storage classes.
+	chaosSched *chaos.Schedule
+	chaosTiers map[int]*tierThrottle
 
 	// ctx is the job's lifetime context: derived in Start from the caller's
 	// context, canceled by Close. Prefetchers block under it, so cancellation
@@ -109,6 +115,17 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 			return nil, err
 		}
 		j.backends = append(j.backends, b)
+	}
+	if sched := opts.Chaos.Compile(opts.Seed); sched != nil {
+		j.chaosSched = sched
+		for _, class := range sched.DegradedClasses() {
+			if class < len(opts.Classes) {
+				if j.chaosTiers == nil {
+					j.chaosTiers = map[int]*tierThrottle{}
+				}
+				j.chaosTiers[class] = newTierThrottle(opts.Classes[class])
+			}
+		}
 	}
 	net.SetHandler(j.handle)
 	return j, nil
@@ -224,20 +241,37 @@ func (j *Job) fatalErr() error {
 }
 
 // handle serves peer requests: sample fetches from local caches and plan
-// digest exchanges. ctx is the fabric endpoint's lifetime.
+// digest exchanges. ctx is the fabric endpoint's lifetime. Serving a peer
+// from a degraded tier pays the same chaos throttle as a local read — the
+// class's bandwidth is degraded, not just the owner's view of it.
 func (j *Job) handle(ctx context.Context, from int, req transport.Request) transport.Response {
 	switch req.Kind {
 	case transport.KindValue:
 		return transport.Response{OK: true, Value: j.digest}
 	case transport.KindFetch:
-		for _, b := range j.backends {
+		for ci, b := range j.backends {
 			if data, ok, err := b.Get(ctx, req.Sample); err == nil && ok {
+				if err := j.chaosTierWait(ctx, ci, j.epochOf(int(j.progress.Load())), int64(len(data))); err != nil {
+					return transport.Response{OK: false}
+				}
 				return transport.Response{OK: true, Data: data}
 			}
 		}
 		return transport.Response{OK: false}
 	}
 	return transport.Response{}
+}
+
+// chaosTierWait pays the degraded-tier throttle for one read of n bytes
+// from class ci at the given epoch (no-op for undegraded classes or
+// fault-free runs). Requester-side reads derive the epoch from the stream
+// position; peer serves use the serving rank's own progress.
+func (j *Job) chaosTierWait(ctx context.Context, ci, epoch int, n int64) error {
+	t := j.chaosTiers[ci]
+	if t == nil {
+		return nil
+	}
+	return t.wait(ctx, j.chaosSched.TierFactor(ci, epoch), n)
 }
 
 // prefetchLookahead is how far (in stream positions) a class prefetcher may
@@ -337,20 +371,71 @@ func (j *Job) stagingPrefetcher() {
 	}
 }
 
-// fetchFrom retrieves sample k for stream position pos using the argmin
+// epochOf maps a stream position to its training epoch (clamped to the
+// plan's final epoch for the tail of uneven streams).
+func (j *Job) epochOf(pos int) int {
+	if j.perEpoch <= 0 {
+		return 0
+	}
+	e := pos / j.perEpoch
+	if e >= j.plan.E {
+		e = j.plan.E - 1
+	}
+	return e
+}
+
+// chaosSleep pauses the fetch path for the straggler pacing delay,
+// interruptible by shutdown.
+func (j *Job) chaosSleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-j.closed:
+	case <-j.ctx.Done():
+	}
+}
+
+// fetchFrom retrieves sample k for stream position pos (see fetchSource),
+// applying the straggler fault pacing: on a straggler rank, every fetch is
+// stretched to Factor× its measured duration, slowing the whole prefetch
+// pipeline the way a slow node's I/O path would.
+func (j *Job) fetchFrom(k access.SampleID, pos int, selfHeal bool) ([]byte, Source, error) {
+	if j.chaosSched == nil {
+		return j.fetchSource(k, pos, selfHeal)
+	}
+	epoch := j.epochOf(pos)
+	start := time.Now()
+	data, src, err := j.fetchSource(k, pos, selfHeal)
+	if err == nil {
+		if factor := j.chaosSched.Slowdown(j.rank, epoch, j.plan.N); factor > 1 {
+			j.chaosSleep(time.Duration(float64(time.Since(start)) * (factor - 1)))
+		}
+	}
+	return data, src, err
+}
+
+// fetchSource retrieves sample k for stream position pos using the argmin
 // source rule: local class if cached, else the best peer estimated to hold
 // it (symmetric-progress heuristic), else the PFS. selfHeal additionally
 // caches PFS fetches into the sample's assigned local class so a lagging
 // class prefetcher is repaired opportunistically (paper Sec. 5.2.2).
-func (j *Job) fetchFrom(k access.SampleID, pos int, selfHeal bool) ([]byte, Source, error) {
+func (j *Job) fetchSource(k access.SampleID, pos int, selfHeal bool) ([]byte, Source, error) {
 	if j.isClosed() {
 		return nil, SourcePFS, errJobClosed
 	}
 	// Local storage classes, fastest first.
-	for _, b := range j.backends {
+	for ci, b := range j.backends {
 		if data, ok, err := b.Get(j.ctx, k); err != nil {
 			return nil, SourceLocal, err
 		} else if ok {
+			// A degraded tier pays its bandwidth throttle on every read.
+			if err := j.chaosTierWait(j.ctx, ci, j.epochOf(pos), int64(len(data))); err != nil {
+				return nil, SourceLocal, err
+			}
 			return data, SourceLocal, nil
 		}
 	}

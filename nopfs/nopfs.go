@@ -39,8 +39,15 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/storage"
 )
+
+// ChaosProfile declares a deterministic fault/degradation scenario for a
+// run: straggler ranks, storage-tier degradation, and fabric
+// latency/jitter/transient failures (see internal/chaos). Node crashes are
+// simulator-only; the live path ignores them.
+type ChaosProfile = chaos.Profile
 
 // Dataset is the data source interface a Job ingests. Reading a sample by
 // id is the only byte-producing operation; the middleware never requires
@@ -108,6 +115,13 @@ type Options struct {
 	// dataset's integrity envelope (internal/dataset format).
 	VerifySamples bool
 
+	// Chaos is the fault/degradation scenario injected into the run: a
+	// fault-wrapping fabric decorator (latency, jitter, transient fetch
+	// failures), storage.Limiter throttles on degraded tiers, and paced
+	// straggler ranks. The zero value injects nothing — runs are identical
+	// to a chaos-free build. Crashes are ignored (simulator-only).
+	Chaos ChaosProfile
+
 	// Fabric selects the cluster fabric by registry name (FabricChan,
 	// FabricTCP, or a custom RegisterFabric name). Empty means FabricChan,
 	// unless the deprecated UseTCP flag is set.
@@ -164,6 +178,9 @@ func (o Options) Validate(ds Dataset, workers int) error {
 		if _, err := BackendByKind(backendKind(c)); err != nil {
 			return fmt.Errorf("nopfs: class %q: %w", c.Name, err)
 		}
+	}
+	if err := o.Chaos.Validate(); err != nil {
+		return err
 	}
 	if _, err := o.fabric(); err != nil {
 		return err

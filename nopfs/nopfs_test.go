@@ -3,37 +3,11 @@ package nopfs
 import (
 	"context"
 	"fmt"
-	"sync"
 	"testing"
 
 	"repro/internal/access"
 	"repro/internal/dataset"
 )
-
-// bg is the default context for tests that exercise the data paths rather
-// than cancellation (see cancel_test.go for the cancellation tier).
-var bg = context.Background()
-
-func testDataset(t testing.TB, f int) *dataset.Synthetic {
-	t.Helper()
-	return dataset.MustNew(dataset.Spec{
-		Name: "live", F: f, MeanSize: 2048, StddevSize: 512, Classes: 10, Seed: 21,
-	})
-}
-
-func baseOptions() Options {
-	return Options{
-		Seed:           1234,
-		Epochs:         3,
-		BatchPerWorker: 4,
-		StagingBytes:   64 << 10,
-		StagingThreads: 3,
-		Classes: []Class{
-			{Name: "ram", CapacityBytes: 256 << 10, Threads: 2},
-		},
-		VerifySamples: true,
-	}
-}
 
 func TestOptionsValidate(t *testing.T) {
 	ds := testDataset(t, 64)
@@ -54,31 +28,6 @@ func TestOptionsValidate(t *testing.T) {
 	if err := bad.Validate(ds, 2); err == nil {
 		t.Error("zero-capacity class accepted")
 	}
-}
-
-// runAndCollect runs a cluster and returns every worker's delivered sample
-// ids in order.
-func runAndCollect(t *testing.T, ds Dataset, workers int, opts Options) ([][]int, []Stats) {
-	t.Helper()
-	delivered := make([][]int, workers)
-	var mu sync.Mutex
-	stats, err := RunCluster(bg, ds, workers, opts, func(ctx context.Context, j *Job) error {
-		var ids []int
-		for s, err := range j.Samples(ctx) {
-			if err != nil {
-				return err
-			}
-			ids = append(ids, s.ID)
-		}
-		mu.Lock()
-		delivered[j.Rank()] = ids
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return delivered, stats
 }
 
 func TestClusterDeliversExactSchedule(t *testing.T) {

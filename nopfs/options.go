@@ -96,6 +96,12 @@ func WithFabric(name string) Option {
 	return func(o *Options) { o.Fabric = name }
 }
 
+// WithChaos injects a deterministic fault/degradation scenario into the run
+// (see ChaosProfile). The empty profile injects nothing.
+func WithChaos(p ChaosProfile) Option {
+	return func(o *Options) { o.Chaos = p }
+}
+
 // fabricName resolves the effective fabric name: an explicit Fabric wins;
 // the deprecated UseTCP flag maps to FabricTCP; the default is FabricChan.
 func (o Options) fabricName() string {

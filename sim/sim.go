@@ -49,6 +49,8 @@ type (
 	Outcome = sweep.Outcome
 	// Metric declares one column of a grid's result schema.
 	Metric = sweep.Metric
+	// ProfileSpec is one column of a grid's optional fault-profile axis.
+	ProfileSpec = sweep.ProfileSpec
 	// Runner executes grids; Parallel bounds the goroutine pool.
 	Runner = sweep.Runner
 	// Report is the deterministic raw outcome of one grid execution.
@@ -116,6 +118,8 @@ var (
 	AllPolicySpecs = sweep.AllPolicySpecs
 	// ReplicaSeed derives deterministic per-replica seeds.
 	ReplicaSeed = sweep.ReplicaSeed
+	// ChaosProfiles builds a fault-profile axis from chaos profiles.
+	ChaosProfiles = sweep.ChaosProfiles
 	// WriteJSON / WriteCSV / WriteText encode a Report.
 	WriteJSON = sweep.WriteJSON
 	WriteCSV  = sweep.WriteCSV

@@ -91,7 +91,7 @@ func runBinary(t *testing.T, name string, args ...string) string {
 func TestSmokeBuildAllMainPackages(t *testing.T) {
 	for _, name := range []string{
 		"nopfs-access", "nopfs-sim", "nopfs-train",
-		"cosmoflow", "imagenet", "quickstart", "sysdesign",
+		"chaos", "cosmoflow", "imagenet", "quickstart", "sysdesign",
 	} {
 		binary(t, name)
 	}
@@ -123,6 +123,24 @@ func TestSmokeSimCLI(t *testing.T) {
 	csvOut := runBinary(t, "nopfs-sim", "-scenario", "fig8a", "-scale", "0.005", "-format", "csv")
 	if !strings.HasPrefix(csvOut, "grid,scenario,policy") {
 		t.Errorf("nopfs-sim csv output unexpected:\n%.200s", csvOut)
+	}
+}
+
+// TestSmokeSimCLIChaosDeterministic runs one panel under a fault profile at
+// pool widths 1 and 8: chaos injection is seed-derived and stateless, so
+// faulted reports must stay bit-identical across parallelism, and the
+// profile column must appear in the encoding.
+func TestSmokeSimCLIChaosDeterministic(t *testing.T) {
+	args := []string{"-scenario", "fig8a", "-scale", "0.005", "-chaos", "meltdown", "-replicas", "2", "-format", "json"}
+	serial := runBinary(t, "nopfs-sim", append(args, "-parallel", "1")...)
+	wide := runBinary(t, "nopfs-sim", append(args, "-parallel", "8")...)
+	if serial != wide {
+		t.Error("chaos-injected nopfs-sim output differs between -parallel 1 and -parallel 8")
+	}
+	for _, want := range []string{`"profile": "meltdown"`, `"profile": "clean"`} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("chaos report missing %s", want)
+		}
 	}
 }
 
