@@ -8,7 +8,7 @@ BENCHTIME ?= 1x
 BENCHLABEL ?=
 BENCH_DATE := $(shell date -u +%F)
 
-.PHONY: all build test test-race vet fmt lint bench bench-smoke fuzz-smoke cover verify
+.PHONY: all build test test-race vet fmt lint bench bench-smoke bench-compare fuzz-smoke cover verify
 
 all: build
 
@@ -44,9 +44,30 @@ bench:
 	$(GO) run ./internal/tools/benchjson -out bench/BENCH_$(BENCH_DATE).json -label '$(BENCHLABEL)' < bench/.raw.txt > /dev/null
 
 # Quick rot check: every benchmark must still compile and run one iteration.
-# CI runs this on each push.
+# CI runs this on each push (and feeds the run into bench-compare below).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Benchstat-style diff of two trajectory documents. Defaults to the two
+# most recently written bench/BENCH_*.json files (mtime order — "_baseline"
+# suffixes make lexicographic order lie); override with OLD= and NEW=.
+# Advisory by default (regressions warn, exit 0); pass
+# BENCHCOMPARE_FLAGS=-gate to make a regression past the threshold fail.
+OLD ?=
+NEW ?=
+BENCHCOMPARE_FLAGS ?=
+
+bench-compare:
+	@old='$(OLD)'; new='$(NEW)'; \
+	if [ -z "$$old" ] || [ -z "$$new" ]; then \
+	  set -- $$(ls -t bench/BENCH_*.json 2>/dev/null | head -2); \
+	  if [ $$# -lt 2 ] && { [ -z "$$old" ] || [ -z "$$new" ]; }; then \
+	    echo "bench-compare: need two bench/BENCH_*.json files (or set OLD= and NEW=)"; exit 1; \
+	  fi; \
+	  [ -n "$$new" ] || new=$$1; \
+	  [ -n "$$old" ] || old=$$2; \
+	fi; \
+	$(GO) run ./internal/tools/benchcompare -old "$$old" -new "$$new" $(BENCHCOMPARE_FLAGS)
 
 # Fuzz knobs: `make fuzz-smoke` runs each wire-format fuzz target briefly
 # (CI does this per push); raise FUZZTIME for a longer local session or the

@@ -12,6 +12,8 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/access"
@@ -392,6 +394,92 @@ func BenchmarkDeliveryGetBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSimulate10kWorkers stresses the struct-of-arrays hot state at a
+// worker count two-and-a-half orders beyond the paper's Sec. 6 configuration
+// (N=4): one ImageNet-22k epoch with 10⁴ workers, exercising the packed
+// availability words and lean worker-0 assignment rows that keep the
+// placement state O(F) instead of O(F × N). Beyond the paper's simulated
+// envelope (see EXPERIMENTS.md); skipped under -short.
+func BenchmarkSimulate10kWorkers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("10k-worker simulation is a scale stress; skipped under -short")
+	}
+	s, err := sim.ScenarioByID("fig8d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := s.Config(0.02, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Work.Workers = 10000
+	cfg.Work.Epochs = 1
+	// Keep the global batch (workers × batch) within the scaled dataset.
+	cfg.Work.BatchPerWorker = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(cfg, sim.NewNoPFS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ExecSeconds, "sim-exec-s")
+	}
+}
+
+// BenchmarkSweep100kCells streams a 100,000-cell grid (50 scenarios × 20
+// policies × 100 replicas) through the CSV aggregator: resident Result
+// memory stays at the engine's bounded delivery window plus the open summary
+// group, independent of grid size. Skipped under -short.
+func BenchmarkSweep100kCells(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-cell sweep is a scale stress; skipped under -short")
+	}
+	var scenarios []sim.GridScenario
+	for i := 0; i < 50; i++ {
+		scenarios = append(scenarios, sim.GridScenario{ID: fmt.Sprintf("row%02d", i)})
+	}
+	var policies []sim.GridPolicy
+	for i := 0; i < 20; i++ {
+		policies = append(policies, sim.GridPolicy{Name: fmt.Sprintf("col%02d", i)})
+	}
+	grid := &sim.Grid{
+		Name: "bench-100k", Scenarios: scenarios, Policies: policies,
+		Replicas: 100, BaseSeed: 7,
+		Metrics: []sim.Metric{{Name: "score"}},
+		Cell: func(si, pi, _ int) sim.CellFunc {
+			return func(_ context.Context, seed uint64) (*sim.Outcome, error) {
+				v := float64((seed*2654435761+uint64(si*31+pi))%1000) / 10
+				return &sim.Outcome{Values: map[string]float64{"score": v}}, nil
+			}
+		},
+	}
+	runner := &sim.Runner{Parallel: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := runner.RunStream(bg, grid, sim.NewCSVAggregator(io.Discard)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalResweep measures a fully memoised re-run of the Fig. 8
+// grid: every cell's configuration digest hits the ResultMemo, so the loop
+// costs digesting plus report assembly — no simulation. Compare against
+// BenchmarkFig8* for the cold cost the memo removes.
+func BenchmarkIncrementalResweep(b *testing.B) {
+	runner := &sim.Runner{Parallel: 1, Memo: sim.NewResultMemo(0)}
+	if _, err := runner.Run(bg, sim.Fig8Grid(benchScale, 42, 1)); err != nil {
+		b.Fatal(err) // cold fill
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(bg, sim.Fig8Grid(benchScale, 42, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkLiveClusterThroughput measures the real middleware end to end —

@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"repro/internal/chaos"
+	"repro/internal/profiling"
 	"repro/internal/sweep"
 	"repro/sim"
 )
@@ -44,6 +45,9 @@ func main() {
 	replicas := flag.Int("replicas", 1, "replica seeds per (scenario, policy) cell")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	chaosSpec := flag.String("chaos", "", "fault profile: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a spec like \"straggler:1x2@1,tier:0x4,drop:0.05\"; adds a clean-vs-faulted profile axis to the grid")
+	stream := flag.Bool("stream", false, "stream output incrementally as cells finish (same bytes as the buffered encoders; -sweep text uses the generic table instead of the RAM x SSD matrix)")
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	switch *format {
@@ -52,6 +56,13 @@ func main() {
 		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
 	}
 	profiles, err := sweep.ChaosAxis(*chaosSpec)
+	if err != nil {
+		fatal(err)
+	}
+	// Profile collectors run for the whole invocation. fatal's os.Exit skips
+	// the finalizer, so error paths leave truncated profiles — fine for a
+	// diagnostics flag; success paths get complete files.
+	stopProf, err := prof.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -65,15 +76,15 @@ func main() {
 	case *table1:
 		printTable1()
 	case *sweepFlag:
-		runSweep(ctx, runner, *scale, *seed, *replicas, *format, profiles)
+		runSweep(ctx, runner, *scale, *seed, *replicas, *format, profiles, *stream)
 	case *ablation:
 		grid := sim.AblationGrid(*scale, *seed, *replicas)
 		grid.Profiles = profiles
-		emit(ctx, runner, grid, *format)
+		emit(ctx, runner, grid, *format, *stream)
 	case *all:
 		grid := sim.Fig8Grid(*scale, *seed, *replicas)
 		grid.Profiles = profiles
-		emit(ctx, runner, grid, *format)
+		emit(ctx, runner, grid, *format, *stream)
 	case *scenario != "":
 		s, err := sim.ScenarioByID(*scenario)
 		if err != nil {
@@ -81,21 +92,44 @@ func main() {
 		}
 		grid := sim.ScenarioGrid(s, *scale, *seed, *replicas)
 		grid.Profiles = profiles
-		emit(ctx, runner, grid, *format)
+		emit(ctx, runner, grid, *format, *stream)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 }
 
-// emit runs the grid and writes it in the requested format.
-func emit(ctx context.Context, runner *sim.Runner, grid *sim.Grid, format string) {
+// emit runs the grid and writes it in the requested format. With -stream the
+// grid flows through the incremental encoders — identical bytes, but only a
+// bounded window of results resident at once.
+func emit(ctx context.Context, runner *sim.Runner, grid *sim.Grid, format string, stream bool) {
+	if stream {
+		if err := runner.RunStream(ctx, grid, aggregatorFor(os.Stdout, format)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	rep, err := runner.Run(ctx, grid)
 	if err != nil {
 		fatal(err)
 	}
 	if err := write(os.Stdout, rep, format); err != nil {
 		fatal(err)
+	}
+}
+
+// aggregatorFor picks the streaming encoder for a format.
+func aggregatorFor(w io.Writer, format string) sim.Aggregator {
+	switch format {
+	case "json":
+		return sim.NewJSONAggregator(w)
+	case "csv":
+		return sim.NewCSVAggregator(w)
+	default:
+		return sim.NewTextAggregator(w)
 	}
 }
 
@@ -115,11 +149,18 @@ func write(w io.Writer, rep *sim.Report, format string) error {
 // preliminary as one engine run, so json/csv emit a single document and
 // every format honours -replicas. Text mode keeps the legacy RAM × SSD
 // matrix, with means when the grid ran multiple seeds per cell; with a
-// fault-profile axis it falls back to the generic per-profile table (the
-// matrix has one cell per scenario).
-func runSweep(ctx context.Context, runner *sim.Runner, scale float64, seed uint64, replicas int, format string, profiles []sweep.ProfileSpec) {
+// fault-profile axis — or under -stream, which cannot buffer the whole
+// grid — it falls back to the generic per-profile table (the matrix has
+// one cell per scenario).
+func runSweep(ctx context.Context, runner *sim.Runner, scale float64, seed uint64, replicas int, format string, profiles []sweep.ProfileSpec, stream bool) {
 	grid := sim.Fig9FullGrid(scale, seed, replicas)
 	grid.Profiles = profiles
+	if stream {
+		if err := runner.RunStream(ctx, grid, aggregatorFor(os.Stdout, format)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	rep, err := runner.Run(ctx, grid)
 	if err != nil {
 		fatal(err)

@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"repro/internal/chaos"
+	"repro/internal/profiling"
 	"repro/internal/sweep"
 	"repro/internal/trainer"
 )
@@ -41,6 +42,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	gpus := flag.String("gpus", "", "comma-separated GPU counts to keep (default: the figure's full axis)")
 	chaosSpec := flag.String("chaos", "", "fault profile: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a spec like \"straggler:1x2@1,drop:0.05\"; adds a clean-vs-faulted profile axis to the grid (fault profiles extend beyond the paper's measured configurations)")
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
 	switch *format {
@@ -53,6 +56,13 @@ func main() {
 		fatal(err)
 	}
 	profiles, err := sweep.ChaosAxis(*chaosSpec)
+	if err != nil {
+		fatal(err)
+	}
+	// Profile collectors run for the whole invocation. fatal's os.Exit skips
+	// the finalizer, so error paths leave truncated profiles — fine for a
+	// diagnostics flag; success paths get complete files.
+	stopProf, err := prof.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -89,6 +99,9 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -20,6 +20,14 @@
 // local prefetching has reached the corresponding access stream location,
 // the remote worker likely has, too".
 //
+// Layout: availability state is packed struct-of-arrays — one 64-bit word
+// per (worker, sample) local placement and per best-holder slot — so the
+// simulator's per-sample availability queries are single cache-line loads
+// instead of gathers across parallel class/worker/position arrays. The
+// Lean* builders additionally record local tables for worker 0 only, making
+// placement memory O(F) instead of O(N·F) for the simulator's symmetric
+// observer at planetary worker counts.
+//
 // Throughout, 1 MB = 2^20 bytes.
 package cachepolicy
 
@@ -46,62 +54,89 @@ const NotCached = int8(-1)
 // (prestaged data), regardless of the asker's progress.
 const AlwaysAvail = int32(-1)
 
+// Packed placement words. A zero word means "not cached"; a placed sample
+// packs class+1 into the low byte and the availability position, biased by
+// 2 so AlwaysAvail (-1) becomes 1 and position p becomes p+2, into the next
+// 32 bits. The bias makes packed position fields order-compatible with
+// posBefore: prestaged (1) sorts below every stream position (≥ 2). Holder
+// words (best1/best2) additionally carry the worker rank in the top 24 bits.
+const (
+	packClassBits = 8
+	packPosBits   = 32
+	packPosShift  = packClassBits
+	packWorkShift = packClassBits + packPosBits
+)
+
+// packPlace encodes a (class, availability position) pair.
+func packPlace(c int8, pos int32) uint64 {
+	return uint64(uint8(c+1)) | uint64(uint32(pos+2))<<packPosShift
+}
+
+// packHolder encodes a (class, worker, availability position) triple.
+func packHolder(c int8, w int32, pos int32) uint64 {
+	return packPlace(c, pos) | uint64(uint32(w))<<packWorkShift
+}
+
+// unpackClass returns the placement's class, or -1 for the zero word.
+func unpackClass(v uint64) int { return int(v&0xff) - 1 }
+
+// unpackPos returns the placement's availability position (AlwaysAvail for
+// prestaged entries). Only meaningful for non-zero words.
+func unpackPos(v uint64) int32 { return int32(uint32(v>>packPosShift)) - 2 }
+
+// unpackWorker returns a holder word's worker rank.
+func unpackWorker(v uint64) int32 { return int32(uint32(v >> packWorkShift)) }
+
+// posField extracts the raw biased position bits; comparing two fields as
+// integers is exactly posBefore on the decoded positions.
+func posField(v uint64) uint32 { return uint32(v >> packPosShift) }
+
 // Assignment is the materialised placement: for every worker, which class
 // (index into hwspec.Node.Classes, 0 = fastest) holds each sample, plus the
 // order in which each class should be filled and O(1) lookup of the best
 // remote holder together with its availability position.
 type Assignment struct {
 	N int
-	// localClass[w][k] is the class caching sample k on worker w, or
-	// NotCached.
-	localClass [][]int8
-	// localPos[w][k] is the holder-stream position at which the local copy
-	// exists (AlwaysAvail for prestaged placements).
-	localPos [][]int32
+	// local[w][k] is the packed placement of sample k on worker w (see
+	// packPlace). Lean assignments allocate the row for worker 0 only;
+	// untracked rows are nil.
+	local [][]uint64
 	// FillOrder[w][c] lists the samples assigned to worker w's class c in
-	// first-access order — the prefetchers' fill schedule (Rule 1).
+	// first-access order — the prefetchers' fill schedule (Rule 1). Nil for
+	// untracked workers of lean assignments.
 	FillOrder [][][]int32
-	// Best two holders per sample, so RemoteAvail can exclude the asking
-	// worker in O(1).
-	best1Class, best2Class   []int8
-	best1Worker, best2Worker []int32
-	best1Pos, best2Pos       []int32
+	// best1/best2 are the packed best-two holder words per sample (see
+	// packHolder), so RemoteAvail can exclude the asking worker in O(1).
+	best1, best2 []uint64
 	// CachedBytes[w] is the total bytes worker w caches.
 	CachedBytes []int64
 }
 
 // newAssignment allocates an empty assignment for n workers over f samples
-// with nClasses storage classes each.
-func newAssignment(n, f, nClasses int) *Assignment {
+// with nClasses storage classes each. Lean assignments track local tables
+// for worker 0 only; the best-holder pair still covers every worker.
+func newAssignment(n, f, nClasses int, lean bool) *Assignment {
 	a := &Assignment{
 		N:           n,
-		localClass:  make([][]int8, n),
-		localPos:    make([][]int32, n),
+		local:       make([][]uint64, n),
 		FillOrder:   make([][][]int32, n),
-		best1Class:  make([]int8, f),
-		best2Class:  make([]int8, f),
-		best1Worker: make([]int32, f),
-		best2Worker: make([]int32, f),
-		best1Pos:    make([]int32, f),
-		best2Pos:    make([]int32, f),
+		best1:       make([]uint64, f),
+		best2:       make([]uint64, f),
 		CachedBytes: make([]int64, n),
 	}
 	for w := 0; w < n; w++ {
-		lc := make([]int8, f)
-		lp := make([]int32, f)
-		for k := range lc {
-			lc[k] = NotCached
+		if lean && w != 0 {
+			continue
 		}
-		a.localClass[w] = lc
-		a.localPos[w] = lp
+		a.local[w] = make([]uint64, f)
 		a.FillOrder[w] = make([][]int32, nClasses)
-	}
-	for k := 0; k < f; k++ {
-		a.best1Class[k], a.best2Class[k] = NotCached, NotCached
-		a.best1Worker[k], a.best2Worker[k] = -1, -1
 	}
 	return a
 }
+
+// Lean reports whether the assignment records local tables for worker 0
+// only (see the Lean* builders).
+func (a *Assignment) Lean() bool { return a.N > 1 && a.local[1] == nil }
 
 // posBefore orders availability positions: prestaged (AlwaysAvail) sorts
 // before any stream position.
@@ -120,53 +155,121 @@ func posBefore(a, b int32) bool {
 // Holders are ranked by (class speed, availability position): among
 // same-class holders the one whose copy exists earliest wins, so the
 // remote-availability heuristic consults the peer most likely to already
-// have the sample (typically its epoch-0 toucher).
+// have the sample (typically its epoch-0 toucher). For untracked workers of
+// lean assignments only the holder pair and byte count are updated.
 func (a *Assignment) place(w int, k int32, c int8, size int64, pos int32) {
-	a.localClass[w][k] = c
-	a.localPos[w][k] = pos
-	a.FillOrder[w][c] = append(a.FillOrder[w][c], k)
+	if row := a.local[w]; row != nil {
+		row[k] = packPlace(c, pos)
+		a.FillOrder[w][c] = append(a.FillOrder[w][c], k)
+	}
 	a.CachedBytes[w] += size
-	beats := func(bc int8, bp int32) bool {
-		return bc == NotCached || c < bc || (c == bc && posBefore(pos, bp))
+	cand := packHolder(c, int32(w), pos)
+	// beats compares (class, position) lexicographically on the packed
+	// fields: an empty slot (zero word, class bits 0) always loses.
+	beats := func(e uint64) bool {
+		ec, cc := e&0xff, cand&0xff
+		if ec == 0 {
+			return true
+		}
+		if cc != ec {
+			return cc < ec
+		}
+		return posField(cand) < posField(e)
 	}
 	switch {
-	case beats(a.best1Class[k], a.best1Pos[k]):
-		a.best2Class[k], a.best2Worker[k], a.best2Pos[k] = a.best1Class[k], a.best1Worker[k], a.best1Pos[k]
-		a.best1Class[k], a.best1Worker[k], a.best1Pos[k] = c, int32(w), pos
-	case beats(a.best2Class[k], a.best2Pos[k]):
-		a.best2Class[k], a.best2Worker[k], a.best2Pos[k] = c, int32(w), pos
+	case beats(a.best1[k]):
+		a.best2[k] = a.best1[k]
+		a.best1[k] = cand
+	case beats(a.best2[k]):
+		a.best2[k] = cand
 	}
 }
 
-// Local returns the class caching sample k on worker w, or -1.
-func (a *Assignment) Local(w int, k int32) int { return int(a.localClass[w][k]) }
+// Local returns the class caching sample k on worker w, or -1. Worker w's
+// local table must be tracked (always true for non-lean assignments).
+func (a *Assignment) Local(w int, k int32) int { return unpackClass(a.local[w][k]) }
 
 // LocalPos returns the stream position at which worker w's copy of sample k
 // becomes available (its first access for NoPFS placements, AlwaysAvail for
 // prestaged ones). Only meaningful when Local(w, k) >= 0.
-func (a *Assignment) LocalPos(w int, k int32) int32 { return a.localPos[w][k] }
+func (a *Assignment) LocalPos(w int, k int32) int32 { return unpackPos(a.local[w][k]) }
 
 // LocalAvail returns the class caching sample k on worker w if that copy
 // exists by the time the worker reaches stream position pos, else -1.
 func (a *Assignment) LocalAvail(w int, k int32, pos int32) int {
-	c := a.localClass[w][k]
-	if c == NotCached {
+	v := a.local[w][k]
+	c := unpackClass(v)
+	if c < 0 {
 		return -1
 	}
-	if p := a.localPos[w][k]; p != AlwaysAvail && p >= pos {
+	if p := unpackPos(v); p != AlwaysAvail && p >= pos {
 		return -1
 	}
-	return int(c)
+	return c
+}
+
+// LocalWords exposes worker w's packed placement row (read-only) for fused
+// simulator loops; decode with UnpackLocal.
+func (a *Assignment) LocalWords(w int) []uint64 { return a.local[w] }
+
+// HolderWords exposes the packed best-two holder arrays (read-only) for
+// fused simulator loops; decode with UnpackHolder.
+func (a *Assignment) HolderWords() (best1, best2 []uint64) { return a.best1, a.best2 }
+
+// UnpackLocal decodes one LocalWords entry into (class, availability
+// position); class is -1 for samples not cached there.
+func UnpackLocal(v uint64) (class int, pos int32) { return unpackClass(v), unpackPos(v) }
+
+// UnpackHolder decodes one HolderWords entry into (class, worker,
+// availability position); class is -1 for empty slots.
+func UnpackHolder(v uint64) (class int, worker int32, pos int32) {
+	return unpackClass(v), unpackWorker(v), unpackPos(v)
+}
+
+// AvailClass decodes one LocalWords entry exactly as LocalAvail does: the
+// caching class if the copy exists by stream position pos, else -1. Small
+// enough to inline into fused simulator kernels.
+func AvailClass(v uint64, pos int32) int {
+	c := int(v&0xff) - 1
+	if c < 0 {
+		return -1
+	}
+	if p := int32(uint32(v>>packPosShift)) - 2; p != AlwaysAvail && p >= pos {
+		return -1
+	}
+	return c
+}
+
+// HolderFor decodes one HolderWords entry exactly as RemoteAvail does for a
+// single slot: the class if the slot holds a copy on a worker other than
+// asker that exists by stream position pos, else -1.
+func HolderFor(v uint64, asker, pos int32) int {
+	if v == 0 || int32(uint32(v>>packWorkShift)) == asker {
+		return -1
+	}
+	if p := int32(uint32(v>>packPosShift)) - 2; p != AlwaysAvail && p >= pos {
+		return -1
+	}
+	return int(v&0xff) - 1
+}
+
+// HolderAny is HolderFor without the progress check — the word-level form of
+// RemoteBest for one slot.
+func HolderAny(v uint64, asker int32) int {
+	if v == 0 || int32(uint32(v>>packWorkShift)) == asker {
+		return -1
+	}
+	return int(v&0xff) - 1
 }
 
 // RemoteBest returns the fastest class holding sample k on any worker other
 // than w, and that worker's rank; (-1, -1) if no other worker caches k.
 func (a *Assignment) RemoteBest(w int, k int32) (class, worker int) {
-	if a.best1Class[k] != NotCached && a.best1Worker[k] != int32(w) {
-		return int(a.best1Class[k]), int(a.best1Worker[k])
+	if v := a.best1[k]; v != 0 && unpackWorker(v) != int32(w) {
+		return unpackClass(v), int(unpackWorker(v))
 	}
-	if a.best2Class[k] != NotCached && a.best2Worker[k] != int32(w) {
-		return int(a.best2Class[k]), int(a.best2Worker[k])
+	if v := a.best2[k]; v != 0 && unpackWorker(v) != int32(w) {
+		return unpackClass(v), int(unpackWorker(v))
 	}
 	return -1, -1
 }
@@ -176,19 +279,21 @@ func (a *Assignment) RemoteBest(w int, k int32) (class, worker int) {
 // symmetric-progress heuristic: all workers advance in lockstep, so a
 // holder's progress equals the asker's).
 func (a *Assignment) RemoteAvail(w int, k int32, pos int32) (class, worker int) {
-	if a.best1Class[k] != NotCached && a.best1Worker[k] != int32(w) &&
-		(a.best1Pos[k] == AlwaysAvail || a.best1Pos[k] < pos) {
-		return int(a.best1Class[k]), int(a.best1Worker[k])
+	if v := a.best1[k]; v != 0 && unpackWorker(v) != int32(w) {
+		if p := unpackPos(v); p == AlwaysAvail || p < pos {
+			return unpackClass(v), int(unpackWorker(v))
+		}
 	}
-	if a.best2Class[k] != NotCached && a.best2Worker[k] != int32(w) &&
-		(a.best2Pos[k] == AlwaysAvail || a.best2Pos[k] < pos) {
-		return int(a.best2Class[k]), int(a.best2Worker[k])
+	if v := a.best2[k]; v != 0 && unpackWorker(v) != int32(w) {
+		if p := unpackPos(v); p == AlwaysAvail || p < pos {
+			return unpackClass(v), int(unpackWorker(v))
+		}
 	}
 	return -1, -1
 }
 
 // CachedAnywhere reports whether any worker caches sample k.
-func (a *Assignment) CachedAnywhere(k int32) bool { return a.best1Class[k] != NotCached }
+func (a *Assignment) CachedAnywhere(k int32) bool { return a.best1[k] != 0 }
 
 // Coverage returns the fraction of dataset bytes cached on at least one
 // worker — the "does not access the entire dataset" diagnostic from Fig. 8
@@ -198,7 +303,7 @@ func (a *Assignment) Coverage(ds Sizer) float64 {
 	for k := 0; k < ds.Len(); k++ {
 		sz := ds.Size(k)
 		total += sz
-		if a.best1Class[int32(k)] != NotCached {
+		if a.best1[k] != 0 {
 			cached += sz
 		}
 	}
@@ -206,6 +311,23 @@ func (a *Assignment) Coverage(ds Sizer) float64 {
 		return 0
 	}
 	return float64(cached) / float64(total)
+}
+
+// ApproxBytes approximates the assignment's resident memory: packed local
+// rows, holder words, fill orders, and byte counters.
+func (a *Assignment) ApproxBytes() int64 {
+	var n int64
+	for _, row := range a.local {
+		n += int64(len(row)) * 8
+	}
+	n += int64(len(a.best1)+len(a.best2)) * 8
+	for _, classes := range a.FillOrder {
+		for _, list := range classes {
+			n += int64(len(list)) * 4
+		}
+	}
+	n += int64(a.N) * 8
+	return n
 }
 
 // classCaps extracts per-class byte capacities from a node spec.
@@ -235,7 +357,15 @@ func BuildNoPFS(plan *access.Plan, ds Sizer, node hwspec.Node) *Assignment {
 // BuildNoPFSFromStreams is BuildNoPFS for callers that already materialised
 // the worker streams (the simulator reuses them).
 func BuildNoPFSFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
-	return buildFromStreams(plan, streams, ds, node, false)
+	return buildFromStreams(plan, streams, ds, node, false, false)
+}
+
+// BuildNoPFSLean is BuildNoPFSFromStreams recording local tables for worker
+// 0 only — the simulator's symmetric observer. The global best-holder pair
+// still reflects every worker's placement, so Source decisions are identical
+// to the full build while memory stays O(F) at any N.
+func BuildNoPFSLean(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
+	return buildFromStreams(plan, streams, ds, node, false, true)
 }
 
 // BuildRandomFromStreams is the placement ablation: identical machinery to
@@ -243,11 +373,16 @@ func BuildNoPFSFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Si
 // (first-access) order instead of by access frequency. Comparing it against
 // BuildNoPFS isolates the contribution of the Sec. 3.1 frequency analysis.
 func BuildRandomFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
-	return buildFromStreams(plan, streams, ds, node, true)
+	return buildFromStreams(plan, streams, ds, node, true, false)
 }
 
-func buildFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node, ignoreFreq bool) *Assignment {
-	a := newAssignment(plan.N, plan.F, len(node.Classes))
+// BuildRandomLean is BuildRandomFromStreams tracking worker 0 only.
+func BuildRandomLean(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
+	return buildFromStreams(plan, streams, ds, node, true, true)
+}
+
+func buildFromStreams(plan *access.Plan, streams [][]access.SampleID, ds Sizer, node hwspec.Node, ignoreFreq, lean bool) *Assignment {
+	a := newAssignment(plan.N, plan.F, len(node.Classes), lean)
 	caps := classCaps(node)
 
 	// Reusable per-worker scratch; reset only the touched entries.
@@ -323,7 +458,8 @@ func fillGreedy(a *Assignment, w int, cand []int32, ds Sizer, caps []int64, firs
 }
 
 // sortFillOrders orders each class's fill list by first access so the
-// prefetchers load soonest-needed samples first (Rule 1).
+// prefetchers load soonest-needed samples first (Rule 1). Untracked workers
+// of lean assignments have no fill lists.
 func sortFillOrders(a *Assignment, w int, firstPos []int32) {
 	for c := range a.FillOrder[w] {
 		list := a.FillOrder[w][c]
@@ -345,7 +481,16 @@ func BuildFirstTouch(plan *access.Plan, ds Sizer, node hwspec.Node) *Assignment 
 // BuildFirstTouchFromOrder is BuildFirstTouch for callers that already
 // materialised epoch 0's shuffle (the plan-artifact cache shares it).
 func BuildFirstTouchFromOrder(plan *access.Plan, order []access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
-	a := newAssignment(plan.N, plan.F, maxInt(len(node.Classes), 1))
+	return buildFirstTouch(plan, order, ds, node, false)
+}
+
+// BuildFirstTouchLean is BuildFirstTouchFromOrder tracking worker 0 only.
+func BuildFirstTouchLean(plan *access.Plan, order []access.SampleID, ds Sizer, node hwspec.Node) *Assignment {
+	return buildFirstTouch(plan, order, ds, node, true)
+}
+
+func buildFirstTouch(plan *access.Plan, order []access.SampleID, ds Sizer, node hwspec.Node, lean bool) *Assignment {
+	a := newAssignment(plan.N, plan.F, maxInt(len(node.Classes), 1), lean)
 	if len(node.Classes) == 0 {
 		return a
 	}
@@ -377,7 +522,16 @@ func BuildFirstTouchFromOrder(plan *access.Plan, order []access.SampleID, ds Siz
 // With S > N*D part of the dataset is nowhere cached (coverage < 1).
 // Placements are prestaged (AlwaysAvail).
 func BuildShard(f, n int, ds Sizer, node hwspec.Node) *Assignment {
-	a := newAssignment(n, f, len(node.Classes))
+	return buildShard(f, n, ds, node, false)
+}
+
+// BuildShardLean is BuildShard tracking worker 0 only.
+func BuildShardLean(f, n int, ds Sizer, node hwspec.Node) *Assignment {
+	return buildShard(f, n, ds, node, true)
+}
+
+func buildShard(f, n int, ds Sizer, node hwspec.Node, lean bool) *Assignment {
+	a := newAssignment(n, f, len(node.Classes), lean)
 	caps := classCaps(node)
 	remaining := make([][]int64, n)
 	for w := range remaining {
@@ -401,7 +555,16 @@ func BuildShard(f, n int, ds Sizer, node hwspec.Node) *Assignment {
 // its shard into RAM (class 0) only; samples that do not fit are not cached.
 // Placements are prestaged (AlwaysAvail).
 func BuildPreload(f, n int, ds Sizer, node hwspec.Node) *Assignment {
-	a := newAssignment(n, f, maxInt(len(node.Classes), 1))
+	return buildPreload(f, n, ds, node, false)
+}
+
+// BuildPreloadLean is BuildPreload tracking worker 0 only.
+func BuildPreloadLean(f, n int, ds Sizer, node hwspec.Node) *Assignment {
+	return buildPreload(f, n, ds, node, true)
+}
+
+func buildPreload(f, n int, ds Sizer, node hwspec.Node, lean bool) *Assignment {
+	a := newAssignment(n, f, maxInt(len(node.Classes), 1), lean)
 	if len(node.Classes) == 0 {
 		return a
 	}

@@ -253,7 +253,7 @@ func TestBuildPreloadRAMOnly(t *testing.T) {
 
 func TestCoverageEmptyAssignment(t *testing.T) {
 	ds := fixedSizer{n: 10, size: 1}
-	a := newAssignment(2, 10, 1)
+	a := newAssignment(2, 10, 1, false)
 	if cov := a.Coverage(ds); cov != 0 {
 		t.Errorf("empty assignment coverage = %v", cov)
 	}

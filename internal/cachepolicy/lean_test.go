@@ -1,0 +1,88 @@
+package cachepolicy
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLeanMatchesFullBuilders: every Lean builder must produce exactly the
+// tracked subset of its full counterpart — identical worker-0 local words
+// and fill orders, identical global best-holder pairs, identical per-worker
+// cached-byte totals — across every builder family. The simulator observes
+// worker 0 through these views, so this equality is what makes lean
+// assignments a pure memory optimisation.
+func TestLeanMatchesFullBuilders(t *testing.T) {
+	ds := fixedSizer{n: 300, size: 1 << 20}
+	node := nodeWithMB(30, 50)
+	plan := testPlan(300, 4, 6)
+	streams := plan.AllWorkerStreams()
+	order := plan.EpochOrder(0)
+
+	pairs := []struct {
+		name       string
+		full, lean *Assignment
+	}{
+		{"nopfs", BuildNoPFSFromStreams(plan, streams, ds, node), BuildNoPFSLean(plan, streams, ds, node)},
+		{"random", BuildRandomFromStreams(plan, streams, ds, node), BuildRandomLean(plan, streams, ds, node)},
+		{"firsttouch", BuildFirstTouchFromOrder(plan, order, ds, node), BuildFirstTouchLean(plan, order, ds, node)},
+		{"shard", BuildShard(300, 4, ds, node), BuildShardLean(300, 4, ds, node)},
+		{"preload", BuildPreload(300, 4, ds, node), BuildPreloadLean(300, 4, ds, node)},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			if p.lean.Lean() == p.full.Lean() {
+				t.Fatalf("Lean() = %v for both builds", p.full.Lean())
+			}
+			fullLocal, leanLocal := p.full.LocalWords(0), p.lean.LocalWords(0)
+			if err := equalWords("local[0]", fullLocal, leanLocal); err != nil {
+				t.Error(err)
+			}
+			fb1, fb2 := p.full.HolderWords()
+			lb1, lb2 := p.lean.HolderWords()
+			if err := equalWords("best1", fb1, lb1); err != nil {
+				t.Error(err)
+			}
+			if err := equalWords("best2", fb2, lb2); err != nil {
+				t.Error(err)
+			}
+			for c := range p.full.FillOrder[0] {
+				ff, lf := p.full.FillOrder[0][c], p.lean.FillOrder[0][c]
+				if len(ff) != len(lf) {
+					t.Fatalf("FillOrder[0][%d]: full %d entries, lean %d", c, len(ff), len(lf))
+				}
+				for i := range ff {
+					if ff[i] != lf[i] {
+						t.Fatalf("FillOrder[0][%d][%d]: full %d, lean %d", c, i, ff[i], lf[i])
+					}
+				}
+			}
+			for w := range p.full.CachedBytes {
+				if p.full.CachedBytes[w] != p.lean.CachedBytes[w] {
+					t.Errorf("CachedBytes[%d]: full %d, lean %d", w, p.full.CachedBytes[w], p.lean.CachedBytes[w])
+				}
+			}
+			// Untracked rows really are untracked: that is the memory saving.
+			for w := 1; w < p.lean.N; w++ {
+				if p.lean.local[w] != nil {
+					t.Errorf("lean build tracks worker %d's local row", w)
+				}
+			}
+			if p.lean.ApproxBytes() >= p.full.ApproxBytes() {
+				t.Errorf("lean build not smaller: %d vs %d bytes", p.lean.ApproxBytes(), p.full.ApproxBytes())
+			}
+		})
+	}
+}
+
+// equalWords compares two packed word slices.
+func equalWords(label string, a, b []uint64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s[%d]: %#x vs %#x", label, i, a[i], b[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package hwspec
+
+import "math"
+
+// Content digests (FNV-1a over every field, including names and full
+// throughput curves) identify a spec for result-memo keys: two configs with
+// equal digests produce bit-identical simulations, because every value the
+// performance model reads — and every label copied into outputs — is folded
+// in. Compare with plancache.NodeDigest, which intentionally hashes only the
+// capacities the placement builds consume; memo keys need the whole spec.
+
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+// digester accumulates FNV-1a words.
+type digester uint64
+
+func newDigester() digester { return fnvOffset }
+
+func (d *digester) word(v uint64) {
+	h := uint64(*d)
+	h ^= v
+	h *= fnvPrime
+	*d = digester(h)
+}
+
+func (d *digester) float(v float64) { d.word(math.Float64bits(v)) }
+
+func (d *digester) str(s string) {
+	d.word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d.word(uint64(s[i]))
+	}
+}
+
+func (d *digester) curve(c ThroughputCurve) {
+	d.word(uint64(len(c.Points)))
+	for i := range c.Points {
+		d.float(c.Points[i])
+		d.float(c.MBps[i])
+	}
+	d.float(c.Cap)
+}
+
+func (d *digester) class(c StorageClass) {
+	d.str(c.Name)
+	d.float(c.CapacityMB)
+	d.curve(c.Read)
+	d.curve(c.Write)
+	d.word(uint64(c.Threads))
+}
+
+// Digest returns a content hash of the full system spec.
+func (s System) Digest() uint64 {
+	d := newDigester()
+	d.str(s.Name)
+	d.curve(s.PFS.Read)
+	d.float(s.PFS.RandomFraction)
+	d.class(s.Node.Staging)
+	d.word(uint64(len(s.Node.Classes)))
+	for _, c := range s.Node.Classes {
+		d.class(c)
+	}
+	d.float(s.Node.InterconnectMBps)
+	return uint64(d)
+}
+
+// Digest returns a content hash of the full workload spec.
+func (w Workload) Digest() uint64 {
+	d := newDigester()
+	d.str(w.Name)
+	d.float(w.ComputeMBps)
+	d.float(w.PreprocMBps)
+	d.word(uint64(w.BatchPerWorker))
+	d.word(uint64(w.Epochs))
+	d.word(uint64(w.Workers))
+	return uint64(d)
+}

@@ -300,11 +300,15 @@ func (a *Artifacts) Frequencies() [][]int32 {
 
 // assignKey identifies one derived placement: the policy family plus
 // digests of the inputs the build consumes beyond the plan itself (sample
-// sizes and node storage-class capacities).
+// sizes and node storage-class capacities), and whether the build is lean
+// (worker-0 local tables only — the simulator's layout) or full (per-rank
+// tables, required by the live middleware). The two layouts must not share
+// an entry: a lean build cannot serve Local/FillOrder queries for rank > 0.
 type assignKey struct {
 	family  string
 	dataset uint64
 	node    uint64
+	lean    bool
 }
 
 type assignEntry struct {
@@ -325,11 +329,25 @@ const (
 // family), building it with build on first use. The returned Assignment is
 // shared and must be treated as immutable (all its methods are read-only).
 // In naive mode build runs directly with no memoisation.
+//
+// The build's tracking layout (full vs. lean, see AssignmentLean) is part of
+// the key; builds passed here must be full.
 func (a *Artifacts) Assignment(family string, ds cachepolicy.Sizer, node hwspec.Node, build func() *cachepolicy.Assignment) *cachepolicy.Assignment {
+	return a.assignment(family, ds, node, false, build)
+}
+
+// AssignmentLean is Assignment for lean builds (worker-0 local tables only;
+// see the cachepolicy Lean* builders). Lean and full placements of the same
+// family are cached independently.
+func (a *Artifacts) AssignmentLean(family string, ds cachepolicy.Sizer, node hwspec.Node, build func() *cachepolicy.Assignment) *cachepolicy.Assignment {
+	return a.assignment(family, ds, node, true, build)
+}
+
+func (a *Artifacts) assignment(family string, ds cachepolicy.Sizer, node hwspec.Node, lean bool, build func() *cachepolicy.Assignment) *cachepolicy.Assignment {
 	if a.cache == nil {
 		return build()
 	}
-	key := assignKey{family: family, dataset: SizerDigest(ds), node: NodeDigest(node)}
+	key := assignKey{family: family, dataset: SizerDigest(ds), node: NodeDigest(node), lean: lean}
 	a.amu.Lock()
 	e, ok := a.assigns[key]
 	if !ok {
@@ -339,22 +357,9 @@ func (a *Artifacts) Assignment(family string, ds cachepolicy.Sizer, node hwspec.
 	a.amu.Unlock()
 	e.once.Do(func() {
 		e.assign = build()
-		a.cache.addBytes(a.self, assignmentBytes(e.assign, a.Plan.F))
+		a.cache.addBytes(a.self, e.assign.ApproxBytes())
 	})
 	return e.assign
-}
-
-// assignmentBytes approximates an Assignment's memory: per-worker class and
-// position tables plus the per-sample best-holder arrays and fill orders.
-func assignmentBytes(as *cachepolicy.Assignment, f int) int64 {
-	n := int64(as.N) * int64(f) * 5 // localClass int8 + localPos int32
-	n += int64(f) * 26              // best1/best2 class+worker+pos
-	for _, classes := range as.FillOrder {
-		for _, list := range classes {
-			n += int64(len(list)) * 4
-		}
-	}
-	return n
 }
 
 // SizeDigester is implemented by datasets that precompute their size

@@ -1,0 +1,105 @@
+// Package profiling wires the standard Go diagnostics escape hatches —
+// pprof CPU/heap profiles and the runtime execution trace — into the repo's
+// CLIs with one shared flag triple, so performance investigations of
+// paper-scale runs (-scale 1 sweeps, 10³-worker configs) don't need a
+// bespoke harness.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the CLI profiling options.
+type Flags struct {
+	CPU, Mem, Trace string
+}
+
+// Register installs the -cpuprofile, -memprofile and -trace flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to `file` on exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to `file`")
+}
+
+// Start begins the requested collectors. The returned stop function ends
+// them and writes the heap profile; it must run before process exit for the
+// output files to be complete, and reports the first error it hits.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			cpuFile = nil
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			traceFile = nil
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				runtime.GC() // materialise up-to-date allocation stats
+				if err := pprof.WriteHeapProfile(mf); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := mf.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if firstErr != nil {
+			return fmt.Errorf("profiling: %w", firstErr)
+		}
+		return nil
+	}, nil
+}

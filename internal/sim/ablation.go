@@ -81,7 +81,7 @@ func (n *nopfsAblated) Source(env *Env, f int, k access.SampleID) perfmodel.Choi
 	if !n.v.NoRemote {
 		remoteClass, holder = n.assign.RemoteAvail(0, k, int32(f))
 	}
-	ch := env.Model.Best(sz, localClass, remoteClass, env.Gamma())
+	ch := env.Rate.Best(sz, localClass, remoteClass, env.Gamma())
 	if ch.Loc == perfmodel.LocRemote {
 		ch.Holder = int32(holder)
 	}

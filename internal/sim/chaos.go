@@ -26,7 +26,7 @@ func chaosAdjust(env *Env, sched *chaos.Schedule, epoch, f int, sz float64, choi
 	if choice.Loc == perfmodel.LocRemote && sched.CrashedAt(int(choice.Holder), epoch, n) {
 		*choice = perfmodel.Choice{
 			Loc: perfmodel.LocPFS, Class: -1,
-			Seconds: env.Model.FetchPFS(sz, env.Gamma()),
+			Seconds: env.Rate.FetchPFS(sz, env.Gamma()),
 		}
 	}
 	// Tier degradation divides the serving tier's bandwidth.
@@ -46,7 +46,7 @@ func chaosAdjust(env *Env, sched *chaos.Schedule, epoch, f int, sz float64, choi
 		delay, fail := sched.FabricCall(0, uint64(f))
 		choice.Seconds += delay
 		if fail {
-			choice.Seconds += env.Model.FetchPFS(sz, env.Gamma()) * sched.TierFactor(chaos.PFSTier, epoch)
+			choice.Seconds += env.Rate.FetchPFS(sz, env.Gamma()) * sched.TierFactor(chaos.PFSTier, epoch)
 			res.RemoteFalsePositives++
 		}
 	}

@@ -149,7 +149,7 @@ func (naive) StagingMB(env *Env) float64        { return doubleBufferMB(env) }
 func (naive) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	return perfmodel.Choice{
 		Loc: perfmodel.LocPFS, Class: -1,
-		Seconds: env.Model.FetchPFS(env.SizesMB[k], env.Plan.N),
+		Seconds: env.Rate.FetchPFS(env.SizesMB[k], env.Plan.N),
 	}
 }
 
@@ -173,7 +173,7 @@ func (stagingBuffer) StagingMB(env *Env) float64        { return doubleBufferMB(
 func (stagingBuffer) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	return perfmodel.Choice{
 		Loc: perfmodel.LocPFS, Class: -1,
-		Seconds: env.Model.FetchPFS(env.SizesMB[k], env.Plan.N),
+		Seconds: env.Rate.FetchPFS(env.SizesMB[k], env.Plan.N),
 	}
 }
 
@@ -247,12 +247,12 @@ func (d *deepIO) StagingMB(env *Env) float64 { return nodeStagingMB(env) }
 func (d *deepIO) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	sz := env.SizesMB[k]
 	if c := d.assign.LocalAvail(0, k, int32(f)); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Model.FetchLocal(sz, c)}
+		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Rate.FetchLocal(sz, c)}
 	}
 	if c, w := d.assign.RemoteAvail(0, k, int32(f)); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c), Holder: int32(w)}
+		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Rate.FetchRemote(sz, c), Holder: int32(w)}
 	}
-	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Model.FetchPFS(sz, env.Gamma())}
+	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Rate.FetchPFS(sz, env.Gamma())}
 }
 
 // ---------------------------------------------------------------------------
@@ -296,10 +296,10 @@ func (p *parallelStaging) StagingMB(env *Env) float64 { return nodeStagingMB(env
 func (p *parallelStaging) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	sz := env.SizesMB[k]
 	if c := p.assign.Local(0, k); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Model.FetchLocal(sz, c)}
+		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Rate.FetchLocal(sz, c)}
 	}
 	// Only reachable when the worker has no local storage at all.
-	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Model.FetchPFS(sz, env.Gamma())}
+	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Rate.FetchPFS(sz, env.Gamma())}
 }
 
 // ---------------------------------------------------------------------------
@@ -351,12 +351,12 @@ func (l *lbann) StagingMB(env *Env) float64        { return nodeStagingMB(env) }
 func (l *lbann) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	sz := env.SizesMB[k]
 	if c := l.assign.LocalAvail(0, k, int32(f)); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Model.FetchLocal(sz, c)}
+		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Rate.FetchLocal(sz, c)}
 	}
 	if c, w := l.assign.RemoteAvail(0, k, int32(f)); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c), Holder: int32(w)}
+		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Rate.FetchRemote(sz, c), Holder: int32(w)}
 	}
-	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Model.FetchPFS(sz, env.Gamma())}
+	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Rate.FetchPFS(sz, env.Gamma())}
 }
 
 // ---------------------------------------------------------------------------
@@ -428,12 +428,12 @@ func (l *localityAware) StagingMB(env *Env) float64 { return nodeStagingMB(env) 
 func (l *localityAware) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	sz := env.SizesMB[k]
 	if c := l.assign.Local(0, k); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Model.FetchLocal(sz, c)}
+		return perfmodel.Choice{Loc: perfmodel.LocLocal, Class: c, Seconds: env.Rate.FetchLocal(sz, c)}
 	}
 	if c, w := l.assign.RemoteBest(0, k); c >= 0 {
-		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Model.FetchRemote(sz, c), Holder: int32(w)}
+		return perfmodel.Choice{Loc: perfmodel.LocRemote, Class: c, Seconds: env.Rate.FetchRemote(sz, c), Holder: int32(w)}
 	}
-	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Model.FetchPFS(sz, env.Gamma())}
+	return perfmodel.Choice{Loc: perfmodel.LocPFS, Class: -1, Seconds: env.Rate.FetchPFS(sz, env.Gamma())}
 }
 
 // ---------------------------------------------------------------------------
@@ -465,7 +465,7 @@ func (n *nopfs) Source(env *Env, f int, k access.SampleID) perfmodel.Choice {
 	sz := env.SizesMB[k]
 	localClass := n.assign.LocalAvail(0, k, int32(f))
 	remoteClass, holder := n.assign.RemoteAvail(0, k, int32(f))
-	ch := env.Model.Best(sz, localClass, remoteClass, env.Gamma())
+	ch := env.Rate.Best(sz, localClass, remoteClass, env.Gamma())
 	if ch.Loc == perfmodel.LocRemote {
 		ch.Holder = int32(holder)
 	}

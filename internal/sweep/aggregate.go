@@ -34,6 +34,52 @@ func (s Summary) Metric(name string) stats.Summary {
 	return s.Metrics[name]
 }
 
+// summarizeGroup folds the replicas of one (scenario, policy, profile)
+// group into a Summary. It is the single aggregation kernel, shared by the
+// whole-report Aggregate and the streaming summary path, so both produce
+// identical summaries by construction.
+func summarizeGroup(metrics []Metric, scenario, policy, profile string, cells []CellResult) Summary {
+	s := Summary{
+		Scenario: scenario, Policy: policy, Profile: profile, Replicas: len(cells),
+		Metrics: map[string]stats.Summary{},
+	}
+	values := map[string][]float64{}
+	n := 0
+	for _, c := range cells {
+		o := c.Outcome
+		if o.Failed {
+			s.Failed = true
+			s.FailReason = o.FailReason
+			continue
+		}
+		if s.Note == "" {
+			s.Note = o.Note
+		}
+		for _, m := range metrics {
+			if v, ok := o.Values[m.Name]; ok {
+				values[m.Name] = append(values[m.Name], v)
+			}
+		}
+		n++
+	}
+	if n > 0 {
+		s.Failed = false
+		s.FailReason = ""
+		for _, m := range metrics {
+			if vs := values[m.Name]; len(vs) > 0 {
+				s.Metrics[m.Name] = stats.Summarize(vs)
+			}
+		}
+		// The coverage note is a group property: derive it from the
+		// mean across replicas (as the legacy serial reports did), not
+		// from whichever replica happened to carry a note.
+		if cov, ok := s.Metrics[MetricCoverage]; ok && cov.N > 0 && cov.Mean < 0.999 {
+			s.Note = fmt.Sprintf("does not access entire dataset (%.0f%%)", 100*cov.Mean)
+		}
+	}
+	return s
+}
+
 // Aggregate groups the report's cells by (scenario, policy, profile) in
 // grid order and summarises each group's replicas metric by metric.
 func (rep *Report) Aggregate() []Summary {
@@ -50,46 +96,7 @@ func (rep *Report) Aggregate() []Summary {
 
 	out := make([]Summary, 0, len(order))
 	for _, k := range order {
-		cells := groups[k]
-		s := Summary{
-			Scenario: k.scenario, Policy: k.policy, Profile: k.profile, Replicas: len(cells),
-			Metrics: map[string]stats.Summary{},
-		}
-		values := map[string][]float64{}
-		n := 0
-		for _, c := range cells {
-			o := c.Outcome
-			if o.Failed {
-				s.Failed = true
-				s.FailReason = o.FailReason
-				continue
-			}
-			if s.Note == "" {
-				s.Note = o.Note
-			}
-			for _, m := range rep.Metrics {
-				if v, ok := o.Values[m.Name]; ok {
-					values[m.Name] = append(values[m.Name], v)
-				}
-			}
-			n++
-		}
-		if n > 0 {
-			s.Failed = false
-			s.FailReason = ""
-			for _, m := range rep.Metrics {
-				if vs := values[m.Name]; len(vs) > 0 {
-					s.Metrics[m.Name] = stats.Summarize(vs)
-				}
-			}
-			// The coverage note is a group property: derive it from the
-			// mean across replicas (as the legacy serial reports did), not
-			// from whichever replica happened to carry a note.
-			if cov, ok := s.Metrics[MetricCoverage]; ok && cov.N > 0 && cov.Mean < 0.999 {
-				s.Note = fmt.Sprintf("does not access entire dataset (%.0f%%)", 100*cov.Mean)
-			}
-		}
-		out = append(out, s)
+		out = append(out, summarizeGroup(rep.Metrics, k.scenario, k.policy, k.profile, groups[k]))
 	}
 	return out
 }

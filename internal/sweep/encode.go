@@ -26,6 +26,36 @@ func WriteJSON(w io.Writer, rep *Report) error {
 	return enc.Encode(jsonReport{Report: rep, Summaries: rep.Aggregate()})
 }
 
+// csvHeader builds the summary-CSV header row for the schema.
+func csvHeader(hasProfiles bool, metrics []Metric) []string {
+	header := []string{"grid", "scenario", "policy"}
+	if hasProfiles {
+		header = append(header, "profile")
+	}
+	header = append(header, "replicas", "failed", "fail_reason", "note")
+	for _, m := range metrics {
+		header = append(header,
+			m.Name+"_mean", m.Name+"_median", m.Name+"_ci_lo", m.Name+"_ci_hi")
+	}
+	return header
+}
+
+// csvRow builds one summary's CSV row.
+func csvRow(grid string, hasProfiles bool, metrics []Metric, s Summary) []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := []string{grid, s.Scenario, s.Policy}
+	if hasProfiles {
+		row = append(row, s.Profile)
+	}
+	row = append(row, strconv.Itoa(s.Replicas),
+		strconv.FormatBool(s.Failed), s.FailReason, s.Note)
+	for _, m := range metrics {
+		sm := s.Metrics[m.Name]
+		row = append(row, f(sm.Mean), f(sm.Median), f(sm.CILow), f(sm.CIHigh))
+	}
+	return row
+}
+
 // WriteCSV emits one row per aggregated (scenario, policy, profile)
 // summary, with four columns (mean, median, 95% CI bounds) per schema
 // metric. The profile column appears only when the grid declares a
@@ -33,31 +63,11 @@ func WriteJSON(w io.Writer, rep *Report) error {
 func WriteCSV(w io.Writer, rep *Report) error {
 	cw := csv.NewWriter(w)
 	hasProfiles := len(rep.Profiles) > 0
-	header := []string{"grid", "scenario", "policy"}
-	if hasProfiles {
-		header = append(header, "profile")
-	}
-	header = append(header, "replicas", "failed", "fail_reason", "note")
-	for _, m := range rep.Metrics {
-		header = append(header,
-			m.Name+"_mean", m.Name+"_median", m.Name+"_ci_lo", m.Name+"_ci_hi")
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(csvHeader(hasProfiles, rep.Metrics)); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, s := range rep.Aggregate() {
-		row := []string{rep.Grid, s.Scenario, s.Policy}
-		if hasProfiles {
-			row = append(row, s.Profile)
-		}
-		row = append(row, strconv.Itoa(s.Replicas),
-			strconv.FormatBool(s.Failed), s.FailReason, s.Note)
-		for _, m := range rep.Metrics {
-			sm := s.Metrics[m.Name]
-			row = append(row, f(sm.Mean), f(sm.Median), f(sm.CILow), f(sm.CIHigh))
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(csvRow(rep.Grid, hasProfiles, rep.Metrics, s)); err != nil {
 			return err
 		}
 	}
@@ -79,19 +89,75 @@ func RowLabel(policy, profile string) string {
 	return policy + " @" + profile
 }
 
+// visibleMetrics filters the schema down to text-report columns.
+func visibleMetrics(metrics []Metric) []Metric {
+	var visible []Metric
+	for _, m := range metrics {
+		if !m.Hide {
+			visible = append(visible, m)
+		}
+	}
+	return visible
+}
+
+// textVal formats one metric value with its unit.
+func textVal(m Metric, v float64) string {
+	return fmt.Sprintf("%.3f%s", v, m.Unit)
+}
+
+// textBlockHeader writes one scenario block's title and column header.
+func textBlockHeader(w io.Writer, scenario, label string, visible []Metric, multi bool) error {
+	title := scenario
+	if label != "" {
+		title = fmt.Sprintf("%s: %s", scenario, label)
+	}
+	if _, err := fmt.Fprintf(w, "== %s ==\n", title); err != nil {
+		return err
+	}
+	var head strings.Builder
+	fmt.Fprintf(&head, "%-20s", "policy")
+	for i, m := range visible {
+		fmt.Fprintf(&head, " %*s", textColWidth, m.label())
+		if i == 0 && multi {
+			fmt.Fprintf(&head, " %*s", 2*textColWidth+3, "95% CI")
+		}
+	}
+	_, err := fmt.Fprintln(w, head.String()+"  notes")
+	return err
+}
+
+// textRow writes one summary row of a scenario block.
+func textRow(w io.Writer, s Summary, visible []Metric, multi bool) error {
+	var row strings.Builder
+	fmt.Fprintf(&row, "%-20s", RowLabel(s.Policy, s.Profile))
+	for i, m := range visible {
+		cell := "-"
+		ci := "-"
+		if !s.Failed {
+			sm := s.Metrics[m.Name]
+			cell = textVal(m, sm.Mean)
+			ci = fmt.Sprintf("[%s, %s]", textVal(m, sm.CILow), textVal(m, sm.CIHigh))
+		}
+		fmt.Fprintf(&row, " %*s", textColWidth, cell)
+		if i == 0 && multi {
+			fmt.Fprintf(&row, " %*s", 2*textColWidth+3, ci)
+		}
+	}
+	notes := s.Note
+	if s.Failed {
+		notes = s.FailReason
+	}
+	_, err := fmt.Fprintln(w, row.String()+"  "+notes)
+	return err
+}
+
 // WriteText renders the report in the repo's bar-chart style: one block per
 // scenario, one row per policy, one column per visible schema metric, with a
 // ±CI column on the first metric when the grid ran more than one replica.
 func WriteText(w io.Writer, rep *Report) error {
 	summaries := rep.Aggregate()
 	multi := rep.Replicas > 1
-
-	var visible []Metric
-	for _, m := range rep.Metrics {
-		if !m.Hide {
-			visible = append(visible, m)
-		}
-	}
+	visible := visibleMetrics(rep.Metrics)
 
 	var scenarios []string
 	seen := map[string]bool{}
@@ -101,50 +167,17 @@ func WriteText(w io.Writer, rep *Report) error {
 			scenarios = append(scenarios, s.Scenario)
 		}
 	}
-	val := func(m Metric, v float64) string {
-		return fmt.Sprintf("%.3f%s", v, m.Unit)
-	}
 	for _, sc := range scenarios {
-		title := sc
-		if label := rep.Labels[sc]; label != "" {
-			title = fmt.Sprintf("%s: %s", sc, label)
-		}
-		if _, err := fmt.Fprintf(w, "== %s ==\n", title); err != nil {
+		if err := textBlockHeader(w, sc, rep.Labels[sc], visible, multi); err != nil {
 			return err
 		}
-		var head strings.Builder
-		fmt.Fprintf(&head, "%-20s", "policy")
-		for i, m := range visible {
-			fmt.Fprintf(&head, " %*s", textColWidth, m.label())
-			if i == 0 && multi {
-				fmt.Fprintf(&head, " %*s", 2*textColWidth+3, "95% CI")
-			}
-		}
-		fmt.Fprintln(w, head.String()+"  notes")
 		for _, s := range summaries {
 			if s.Scenario != sc {
 				continue
 			}
-			var row strings.Builder
-			fmt.Fprintf(&row, "%-20s", RowLabel(s.Policy, s.Profile))
-			for i, m := range visible {
-				cell := "-"
-				ci := "-"
-				if !s.Failed {
-					sm := s.Metrics[m.Name]
-					cell = val(m, sm.Mean)
-					ci = fmt.Sprintf("[%s, %s]", val(m, sm.CILow), val(m, sm.CIHigh))
-				}
-				fmt.Fprintf(&row, " %*s", textColWidth, cell)
-				if i == 0 && multi {
-					fmt.Fprintf(&row, " %*s", 2*textColWidth+3, ci)
-				}
+			if err := textRow(w, s, visible, multi); err != nil {
+				return err
 			}
-			notes := s.Note
-			if s.Failed {
-				notes = s.FailReason
-			}
-			fmt.Fprintln(w, row.String()+"  "+notes)
 		}
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err

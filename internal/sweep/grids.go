@@ -67,7 +67,11 @@ func SimOutcome(r *isim.Result) *Outcome {
 // simulator configuration for the seed, stamp the cell's fault profile onto
 // it, build a fresh policy, and simulate. The implicit fault-free profile is
 // the zero value, leaving the configuration untouched.
-func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec) CellFunc {
+//
+// With a memo, the cell first consults it under the configuration's content
+// digest: equal digests imply bit-identical simulator inputs, so a hit
+// replays the cached outcome without simulating (incremental re-simulation).
+func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec, memo *ResultMemo) CellFunc {
 	return func(ctx context.Context, seed uint64) (*Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -77,6 +81,13 @@ func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec) CellFunc {
 			return nil, err
 		}
 		cfg.Chaos = prof.Profile
+		var key memoKey
+		if memo != nil {
+			key = memoKey{digest: cfg.Digest(), policy: p.Name}
+			if out, ok := memo.get(key); ok {
+				return out, nil
+			}
+		}
 		pol := p.New()
 		if pol == nil {
 			return nil, fmt.Errorf("policy %q constructor returned nil", p.Name)
@@ -85,7 +96,11 @@ func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec) CellFunc {
 		if err != nil {
 			return nil, err
 		}
-		return SimOutcome(r), nil
+		out := SimOutcome(r)
+		if memo != nil {
+			memo.put(key, out)
+		}
+		return out, nil
 	}
 }
 

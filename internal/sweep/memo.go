@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"container/list"
+	"sync"
+
+	isim "repro/internal/sim"
+)
+
+// memoKey identifies one simulator cell outcome. The config digest folds
+// every input the simulator reads — access plan (seed included), system and
+// workload specs, dataset sizer, jitter, and the chaos profile — so equal
+// keys imply bit-identical Results; the policy name distinguishes the one
+// remaining axis.
+type memoKey struct {
+	digest uint64
+	policy string
+}
+
+// ResultMemo is a size-bounded, concurrency-safe cache of simulator cell
+// outcomes for incremental re-simulation: re-running a sweep after changing
+// one knob only simulates the cells whose configuration digest actually
+// changed; every untouched cell replays from the memo. Eviction is LRU by
+// approximate payload bytes.
+//
+// Cached outcomes are shared by pointer: callers must treat memoised Results
+// as read-only, which every presenter in this repo already does. The memo is
+// strictly opt-in (Runner.Memo is nil by default), so default runs keep
+// executing every cell.
+type ResultMemo struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[memoKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+// memoEntry is one LRU node.
+type memoEntry struct {
+	key   memoKey
+	out   *Outcome
+	bytes int64
+}
+
+// NewResultMemo builds a memo bounded to approximately maxBytes of cached
+// payload. maxBytes <= 0 selects a 64 MB default.
+func NewResultMemo(maxBytes int64) *ResultMemo {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &ResultMemo{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[memoKey]*list.Element{},
+	}
+}
+
+// get returns the cached outcome for the key, if any, marking it recently
+// used.
+func (m *ResultMemo) get(k memoKey) (*Outcome, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[k]; ok {
+		m.ll.MoveToFront(el)
+		m.hits++
+		return el.Value.(*memoEntry).out, true
+	}
+	m.misses++
+	return nil, false
+}
+
+// put inserts an outcome, evicting least-recently-used entries to stay
+// within the byte bound. Entries larger than the whole bound are not cached.
+func (m *ResultMemo) put(k memoKey, out *Outcome) {
+	sz := outcomeBytes(out)
+	if sz > m.maxBytes {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[k]; ok {
+		// Deterministic cells produce identical outcomes for identical
+		// keys; keep the incumbent and refresh recency.
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.items[k] = m.ll.PushFront(&memoEntry{key: k, out: out, bytes: sz})
+	m.bytes += sz
+	for m.bytes > m.maxBytes {
+		el := m.ll.Back()
+		if el == nil {
+			break
+		}
+		e := m.ll.Remove(el).(*memoEntry)
+		delete(m.items, e.key)
+		m.bytes -= e.bytes
+	}
+}
+
+// Len returns the number of cached outcomes.
+func (m *ResultMemo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Bytes returns the approximate cached payload size.
+func (m *ResultMemo) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Stats returns the lifetime hit/miss counters.
+func (m *ResultMemo) Stats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// outcomeBytes approximates the resident size of a cached outcome: the
+// simulator payload's variable-length series plus fixed overhead for the
+// structs and the metric map.
+func outcomeBytes(o *Outcome) int64 {
+	const fixed = 512
+	sz := int64(fixed)
+	sz += int64(len(o.Values)) * 48
+	sz += int64(len(o.FailReason) + len(o.Note))
+	if r, ok := o.Payload.(*isim.Result); ok && r != nil {
+		sz += int64(len(r.EpochSeconds)+len(r.BatchSeconds)) * 8
+	}
+	return sz
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	isim "repro/internal/sim"
+)
+
+// memoGrid is a small simulator grid for memoisation tests: one Fig. 8
+// panel × three policies × two replicas, with a compute-rate knob so tests
+// can turn exactly one axis of the configuration.
+func memoGrid(t *testing.T, computeScale float64) *Grid {
+	t.Helper()
+	s, err := isim.ScenarioByID("fig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := ScenarioSpec{
+		ID: "fig8a", Label: s.Label,
+		Config: func(seed uint64) (isim.Config, error) {
+			cfg, err := s.Config(testScale, seed)
+			if err != nil {
+				return isim.Config{}, err
+			}
+			cfg.Work.ComputeMBps *= computeScale
+			return cfg, nil
+		},
+	}
+	return &Grid{
+		Name:      "memo",
+		Scenarios: []ScenarioSpec{row},
+		Policies:  AllPolicySpecs()[:3],
+		Replicas:  2, BaseSeed: 5,
+	}
+}
+
+// TestMemoIncrementalResweep is the incremental re-simulation acceptance
+// probe, mirroring access.ShuffleCount: a warm re-run of an unchanged grid
+// performs zero simulations and reproduces the report byte for byte; after
+// turning one knob, only the changed cells simulate.
+func TestMemoIncrementalResweep(t *testing.T) {
+	memo := NewResultMemo(0)
+	r := &Runner{Parallel: 4, Memo: memo}
+	g := memoGrid(t, 1)
+
+	before := isim.SimulateCount()
+	cold, err := r.Run(bg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != int64(g.Size()) {
+		t.Fatalf("cold run simulated %d cells, want %d", n, g.Size())
+	}
+
+	before = isim.SimulateCount()
+	warm, err := r.Run(bg, memoGrid(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != 0 {
+		t.Fatalf("warm re-run simulated %d cells, want 0", n)
+	}
+	var coldB, warmB bytes.Buffer
+	if err := WriteJSON(&coldB, cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&warmB, warm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldB.Bytes(), warmB.Bytes()) {
+		t.Fatal("memoised report differs from the cold report")
+	}
+
+	// One-knob re-run: scaling the compute rate changes every cell of this
+	// single-scenario grid, so everything re-simulates — and a second run at
+	// the new knob is again fully memoised alongside the old entries.
+	before = isim.SimulateCount()
+	if _, err := r.Run(bg, memoGrid(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != int64(g.Size()) {
+		t.Fatalf("changed grid simulated %d cells, want %d", n, g.Size())
+	}
+	before = isim.SimulateCount()
+	if _, err := r.Run(bg, memoGrid(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != 0 {
+		t.Fatalf("re-run at new knob simulated %d cells, want 0", n)
+	}
+}
+
+// TestMemoPartialInvalidation: a two-scenario grid where the re-run changes
+// only one row must re-simulate exactly that row's cells.
+func TestMemoPartialInvalidation(t *testing.T) {
+	build := func(scale float64) *Grid {
+		g := memoGrid(t, 1)
+		changed := memoGrid(t, scale)
+		changed.Scenarios[0].ID = "fig8a-knob"
+		g.Scenarios = append(g.Scenarios, changed.Scenarios[0])
+		return g
+	}
+	memo := NewResultMemo(0)
+	r := &Runner{Parallel: 2, Memo: memo}
+	if _, err := r.Run(bg, build(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	before := isim.SimulateCount()
+	if _, err := r.Run(bg, build(3)); err != nil {
+		t.Fatal(err)
+	}
+	perRow := 3 * 2 // policies × replicas
+	if n := isim.SimulateCount() - before; n != int64(perRow) {
+		t.Fatalf("one-knob re-run simulated %d cells, want %d (the changed row only)", n, perRow)
+	}
+}
+
+// TestMemoOffByDefault: without Runner.Memo every run simulates every cell —
+// memoisation must never silently activate.
+func TestMemoOffByDefault(t *testing.T) {
+	r := &Runner{Parallel: 2}
+	g := memoGrid(t, 1)
+	if _, err := r.Run(bg, g); err != nil {
+		t.Fatal(err)
+	}
+	before := isim.SimulateCount()
+	if _, err := r.Run(bg, memoGrid(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != int64(g.Size()) {
+		t.Fatalf("memo-less re-run simulated %d cells, want %d", n, g.Size())
+	}
+}
+
+// TestMemoEviction: the byte bound holds under pressure and evicts least
+// recently used entries first.
+func TestMemoEviction(t *testing.T) {
+	memo := NewResultMemo(4096) // a handful of outcomes at most
+	r := &Runner{Parallel: 1, Memo: memo}
+	for scale := 1; scale <= 6; scale++ {
+		if _, err := r.Run(bg, memoGrid(t, float64(scale))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if memo.Bytes() > 4096 {
+		t.Errorf("memo holds %d bytes, bound 4096", memo.Bytes())
+	}
+	if memo.Len() == 0 {
+		t.Error("memo evicted everything; bound too tight for even one outcome")
+	}
+	hits, misses := memo.Stats()
+	if misses == 0 {
+		t.Error("expected misses under eviction pressure")
+	}
+	t.Logf("memo after pressure: %d entries, %d bytes, %d hits, %d misses",
+		memo.Len(), memo.Bytes(), hits, misses)
+}
+
+// TestMemoCustomBindingUnaffected: grids with a custom Cell binding must
+// execute every cell even with a memo installed.
+func TestMemoCustomBindingUnaffected(t *testing.T) {
+	ran := 0
+	g := funcGrid(2)
+	inner := g.Cell
+	g.Cell = func(si, pi, fi int) CellFunc {
+		fn := inner(si, pi, fi)
+		return func(ctx context.Context, seed uint64) (*Outcome, error) {
+			ran++
+			return fn(ctx, seed)
+		}
+	}
+	r := &Runner{Parallel: 1, Memo: NewResultMemo(0)}
+	if err := r.RunStream(bg, g, &funcAggregator{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunStream(bg, g, &funcAggregator{}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2*g.Size() {
+		t.Errorf("custom-binding cells ran %d times, want %d", ran, 2*g.Size())
+	}
+}

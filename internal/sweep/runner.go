@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	isim "repro/internal/sim"
 )
@@ -14,6 +13,11 @@ import (
 type Runner struct {
 	// Parallel is the worker count; values below 1 mean GOMAXPROCS.
 	Parallel int
+	// Memo, when non-nil, caches simulator cell outcomes across runs keyed
+	// by the cell's full configuration digest (see ResultMemo). It applies
+	// only to the default simulator binding; grids with a custom Cell
+	// binding always execute. Nil (the default) disables memoisation.
+	Memo *ResultMemo
 }
 
 // workers returns the effective pool width for a grid of n cells.
@@ -64,80 +68,22 @@ type Report struct {
 // a pure function of the grid (for deterministic cells): identical at any
 // Parallel setting. Canceling ctx stops dispatching cells, propagates into
 // running cells, and returns ctx's error.
+//
+// Run is the in-memory special case of RunStream: a collecting aggregator
+// retains every cell. Grids too large to hold their results should use
+// RunStream with streaming encoders instead.
 func (r *Runner) Run(ctx context.Context, g *Grid) (*Report, error) {
-	if err := g.Validate(); err != nil {
+	col := &reportCollector{parallel: r.Parallel}
+	if err := r.RunStream(ctx, g, col); err != nil {
 		return nil, err
 	}
-	cells := g.Cells()
-	results := make([]CellResult, len(cells))
-	errs := make([]error, len(cells))
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < r.workers(len(cells)); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
-				}
-				out, err := runCell(ctx, g, cells[i])
-				results[i] = CellResult{Cell: cells[i], Outcome: out}
-				errs[i] = err
-			}
-		}()
-	}
-dispatch:
-	for i := range cells {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Cancellation trumps per-cell failures: a torn-down grid reports the
-	// context error, not whichever cell the teardown interrupted.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// Surface the lowest-index error so the failure reported is itself
-	// deterministic.
-	for i, err := range errs {
-		if err != nil {
-			c := cells[i]
-			label := c.Scenario + "/" + c.Policy
-			if c.Profile != "" {
-				label += "/" + c.Profile
-			}
-			return nil, fmt.Errorf("sweep: grid %q cell %s replica %d: %w",
-				g.Name, label, c.Replica, err)
-		}
-	}
-	labels := map[string]string{}
-	for _, s := range g.Scenarios {
-		if s.Label != "" {
-			labels[s.ID] = s.Label
-		}
-	}
-	var profiles []string
-	for _, p := range g.Profiles {
-		profiles = append(profiles, p.Name)
-	}
-	return &Report{
-		Grid: g.Name, Parallel: r.Parallel, Replicas: g.replicas(),
-		BaseSeed: g.BaseSeed, Profiles: profiles, Metrics: g.metrics(), Labels: labels,
-		Cells: results,
-	}, nil
+	return col.rep, nil
 }
 
-// runCell resolves and executes one cell.
-func runCell(ctx context.Context, g *Grid, c Cell) (*Outcome, error) {
-	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx, c.ProfileIdx)
+// runCell resolves and executes one cell, consulting the runner's memo for
+// simulator cells.
+func runCell(ctx context.Context, r *Runner, g *Grid, c Cell) (*Outcome, error) {
+	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx, c.ProfileIdx, r.Memo)
 	if err != nil {
 		return nil, err
 	}

@@ -288,8 +288,9 @@ func (g *Grid) Cells() []Cell {
 
 // cellFunc resolves the executable cell for (scenario, policy, profile)
 // indices, applying the simulator default when the grid carries no custom
-// binding.
-func (g *Grid) cellFunc(si, pi, fi int) (CellFunc, error) {
+// binding. The memo applies only to the simulator default: custom bindings
+// may close over live resources the memo cannot key.
+func (g *Grid) cellFunc(si, pi, fi int, memo *ResultMemo) (CellFunc, error) {
 	if g.Cell != nil {
 		fn := g.Cell(si, pi, fi)
 		if fn == nil {
@@ -298,7 +299,7 @@ func (g *Grid) cellFunc(si, pi, fi int) (CellFunc, error) {
 		}
 		return fn, nil
 	}
-	return simCellFunc(g.Scenarios[si], g.Policies[pi], g.profiles()[fi]), nil
+	return simCellFunc(g.Scenarios[si], g.Policies[pi], g.profiles()[fi], memo), nil
 }
 
 // Validate reports whether the grid is runnable.

@@ -57,6 +57,16 @@ type (
 	Report = sweep.Report
 	// Summary is the per-(scenario, policy) replica aggregate.
 	Summary = sweep.Summary
+	// CellResult pairs one grid cell with its outcome.
+	CellResult = sweep.CellResult
+	// Aggregator consumes a grid execution incrementally (Runner.RunStream):
+	// giant grids stream through encoders without holding every Result.
+	Aggregator = sweep.Aggregator
+	// AggregatorMeta describes a grid execution to aggregators up front.
+	AggregatorMeta = sweep.Meta
+	// ResultMemo caches simulator cell outcomes by configuration digest for
+	// incremental re-simulation (Runner.Memo).
+	ResultMemo = sweep.ResultMemo
 )
 
 // Simulator metric names: the keys of the default schema's Outcome.Values
@@ -124,6 +134,15 @@ var (
 	WriteJSON = sweep.WriteJSON
 	WriteCSV  = sweep.WriteCSV
 	WriteText = sweep.WriteText
+	// NewJSONAggregator / NewCSVAggregator / NewTextAggregator stream the
+	// same bytes as the Report encoders above through Runner.RunStream,
+	// holding only the open summary group in memory.
+	NewJSONAggregator = sweep.NewJSONAggregator
+	NewCSVAggregator  = sweep.NewCSVAggregator
+	NewTextAggregator = sweep.NewTextAggregator
+	// NewResultMemo builds a size-bounded cell-outcome cache for
+	// incremental re-simulation.
+	NewResultMemo = sweep.NewResultMemo
 )
 
 // RunScenario simulates every policy on one panel through the sweep engine
