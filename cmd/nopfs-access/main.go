@@ -1,75 +1,16 @@
-// nopfs-access demonstrates the access-pattern analysis of paper Sec. 3:
-// the per-worker access-frequency distribution (Fig. 3), the analytic
-// binomial heavy-hitter estimate versus the measured count, and a Lemma 1
-// check on the generated plan.
+// nopfs-access demonstrates the access-pattern analysis of paper Sec. 3.
 //
-// Usage:
-//
-//	nopfs-access                        # Fig. 3 defaults (N=16, E=90)
-//	nopfs-access -f 1281167 -n 16 -e 90 # paper-scale (slower)
+// Deprecated: nopfs-access is a compatibility shim over `nopfs access` (see
+// cmd/nopfs); both produce byte-identical output. New scripts should invoke
+// the subcommand form.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
-	"repro/internal/access"
-	"repro/internal/stats"
+	"repro/internal/cli"
 )
 
 func main() {
-	f := flag.Int("f", 100000, "dataset size F (paper Fig. 3 uses 1,281,167)")
-	n := flag.Int("n", 16, "workers N")
-	e := flag.Int("e", 90, "epochs E")
-	seed := flag.Uint64("seed", 42, "shuffle seed")
-	delta := flag.Float64("delta", 0.8, "heavy-hitter threshold factor δ")
-	flag.Parse()
-
-	// Ctrl-C / SIGTERM cancels the run context; the analysis stages below
-	// are pure compute, so cancellation is honoured between stages.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	interrupted := func() {
-		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "nopfs-access: interrupted")
-			os.Exit(130)
-		}
-	}
-
-	plan := &access.Plan{Seed: *seed, F: *f, N: *n, E: *e, BatchPerWorker: 4, DropLast: true}
-	if err := plan.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "nopfs-access:", err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("Fig. 3: access frequency for worker 0 of %d, %d epochs, F=%d\n\n", *n, *e, *f)
-	freq := plan.WorkerFrequencies(0)
-	hist := access.FrequencyHistogram(freq)
-	fmt.Print(hist.String())
-
-	interrupted()
-	r := access.HeavyHitters(plan, 0, *delta)
-	fmt.Printf("\nmean accesses per worker        mu = E/N = %.3f\n", r.Mu)
-	fmt.Printf("heavy hitters: accessed more than %d times ((1+%.1f)*mu)\n", r.Threshold, *delta)
-	fmt.Printf("  analytic  F*P(X > %d), X~Binomial(%d, 1/%d): %.0f\n", r.Threshold, *e, *n, r.Analytic)
-	fmt.Printf("  measured from the actual shuffles:           %d\n", r.Measured)
-	fmt.Printf("  (paper, at F=1,281,167: analytic 31,635 vs measured 31,863)\n")
-
-	interrupted()
-	fmt.Printf("\nLemma 1 verification over all %d samples:\n", *f)
-	freqs := plan.Frequencies()
-	for _, d := range []float64{0.25, 0.5, 1.0} {
-		v := access.Lemma1Violations(freqs, *e, d)
-		fmt.Printf("  delta=%.2f: %d violations\n", d, v)
-	}
-	if k, tot := access.TotalAccessInvariant(plan, freqs); k >= 0 {
-		fmt.Printf("  INVARIANT BROKEN: sample %d accessed %d times\n", k, tot)
-		os.Exit(1)
-	}
-	fmt.Printf("  every sample accessed exactly once per epoch: ok\n")
-	_ = stats.BinomialMean // keep the analytic package linked explicitly
+	os.Exit(cli.RunAccess("nopfs-access", os.Args[1:], os.Stdout, os.Stderr))
 }

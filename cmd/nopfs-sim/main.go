@@ -1,235 +1,16 @@
-// nopfs-sim runs the paper's I/O performance simulator (Sec. 6): the Fig. 8
-// policy comparison across dataset/storage regimes, the Fig. 9 environment
-// sweep, the NoPFS design ablation, and the Table 1 framework summary. All
-// simulation modes execute through the concurrent sweep engine.
+// nopfs-sim runs the paper's I/O performance simulator.
 //
-// Usage:
-//
-//	nopfs-sim -scenario fig8b                      # one Fig. 8 panel
-//	nopfs-sim -all                                 # all six panels
-//	nopfs-sim -sweep                               # Fig. 9 environment study
-//	nopfs-sim -ablation                            # NoPFS design ablation
-//	nopfs-sim -table1                              # Table 1 characteristics
-//	nopfs-sim -all -parallel 8 -replicas 5         # 8-wide pool, 5 seeds/cell
-//	nopfs-sim -all -format json                    # structured output
-//	nopfs-sim -all -scale 1                        # paper-scale datasets (slow)
-//	nopfs-sim -scenario fig8d -chaos straggler     # inject a fault profile
-//	nopfs-sim -all -chaos "tier:0x4@1,drop:0.05"   # custom fault spec
+// Deprecated: nopfs-sim is a compatibility shim over `nopfs sim` (see
+// cmd/nopfs); both produce byte-identical output. New scripts should invoke
+// the subcommand form.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"io"
 	"os"
-	"os/signal"
-	"strings"
-	"syscall"
 
-	"repro/internal/chaos"
-	"repro/internal/profiling"
-	"repro/internal/sweep"
-	"repro/sim"
+	"repro/internal/cli"
 )
 
 func main() {
-	scenario := flag.String("scenario", "", "Fig. 8 panel id (fig8a..fig8f) or dataset name")
-	all := flag.Bool("all", false, "run every Fig. 8 panel")
-	sweepFlag := flag.Bool("sweep", false, "run the Fig. 9 environment sweep")
-	ablation := flag.Bool("ablation", false, "run the NoPFS design ablation")
-	table1 := flag.Bool("table1", false, "print the Table 1 framework comparison")
-	scale := flag.Float64("scale", 0.02, "dataset/capacity scale (1 = paper size)")
-	seed := flag.Uint64("seed", 42, "training PRNG seed")
-	parallel := flag.Int("parallel", 0, "sweep-engine goroutine pool width (0 = GOMAXPROCS)")
-	replicas := flag.Int("replicas", 1, "replica seeds per (scenario, policy) cell")
-	format := flag.String("format", "text", "output format: text, json, or csv")
-	chaosSpec := flag.String("chaos", "", "fault profile: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a spec like \"straggler:1x2@1,tier:0x4,drop:0.05\"; adds a clean-vs-faulted profile axis to the grid")
-	stream := flag.Bool("stream", false, "stream output incrementally as cells finish (same bytes as the buffered encoders; -sweep text uses the generic table instead of the RAM x SSD matrix)")
-	var prof profiling.Flags
-	prof.Register(flag.CommandLine)
-	flag.Parse()
-
-	switch *format {
-	case "text", "json", "csv":
-	default:
-		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
-	}
-	profiles, err := sweep.ChaosAxis(*chaosSpec)
-	if err != nil {
-		fatal(err)
-	}
-	// Profile collectors run for the whole invocation. fatal's os.Exit skips
-	// the finalizer, so error paths leave truncated profiles — fine for a
-	// diagnostics flag; success paths get complete files.
-	stopProf, err := prof.Start()
-	if err != nil {
-		fatal(err)
-	}
-	runner := &sim.Runner{Parallel: *parallel}
-	// Ctrl-C / SIGTERM cancels the run context: in-flight grids abort
-	// promptly instead of finishing the sweep.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	switch {
-	case *table1:
-		printTable1()
-	case *sweepFlag:
-		runSweep(ctx, runner, *scale, *seed, *replicas, *format, profiles, *stream)
-	case *ablation:
-		grid := sim.AblationGrid(*scale, *seed, *replicas)
-		grid.Profiles = profiles
-		emit(ctx, runner, grid, *format, *stream)
-	case *all:
-		grid := sim.Fig8Grid(*scale, *seed, *replicas)
-		grid.Profiles = profiles
-		emit(ctx, runner, grid, *format, *stream)
-	case *scenario != "":
-		s, err := sim.ScenarioByID(*scenario)
-		if err != nil {
-			fatal(err)
-		}
-		grid := sim.ScenarioGrid(s, *scale, *seed, *replicas)
-		grid.Profiles = profiles
-		emit(ctx, runner, grid, *format, *stream)
-	default:
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := stopProf(); err != nil {
-		fatal(err)
-	}
-}
-
-// emit runs the grid and writes it in the requested format. With -stream the
-// grid flows through the incremental encoders — identical bytes, but only a
-// bounded window of results resident at once.
-func emit(ctx context.Context, runner *sim.Runner, grid *sim.Grid, format string, stream bool) {
-	if stream {
-		if err := runner.RunStream(ctx, grid, aggregatorFor(os.Stdout, format)); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	rep, err := runner.Run(ctx, grid)
-	if err != nil {
-		fatal(err)
-	}
-	if err := write(os.Stdout, rep, format); err != nil {
-		fatal(err)
-	}
-}
-
-// aggregatorFor picks the streaming encoder for a format.
-func aggregatorFor(w io.Writer, format string) sim.Aggregator {
-	switch format {
-	case "json":
-		return sim.NewJSONAggregator(w)
-	case "csv":
-		return sim.NewCSVAggregator(w)
-	default:
-		return sim.NewTextAggregator(w)
-	}
-}
-
-// write encodes one report.
-func write(w io.Writer, rep *sim.Report, format string) error {
-	switch format {
-	case "json":
-		return sim.WriteJSON(w, rep)
-	case "csv":
-		return sim.WriteCSV(w, rep)
-	default:
-		return sim.WriteText(w, rep)
-	}
-}
-
-// runSweep renders the Fig. 9 study: environment grid plus staging
-// preliminary as one engine run, so json/csv emit a single document and
-// every format honours -replicas. Text mode keeps the legacy RAM × SSD
-// matrix, with means when the grid ran multiple seeds per cell; with a
-// fault-profile axis — or under -stream, which cannot buffer the whole
-// grid — it falls back to the generic per-profile table (the matrix has
-// one cell per scenario).
-func runSweep(ctx context.Context, runner *sim.Runner, scale float64, seed uint64, replicas int, format string, profiles []sweep.ProfileSpec, stream bool) {
-	grid := sim.Fig9FullGrid(scale, seed, replicas)
-	grid.Profiles = profiles
-	if stream {
-		if err := runner.RunStream(ctx, grid, aggregatorFor(os.Stdout, format)); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	rep, err := runner.Run(ctx, grid)
-	if err != nil {
-		fatal(err)
-	}
-	if format != "text" || len(profiles) > 0 {
-		if err := write(os.Stdout, rep, format); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	byID := map[string]sim.Summary{}
-	for _, s := range rep.Aggregate() {
-		byID[s.Scenario] = s
-	}
-	title := "Fig. 9: ImageNet-22k, NoPFS, 5x compute, 5 GB staging buffer"
-	if rep.Replicas > 1 {
-		title += fmt.Sprintf(" (mean of %d seeds)", rep.Replicas)
-	}
-	fmt.Println(title)
-	rams, ssds := sim.Fig9Axes()
-	fmt.Printf("exec seconds by RAM (rows) x SSD (cols), GB:\n%8s", "")
-	for _, ssd := range ssds {
-		fmt.Printf("%10d", ssd)
-	}
-	fmt.Println()
-	for _, ram := range rams {
-		fmt.Printf("%8d", ram)
-		for _, ssd := range ssds {
-			fmt.Printf("%10.1f", byID[sim.Fig9CellID(ram, ssd)].Metric(sim.MetricExec).Mean)
-		}
-		fmt.Println()
-	}
-	fmt.Println("\nstaging-buffer preliminary (runtime vs staging GB, RAM=32, no SSD):")
-	for _, gb := range sim.Fig9StagingSizes() {
-		fmt.Printf("  %d GB: %.1fs\n", gb, byID[sim.Fig9StagingID(gb)].Metric(sim.MetricExec).Mean)
-	}
-}
-
-// printTable1 reproduces Table 1: the qualitative capabilities of each
-// approach.
-func printTable1() {
-	type row struct {
-		name                                         string
-		sysScale, dataScale, fullRand, hwIndep, easy bool
-	}
-	rows := []row{
-		{"Double-buffering (PyTorch)", false, true, true, false, true},
-		{"tf.data", false, true, false, false, true},
-		{"Data sharding", true, false, false, false, true},
-		{"DeepIO", true, false, false, false, true},
-		{"LBANN data store", true, false, true, false, false},
-		{"Locality-aware loading", true, true, true, false, false},
-		{"NoPFS (this work)", true, true, true, true, true},
-	}
-	mark := func(b bool) string {
-		if b {
-			return "yes"
-		}
-		return "no"
-	}
-	fmt.Printf("%-28s %10s %10s %10s %10s %8s\n",
-		"approach", "sys-scale", "data-scale", "full-rand", "hw-indep", "easy")
-	for _, r := range rows {
-		fmt.Printf("%-28s %10s %10s %10s %10s %8s\n",
-			r.name, mark(r.sysScale), mark(r.dataScale), mark(r.fullRand), mark(r.hwIndep), mark(r.easy))
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nopfs-sim:", err)
-	os.Exit(1)
+	os.Exit(cli.RunSim("nopfs-sim", os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,332 +1,16 @@
-// nopfs-train reproduces the paper's real-system evaluation (Sec. 7) on the
-// simulated Piz Daint and Lassen machines: scaling studies (Figs. 10, 14,
-// 15), epoch-0 behaviour (Fig. 11), NoPFS cache statistics (Fig. 12), the
-// batch-size sweep (Fig. 13), and the end-to-end 90-epoch run (Fig. 16).
-// Every figure's (machine × loader × GPU count × replica seed) grid executes
-// through the concurrent sweep engine, so output is bit-identical at any
-// -parallel width.
+// nopfs-train reproduces the paper's real-system evaluation figures.
 //
-// Usage:
-//
-//	nopfs-train -fig 10                     # ImageNet-1k scaling, both machines
-//	nopfs-train -fig 10 -parallel 8         # same bytes, 8-wide pool
-//	nopfs-train -fig 10 -replicas 5         # 5 seeds per cell, mean/CI tables
-//	nopfs-train -fig 12 -format csv         # structured output
-//	nopfs-train -fig 14 -gpus 32,64         # trim the GPU-count axis
-//	nopfs-train -fig 16 -scale 0.1          # end-to-end accuracy vs time
+// Deprecated: nopfs-train is a compatibility shim over `nopfs train` (see
+// cmd/nopfs); both produce byte-identical output. New scripts should invoke
+// the subcommand form.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
-	"io"
 	"os"
-	"os/signal"
-	"strconv"
-	"strings"
-	"syscall"
 
-	"repro/internal/chaos"
-	"repro/internal/profiling"
-	"repro/internal/sweep"
-	"repro/internal/trainer"
+	"repro/internal/cli"
 )
 
 func main() {
-	fig := flag.Int("fig", 10, "figure to reproduce: 10, 11, 12, 13, 14, 15, or 16")
-	scale := flag.Float64("scale", 0.1, "dataset/capacity scale (1 = paper size)")
-	seed := flag.Uint64("seed", 0, "override the figure's preset shuffle seed (0 = preset)")
-	parallel := flag.Int("parallel", 0, "sweep-engine goroutine pool width (0 = GOMAXPROCS)")
-	replicas := flag.Int("replicas", 1, "replica seeds per grid cell")
-	format := flag.String("format", "text", "output format: text, json, or csv")
-	gpus := flag.String("gpus", "", "comma-separated GPU counts to keep (default: the figure's full axis)")
-	chaosSpec := flag.String("chaos", "", "fault profile: a preset ("+strings.Join(chaos.PresetNames(), ", ")+") or a spec like \"straggler:1x2@1,drop:0.05\"; adds a clean-vs-faulted profile axis to the grid (fault profiles extend beyond the paper's measured configurations)")
-	var prof profiling.Flags
-	prof.Register(flag.CommandLine)
-	flag.Parse()
-
-	switch *format {
-	case "text", "json", "csv":
-	default:
-		fatal(fmt.Errorf("unknown -format %q (want text, json, or csv)", *format))
-	}
-	keep, err := parseGPUs(*gpus)
-	if err != nil {
-		fatal(err)
-	}
-	profiles, err := sweep.ChaosAxis(*chaosSpec)
-	if err != nil {
-		fatal(err)
-	}
-	// Profile collectors run for the whole invocation. fatal's os.Exit skips
-	// the finalizer, so error paths leave truncated profiles — fine for a
-	// diagnostics flag; success paths get complete files.
-	stopProf, err := prof.Start()
-	if err != nil {
-		fatal(err)
-	}
-	// Ctrl-C / SIGTERM cancels the run context: in-flight grids abort
-	// promptly instead of finishing the figure.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	cfg := runConfig{
-		ctx:      ctx,
-		runner:   &sweep.Runner{Parallel: *parallel},
-		replicas: *replicas,
-		format:   *format,
-		seed:     *seed,
-		keepGPUs: keep,
-		profiles: profiles,
-	}
-
-	switch *fig {
-	case 10:
-		cfg.emitExperiment("Fig. 10 (left): ResNet-50/ImageNet-1k on Piz Daint", trainer.Fig10PizDaint(*scale))
-		cfg.emitExperiment("Fig. 10 (right): ResNet-50/ImageNet-1k on Lassen", trainer.Fig10Lassen(*scale))
-	case 11:
-		cfg.emitFig11(trainer.Fig10PizDaint(*scale))
-	case 12:
-		cfg.emitFig12(trainer.Fig10PizDaint(*scale))
-	case 13:
-		cfg.emitFig13(*scale)
-	case 14:
-		cfg.emitExperiment("Fig. 14: ResNet-50/ImageNet-22k on Lassen", trainer.Fig14Lassen(*scale))
-	case 15:
-		cfg.emitExperiment("Fig. 15: CosmoFlow on Lassen", trainer.Fig15Lassen(*scale))
-	case 16:
-		cfg.emitFig16(*scale)
-	default:
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := stopProf(); err != nil {
-		fatal(err)
-	}
-}
-
-// runConfig carries the engine and presentation settings shared by every
-// figure path.
-type runConfig struct {
-	ctx      context.Context
-	runner   *sweep.Runner
-	replicas int
-	format   string
-	seed     uint64
-	keepGPUs []int
-	// profiles is the -chaos fault-profile axis (clean + faulted), empty
-	// without the flag.
-	profiles []sweep.ProfileSpec
-}
-
-// parseGPUs parses the -gpus comma list.
-func parseGPUs(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad -gpus entry %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-// prep applies the seed override and GPU-count filter to one experiment. A
-// filter that matches nothing on the experiment's axis is an error, not a
-// silent full-axis run.
-func (c runConfig) prep(exp trainer.Experiment) trainer.Experiment {
-	if c.seed != 0 {
-		exp.Seed = c.seed
-	}
-	if len(c.keepGPUs) > 0 {
-		var counts []int
-		for _, g := range exp.GPUCounts {
-			for _, k := range c.keepGPUs {
-				if g == k {
-					counts = append(counts, g)
-					break
-				}
-			}
-		}
-		if len(counts) == 0 {
-			fatal(fmt.Errorf("-gpus %v matches none of %s's GPU counts %v",
-				c.keepGPUs, exp.Name, exp.GPUCounts))
-		}
-		exp.GPUCounts = counts
-	}
-	return exp
-}
-
-// trim applies prep to a list of experiments.
-func (c runConfig) trim(exps []trainer.Experiment) []trainer.Experiment {
-	out := make([]trainer.Experiment, len(exps))
-	for i, e := range exps {
-		out[i] = c.prep(e)
-	}
-	return out
-}
-
-// run executes one grid through the engine, attaching the -chaos
-// clean-vs-faulted profile axis (a no-op without the flag).
-func (c runConfig) run(grid *sweep.Grid) *sweep.Report {
-	grid.Profiles = c.profiles
-	rep, err := c.runner.Run(c.ctx, grid)
-	if err != nil {
-		fatal(err)
-	}
-	return rep
-}
-
-// rowLabel is sweep's shared profile-qualified labelling rule, aliased for
-// the bespoke figure tables below.
-var rowLabel = sweep.RowLabel
-
-// emitExperiment runs one experiment's grid and writes it in the requested
-// format (generic text table, JSON, or CSV).
-func (c runConfig) emitExperiment(title string, exp trainer.Experiment) {
-	c.emitGrid(title, c.prep(exp).Grid(c.replicas))
-}
-
-// emitGrid runs and renders a prepared grid.
-func (c runConfig) emitGrid(title string, grid *sweep.Grid) {
-	rep := c.run(grid)
-	if c.format == "text" {
-		fmt.Println(title)
-		check(sweep.WriteText(os.Stdout, rep))
-		return
-	}
-	check(writeReport(os.Stdout, rep, c.format))
-}
-
-// emitFig11 renders the epoch-0 batch-time table (cold caches) from the
-// Fig. 10 Piz Daint grid's batch0 metrics.
-func (c runConfig) emitFig11(exp trainer.Experiment) {
-	rep := c.run(c.prep(exp).Grid(c.replicas))
-	if c.format != "text" {
-		check(writeReport(os.Stdout, rep, c.format))
-		return
-	}
-	fmt.Println("Fig. 11: epoch-0 batch times on Piz Daint")
-	fmt.Printf("%-24s %-14s %12s %12s %12s\n", "scenario", "loader", "median", "p95", "max")
-	for _, s := range rep.Aggregate() {
-		if s.Failed {
-			continue
-		}
-		fmt.Printf("%-24s %-14s %11.3fs %11.3fs %11.3fs\n",
-			s.Scenario, rowLabel(s.Policy, s.Profile),
-			s.Metric(trainer.MetricBatch0Med).Mean,
-			s.Metric(trainer.MetricBatch0P95).Mean,
-			s.Metric(trainer.MetricBatch0Max).Mean)
-	}
-}
-
-// emitFig12 renders NoPFS's stall time and fetch-location mix per scale
-// from the Fig. 10 Piz Daint grid.
-func (c runConfig) emitFig12(exp trainer.Experiment) {
-	rep := c.run(c.prep(exp).Grid(c.replicas))
-	if c.format != "text" {
-		check(writeReport(os.Stdout, rep, c.format))
-		return
-	}
-	fmt.Println("Fig. 12: NoPFS cache stats on Piz Daint (ImageNet-1k)")
-	fmt.Printf("%-24s %12s %8s %8s %8s\n", "scenario", "stall", "pfs%", "remote%", "local%")
-	for _, s := range rep.Aggregate() {
-		if s.Policy != "NoPFS" || s.Failed {
-			continue
-		}
-		fmt.Printf("%-24s %11.2fs %7.1f%% %7.1f%% %7.1f%%\n",
-			rowLabel(s.Scenario, s.Profile),
-			s.Metric(trainer.MetricStallS).Mean,
-			100*s.Metric(trainer.MetricPFSFrac).Mean,
-			100*s.Metric(trainer.MetricRemoteFrac).Mean,
-			100*s.Metric(trainer.MetricLocalFrac).Mean)
-	}
-}
-
-// emitFig13 renders the batch-size sweep. Text mode prints the figure's
-// primary statistic — steady-state per-batch times (median/p95/max) per
-// batch size; structured modes emit the full grid report.
-func (c runConfig) emitFig13(scale float64) {
-	grid, err := trainer.MultiGrid("fig13", c.trim(trainer.Fig13BatchSweep(scale)), c.replicas)
-	if err != nil {
-		fatal(err)
-	}
-	rep := c.run(grid)
-	if c.format != "text" {
-		check(writeReport(os.Stdout, rep, c.format))
-		return
-	}
-	fmt.Println("Fig. 13: batch-size sweep, ImageNet-1k, 128 Lassen GPUs")
-	fmt.Printf("%-20s %-14s %12s %12s %12s\n", "scenario", "loader", "median", "p95", "max")
-	for _, s := range rep.Aggregate() {
-		if s.Failed {
-			continue
-		}
-		fmt.Printf("%-20s %-14s %11.3fs %11.3fs %11.3fs\n",
-			s.Scenario, rowLabel(s.Policy, s.Profile),
-			s.Metric(trainer.MetricBatchMedian).Mean,
-			s.Metric(trainer.MetricBatchP95).Mean,
-			s.Metric(trainer.MetricBatchMax).Mean)
-	}
-}
-
-// emitFig16 renders the end-to-end accuracy-vs-time comparison. Text mode
-// prints replica-0 curves from the cell payloads; structured modes emit the
-// grid report.
-func (c runConfig) emitFig16(scale float64) {
-	// Fig. 16 is a single-point figure; honour -gpus the same way every
-	// other figure does (prep errors on a non-matching filter) rather than
-	// silently ignoring it, and carry the seed override and chaos profile
-	// into the grid like every other figure.
-	grid := trainer.Fig16GridFrom(c.prep(trainer.Fig16Experiment(scale)), c.replicas)
-	rep := c.run(grid)
-	if c.format != "text" {
-		check(writeReport(os.Stdout, rep, c.format))
-		return
-	}
-	fmt.Println("Fig. 16: end-to-end ResNet-50/ImageNet-1k, 256 Lassen GPUs, 90 epochs")
-	for _, cell := range rep.Cells {
-		if cell.Replica != 0 {
-			continue
-		}
-		r, ok := cell.Outcome.Payload.(trainer.EndToEndResult)
-		if !ok || len(r.Curve) == 0 {
-			fmt.Printf("%-14s failed\n", rowLabel(cell.Policy, cell.Profile))
-			continue
-		}
-		fmt.Printf("%-14s total %.1f min, final top-1 %.1f%%\n",
-			rowLabel(r.Loader, cell.Profile), r.TotalSeconds/60, r.FinalTop1)
-		for _, pt := range r.Curve {
-			if pt.Epoch%10 == 0 {
-				fmt.Printf("    epoch %2d  t=%8.1fs  top1=%.1f%%\n", pt.Epoch, pt.Seconds, pt.Top1Percent)
-			}
-		}
-	}
-}
-
-// writeReport encodes one report.
-func writeReport(w io.Writer, rep *sweep.Report, format string) error {
-	switch format {
-	case "json":
-		return sweep.WriteJSON(w, rep)
-	case "csv":
-		return sweep.WriteCSV(w, rep)
-	default:
-		return sweep.WriteText(w, rep)
-	}
-}
-
-func check(err error) {
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nopfs-train:", err)
-	os.Exit(1)
+	os.Exit(cli.RunTrain("nopfs-train", os.Args[1:], os.Stdout, os.Stderr))
 }

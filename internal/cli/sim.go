@@ -1,0 +1,227 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/sweep"
+	"repro/sim"
+)
+
+// simOptions holds the sim command's parsed flags.
+type simOptions struct {
+	Scenario string
+	All      bool
+	Sweep    bool
+	Ablation bool
+	Table1   bool
+	ScaleFlags
+	EngineFlags
+	CommonFlags
+}
+
+// simFlags builds the sim command's flag set.
+func simFlags(prog string) (*flag.FlagSet, *simOptions) {
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	o := &simOptions{}
+	fs.StringVar(&o.Scenario, "scenario", "", "Fig. 8 panel id (fig8a..fig8f) or dataset name")
+	fs.BoolVar(&o.All, "all", false, "run every Fig. 8 panel")
+	fs.BoolVar(&o.Sweep, "sweep", false, "run the Fig. 9 environment sweep")
+	fs.BoolVar(&o.Ablation, "ablation", false, "run the NoPFS design ablation")
+	fs.BoolVar(&o.Table1, "table1", false, "print the Table 1 framework comparison")
+	o.ScaleFlags.Register(fs, 0.02, 42, seedHelp)
+	o.EngineFlags.Register(fs)
+	o.CommonFlags.Register(fs, true)
+	return fs, o
+}
+
+// RunSim is the `nopfs sim` command: the Fig. 8 policy comparison across
+// dataset/storage regimes, the Fig. 9 environment sweep, the NoPFS design
+// ablation, and the Table 1 framework summary. All simulation modes execute
+// through the concurrent sweep engine.
+func RunSim(prog string, args []string, stdout, stderr io.Writer) int {
+	fs, o := simFlags(prog)
+	return execute(prog, fs, args, stderr, &o.Config, func(ctx context.Context) error {
+		if err := o.CheckFormat(); err != nil {
+			return err
+		}
+		profiles, err := o.ChaosProfiles()
+		if err != nil {
+			return err
+		}
+		grid, err := simGrid(o, profiles)
+		if err != nil {
+			return err
+		}
+		if o.Table1 && !o.DryRun {
+			printTable1(stdout)
+			return nil
+		}
+		if o.DryRun {
+			if grid == nil { // -table1: nothing to simulate, print the table
+				printTable1(stdout)
+				return nil
+			}
+			return explainGrid(stdout, grid)
+		}
+		// Profile collectors run for the whole invocation; error paths leave
+		// truncated profiles — fine for a diagnostics flag.
+		stopProf, err := o.Prof.Start()
+		if err != nil {
+			return err
+		}
+		runner := &sim.Runner{Parallel: o.Parallel}
+		if o.Sweep {
+			if err := runSweep(ctx, stdout, runner, grid, o.Format, profiles, o.Stream); err != nil {
+				return err
+			}
+		} else if err := emit(ctx, stdout, runner, grid, o.Format, o.Stream); err != nil {
+			return err
+		}
+		return stopProf()
+	})
+}
+
+// simGrid selects the mode's grid (nil for -table1). Unknown scenarios and a
+// missing mode are usage errors — exit 2 with usage, where the legacy binary
+// inconsistently exited 1 for a bad -scenario.
+func simGrid(o *simOptions, profiles []sweep.ProfileSpec) (*sim.Grid, error) {
+	var grid *sim.Grid
+	switch {
+	case o.Table1:
+		return nil, nil
+	case o.Sweep:
+		grid = sim.Fig9FullGrid(o.Scale, o.Seed, o.Replicas)
+	case o.Ablation:
+		grid = sim.AblationGrid(o.Scale, o.Seed, o.Replicas)
+	case o.All:
+		grid = sim.Fig8Grid(o.Scale, o.Seed, o.Replicas)
+	case o.Scenario != "":
+		s, err := sim.ScenarioByID(o.Scenario)
+		if err != nil {
+			return nil, usageError{err: err}
+		}
+		grid = sim.ScenarioGrid(s, o.Scale, o.Seed, o.Replicas)
+	default:
+		return nil, usagef("no mode selected: use -scenario, -all, -sweep, -ablation, or -table1")
+	}
+	grid.Profiles = profiles
+	return grid, nil
+}
+
+// emit runs the grid and writes it in the requested format. With -stream the
+// grid flows through the incremental encoders — identical bytes, but only a
+// bounded window of results resident at once.
+func emit(ctx context.Context, w io.Writer, runner *sim.Runner, grid *sim.Grid, format string, stream bool) error {
+	if stream {
+		return runner.RunStream(ctx, grid, aggregatorFor(w, format))
+	}
+	rep, err := runner.Run(ctx, grid)
+	if err != nil {
+		return err
+	}
+	return write(w, rep, format)
+}
+
+// aggregatorFor picks the streaming encoder for a format.
+func aggregatorFor(w io.Writer, format string) sim.Aggregator {
+	switch format {
+	case "json":
+		return sim.NewJSONAggregator(w)
+	case "csv":
+		return sim.NewCSVAggregator(w)
+	default:
+		return sim.NewTextAggregator(w)
+	}
+}
+
+// write encodes one report.
+func write(w io.Writer, rep *sim.Report, format string) error {
+	switch format {
+	case "json":
+		return sim.WriteJSON(w, rep)
+	case "csv":
+		return sim.WriteCSV(w, rep)
+	default:
+		return sim.WriteText(w, rep)
+	}
+}
+
+// runSweep renders the Fig. 9 study: environment grid plus staging
+// preliminary as one engine run, so json/csv emit a single document and
+// every format honours -replicas. Text mode keeps the legacy RAM × SSD
+// matrix, with means when the grid ran multiple seeds per cell; with a
+// fault-profile axis — or under -stream, which cannot buffer the whole
+// grid — it falls back to the generic per-profile table (the matrix has
+// one cell per scenario).
+func runSweep(ctx context.Context, w io.Writer, runner *sim.Runner, grid *sim.Grid, format string, profiles []sweep.ProfileSpec, stream bool) error {
+	if stream {
+		return runner.RunStream(ctx, grid, aggregatorFor(w, format))
+	}
+	rep, err := runner.Run(ctx, grid)
+	if err != nil {
+		return err
+	}
+	if format != "text" || len(profiles) > 0 {
+		return write(w, rep, format)
+	}
+	byID := map[string]sim.Summary{}
+	for _, s := range rep.Aggregate() {
+		byID[s.Scenario] = s
+	}
+	title := "Fig. 9: ImageNet-22k, NoPFS, 5x compute, 5 GB staging buffer"
+	if rep.Replicas > 1 {
+		title += fmt.Sprintf(" (mean of %d seeds)", rep.Replicas)
+	}
+	fmt.Fprintln(w, title)
+	rams, ssds := sim.Fig9Axes()
+	fmt.Fprintf(w, "exec seconds by RAM (rows) x SSD (cols), GB:\n%8s", "")
+	for _, ssd := range ssds {
+		fmt.Fprintf(w, "%10d", ssd)
+	}
+	fmt.Fprintln(w)
+	for _, ram := range rams {
+		fmt.Fprintf(w, "%8d", ram)
+		for _, ssd := range ssds {
+			fmt.Fprintf(w, "%10.1f", byID[sim.Fig9CellID(ram, ssd)].Metric(sim.MetricExec).Mean)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nstaging-buffer preliminary (runtime vs staging GB, RAM=32, no SSD):")
+	for _, gb := range sim.Fig9StagingSizes() {
+		fmt.Fprintf(w, "  %d GB: %.1fs\n", gb, byID[sim.Fig9StagingID(gb)].Metric(sim.MetricExec).Mean)
+	}
+	return nil
+}
+
+// printTable1 reproduces Table 1: the qualitative capabilities of each
+// approach.
+func printTable1(w io.Writer) {
+	type row struct {
+		name                                         string
+		sysScale, dataScale, fullRand, hwIndep, easy bool
+	}
+	rows := []row{
+		{"Double-buffering (PyTorch)", false, true, true, false, true},
+		{"tf.data", false, true, false, false, true},
+		{"Data sharding", true, false, false, false, true},
+		{"DeepIO", true, false, false, false, true},
+		{"LBANN data store", true, false, true, false, false},
+		{"Locality-aware loading", true, true, true, false, false},
+		{"NoPFS (this work)", true, true, true, true, true},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	fmt.Fprintf(w, "%-28s %10s %10s %10s %10s %8s\n",
+		"approach", "sys-scale", "data-scale", "full-rand", "hw-indep", "easy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %10s %10s %10s %10s %8s\n",
+			r.name, mark(r.sysScale), mark(r.dataScale), mark(r.fullRand), mark(r.hwIndep), mark(r.easy))
+	}
+}

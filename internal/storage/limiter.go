@@ -10,38 +10,130 @@ package storage
 
 import (
 	"context"
+	"math"
 	"sync"
 	"time"
 )
 
 // Limiter emulates a storage class's aggregate bandwidth: concurrent
 // operations share the configured rate, exactly like p threads sharing
-// r_j(p). A zero/nil limiter is unlimited.
+// r_j(p). A nil limiter, a zero-value limiter, and any rate <= 0 all mean
+// unlimited — waits pass immediately.
+//
+// Internally the limiter runs a virtual byte clock: reservations accumulate
+// in byte space and are converted to release times against the current rate
+// anchor, so SetRate mid-run re-paces the outstanding backlog at the new
+// rate instead of honouring grants priced at the old one. Waiters observe
+// rate changes through a broadcast channel, which is what keeps a waiter
+// priced at a near-zero rate from sleeping forever after the rate recovers.
 type Limiter struct {
-	mu          sync.Mutex
+	mu sync.Mutex
+	// bytesPerSec is the configured rate; <= 0 means unlimited.
 	bytesPerSec float64
-	next        time.Time
+	// reserved is the cumulative bytes ever granted.
+	reserved float64
+	// baseTime/baseBytes anchor the virtual clock: bytes up to baseBytes
+	// were (or are deemed) complete at baseTime, so byte b releases at
+	// baseTime + (b-baseBytes)/rate.
+	baseTime  time.Time
+	baseBytes float64
+	// changed is closed and replaced on every SetRate so in-flight waiters
+	// recompute their release times; lazily created (zero-value safety).
+	changed chan struct{}
+	// observer, when set, receives each Wait's actual blocked duration in
+	// seconds (see SetObserver).
+	observer func(seconds float64)
 }
 
 // NewLimiter returns a limiter enforcing the given aggregate rate in MB/s
-// (MB = 2^20 bytes). Rates <= 0 mean unlimited.
+// (MB = 2^20 bytes). Rates <= 0 return an unlimited (but non-nil) limiter,
+// so a caller may later enable a rate with SetRate.
 func NewLimiter(mbps float64) *Limiter {
-	if mbps <= 0 {
-		return nil
+	l := &Limiter{}
+	if mbps > 0 {
+		l.bytesPerSec = mbps * (1 << 20)
 	}
-	return &Limiter{bytesPerSec: mbps * (1 << 20)}
+	return l
 }
 
-// SetRate changes the limiter's aggregate rate to mbps (values <= 0 are
-// ignored: an unlimited limiter is nil, not a zero rate). Reservations
-// already on the clock keep their grants; later callers are paced at the new
-// rate. Fault injection uses this to degrade a tier's bandwidth mid-run.
+// changedLocked returns the broadcast channel, creating it on first use.
+// Callers must hold mu.
+func (l *Limiter) changedLocked() chan struct{} {
+	if l.changed == nil {
+		l.changed = make(chan struct{})
+	}
+	return l.changed
+}
+
+// advanceLocked folds wall-clock progress into the clock anchor: bytes that
+// have drained by now are marked complete so idle periods are not charged to
+// future reservations. Callers must hold mu, and rate must be positive.
+func (l *Limiter) advanceLocked(now time.Time) {
+	if l.baseTime.IsZero() {
+		l.baseTime, l.baseBytes = now, l.reserved
+		return
+	}
+	if elapsed := now.Sub(l.baseTime).Seconds(); elapsed > 0 {
+		done := l.baseBytes + elapsed*l.bytesPerSec
+		if done > l.reserved {
+			done = l.reserved
+		}
+		l.baseTime, l.baseBytes = now, done
+	}
+}
+
+// releaseLocked returns the time cumulative byte b is released under the
+// current anchor and rate. Callers must hold mu.
+func (l *Limiter) releaseLocked(b float64) time.Time {
+	seconds := (b - l.baseBytes) / l.bytesPerSec
+	// Clamp pathological backlogs (near-zero rates) to a finite horizon so
+	// the duration arithmetic cannot overflow; SetRate wakes such waiters.
+	if max := float64(math.MaxInt64 / 2); seconds*float64(time.Second) > max {
+		seconds = max / float64(time.Second)
+	}
+	return l.baseTime.Add(time.Duration(seconds * float64(time.Second)))
+}
+
+// SetRate changes the limiter's aggregate rate to mbps; values <= 0 switch
+// the limiter to unlimited and release every waiter. The outstanding backlog
+// (bytes reserved but not yet drained) is re-paced at the new rate, and
+// in-flight Waits recompute their release times — a waiter granted a far
+// future slot at a degraded rate is not stranded when the rate recovers.
+// Fault injection uses this to degrade and restore a tier's bandwidth
+// mid-run.
 func (l *Limiter) SetRate(mbps float64) {
-	if l == nil || mbps <= 0 {
+	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	l.bytesPerSec = mbps * (1 << 20)
+	now := time.Now()
+	if l.bytesPerSec > 0 {
+		l.advanceLocked(now)
+	} else {
+		// Unlimited until now: everything already reserved passed freely.
+		l.baseTime, l.baseBytes = now, l.reserved
+	}
+	if mbps > 0 {
+		l.bytesPerSec = mbps * (1 << 20)
+	} else {
+		l.bytesPerSec = 0
+	}
+	if l.changed != nil {
+		close(l.changed)
+	}
+	l.changed = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// SetObserver installs a callback receiving each Wait's blocked duration in
+// seconds (only calls that actually slept report). Instrumentation hook for
+// the metrics layer; pass nil to remove.
+func (l *Limiter) SetObserver(fn func(seconds float64)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.observer = fn
 	l.mu.Unlock()
 }
 
@@ -56,7 +148,8 @@ const sleepQuantum = 2 * time.Millisecond
 // clock makes the aggregate throughput of all callers converge to the
 // configured rate regardless of concurrency. A canceled caller's
 // reservation stays on the clock — the tail of a torn-down run is charged,
-// not refunded, which keeps the accounting monotonic.
+// not refunded, which keeps the accounting monotonic. A rate change during
+// the wait re-prices the remaining sleep at the new rate.
 func (l *Limiter) Wait(ctx context.Context, n int64) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -64,24 +157,51 @@ func (l *Limiter) Wait(ctx context.Context, n int64) error {
 	if l == nil || n <= 0 {
 		return nil
 	}
-	// bytesPerSec is read under the mutex: SetRate mutates it mid-run.
 	l.mu.Lock()
-	dur := time.Duration(float64(n) / l.bytesPerSec * float64(time.Second))
-	now := time.Now()
-	if l.next.Before(now) {
-		l.next = now
+	if l.bytesPerSec <= 0 {
+		l.reserved += float64(n)
+		l.mu.Unlock()
+		return nil
 	}
-	release := l.next.Add(dur)
-	l.next = release
+	now := time.Now()
+	l.advanceLocked(now)
+	l.reserved += float64(n)
+	myEnd := l.reserved
+	release := l.releaseLocked(myEnd)
+	changed := l.changedLocked()
+	observer := l.observer
 	l.mu.Unlock()
-	if wait := time.Until(release); wait > sleepQuantum {
+
+	start := now
+	slept := false
+	for {
+		wait := time.Until(release)
+		if wait <= sleepQuantum {
+			if slept && observer != nil {
+				observer(time.Since(start).Seconds())
+			}
+			return nil
+		}
+		slept = true
 		timer := time.NewTimer(wait)
-		defer timer.Stop()
 		select {
 		case <-timer.C:
 		case <-ctx.Done():
+			timer.Stop()
 			return ctx.Err()
+		case <-changed:
+			timer.Stop()
+			l.mu.Lock()
+			if l.bytesPerSec <= 0 {
+				l.mu.Unlock()
+				if observer != nil {
+					observer(time.Since(start).Seconds())
+				}
+				return nil
+			}
+			release = l.releaseLocked(myEnd)
+			changed = l.changedLocked()
+			l.mu.Unlock()
 		}
 	}
-	return nil
 }

@@ -157,15 +157,137 @@ func TestLimiterRate(t *testing.T) {
 	}
 }
 
-func TestLimiterNilAndZero(t *testing.T) {
-	var l *Limiter
-	if err := l.Wait(bg, 1<<30); err != nil { // must not block or panic
-		t.Fatal(err)
+// TestLimiterUnlimitedForms pins the "rate <= 0 means unlimited" contract
+// across every way of arriving at an unlimited limiter: nil receiver,
+// zero-value struct, NewLimiter with zero/negative rates, and SetRate with
+// zero/negative rates. None may block, divide by zero, or panic.
+func TestLimiterUnlimitedForms(t *testing.T) {
+	cases := []struct {
+		name string
+		lim  *Limiter
+	}{
+		{"nil", nil},
+		{"zero-value", &Limiter{}},
+		{"new-zero", NewLimiter(0)},
+		{"new-negative", NewLimiter(-5)},
+		{"setrate-zero", func() *Limiter { l := NewLimiter(10); l.SetRate(0); return l }()},
+		{"setrate-negative", func() *Limiter { l := NewLimiter(10); l.SetRate(-1); return l }()},
+		{"zero-value-setrate-zero", func() *Limiter { l := &Limiter{}; l.SetRate(0); return l }()},
 	}
-	if NewLimiter(0) != nil {
-		t.Error("zero-rate limiter should be unlimited (nil)")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() { done <- tc.lim.Wait(bg, 1<<30) }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("unlimited Wait returned %v", err)
+				}
+			case <-time.After(time.Second):
+				t.Fatal("unlimited limiter blocked")
+			}
+		})
 	}
 	if err := NewLimiter(100).Wait(bg, 0); err != nil { // zero bytes free
+		t.Fatal(err)
+	}
+	if err := NewLimiter(100).Wait(bg, -10); err != nil { // negative bytes free
+		t.Fatal(err)
+	}
+}
+
+// TestLimiterSetRateTransitions pins SetRate's edge cases: enabling a rate
+// on an unlimited limiter starts pacing, disabling mid-run releases every
+// in-flight waiter, and raising a near-zero rate re-prices a waiter whose
+// original grant lay in the far future (no stranded sleeps).
+func TestLimiterSetRateTransitions(t *testing.T) {
+	t.Run("enable-on-unlimited", func(t *testing.T) {
+		l := NewLimiter(0)
+		if err := l.Wait(bg, 1<<30); err != nil { // free while unlimited
+			t.Fatal(err)
+		}
+		l.SetRate(8)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l.Wait(bg, 1<<20)
+			}()
+		}
+		wg.Wait()
+		// Pre-SetRate reservations must not be billed: ~4MB/8MBps = ~0.5s.
+		if elapsed := time.Since(start); elapsed < 350*time.Millisecond || elapsed > 1500*time.Millisecond {
+			t.Errorf("4 MB through freshly enabled 8 MB/s limiter took %v, want ~500ms", elapsed)
+		}
+	})
+	t.Run("disable-releases-waiter", func(t *testing.T) {
+		l := NewLimiter(1) // 64 MB at 1 MB/s would sleep ~64s
+		done := make(chan error, 1)
+		go func() { done <- l.Wait(bg, 64<<20) }()
+		time.Sleep(20 * time.Millisecond)
+		l.SetRate(0)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("released waiter returned %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("SetRate(0) stranded an in-flight waiter")
+		}
+	})
+	t.Run("raise-reprices-waiter", func(t *testing.T) {
+		l := NewLimiter(0.001) // 1 MB at ~1 KB/s: released ~17 minutes out
+		done := make(chan error, 1)
+		go func() { done <- l.Wait(bg, 1<<20) }()
+		time.Sleep(20 * time.Millisecond)
+		l.SetRate(10_000) // backlog re-priced: drains almost immediately
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("re-priced waiter returned %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("raised rate stranded the in-flight waiter at the old price")
+		}
+	})
+	t.Run("lower-slows-later-waiters", func(t *testing.T) {
+		l := NewLimiter(10_000)
+		l.SetRate(8)
+		start := time.Now()
+		if err := l.Wait(bg, 4<<20); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed < 350*time.Millisecond || elapsed > 1500*time.Millisecond {
+			t.Errorf("4 MB at lowered 8 MB/s took %v, want ~500ms", elapsed)
+		}
+	})
+}
+
+// TestLimiterObserver checks the instrumentation hook: blocked waits report
+// their duration, free passes stay silent.
+func TestLimiterObserver(t *testing.T) {
+	l := NewLimiter(8)
+	var mu sync.Mutex
+	var total float64
+	l.SetObserver(func(s float64) {
+		mu.Lock()
+		total += s
+		mu.Unlock()
+	})
+	if err := l.Wait(bg, 4<<20); err != nil { // ~0.5s blocked
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := total
+	mu.Unlock()
+	if got < 0.35 || got > 1.5 {
+		t.Errorf("observer saw %.3fs of wait, want ~0.5s", got)
+	}
+	unlimited := NewLimiter(0)
+	unlimited.SetObserver(func(s float64) { t.Errorf("unlimited wait observed %.3fs", s) })
+	if err := unlimited.Wait(bg, 1<<30); err != nil {
 		t.Fatal(err)
 	}
 }

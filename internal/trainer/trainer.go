@@ -195,10 +195,20 @@ func (e Experiment) Cell(gpus int, loader Loader, seed uint64) (ScalePoint, erro
 	return e.cell(ds, sys, gpus, loader, seed)
 }
 
-// cell is Cell against a pre-built dataset: grid closures build the O(F)
-// dataset once per experiment and share it across cells (datasets are
-// read-only after construction and safe for concurrent readers).
-func (e Experiment) cell(ds *dataset.Synthetic, sys hwspec.System, gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+// Config builds (and validates) the simulator configuration for one
+// (GPU count, loader) cell without running it — the dry-run explain path's
+// view of the experiment.
+func (e Experiment) Config(gpus int, loader Loader, seed uint64) (sim.Config, error) {
+	spec, sys := e.scaled()
+	ds, err := dataset.Cached(spec)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return e.config(ds, sys, gpus, loader, seed)
+}
+
+// config assembles the cell's sim.Config against a pre-built dataset.
+func (e Experiment) config(ds *dataset.Synthetic, sys hwspec.System, gpus int, loader Loader, seed uint64) (sim.Config, error) {
 	work := loader.AdjustWorkload(e.Workload(gpus))
 	cfg := sim.Config{
 		Sys: sys, Work: work, DS: ds,
@@ -206,8 +216,20 @@ func (e Experiment) cell(ds *dataset.Synthetic, sys hwspec.System, gpus int, loa
 		Chaos: e.Chaos,
 	}
 	if err := cfg.Validate(); err != nil {
-		return ScalePoint{}, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)
+		return sim.Config{}, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)
 	}
+	return cfg, nil
+}
+
+// cell is Cell against a pre-built dataset: grid closures build the O(F)
+// dataset once per experiment and share it across cells (datasets are
+// read-only after construction and safe for concurrent readers).
+func (e Experiment) cell(ds *dataset.Synthetic, sys hwspec.System, gpus int, loader Loader, seed uint64) (ScalePoint, error) {
+	cfg, err := e.config(ds, sys, gpus, loader, seed)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	work := cfg.Work
 	pol, err := loader.Policy()
 	if err != nil {
 		return ScalePoint{}, err

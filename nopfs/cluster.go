@@ -50,6 +50,11 @@ func RunCluster(ctx context.Context, ds Dataset, workers int, opts Options, fn R
 	if err != nil {
 		return nil, err
 	}
+	if opts.TraceFetches != nil {
+		// One shared serialising writer: per-rank trace lines must not
+		// interleave even when the caller passes a plain file or buffer.
+		opts.TraceFetches = &syncWriter{w: opts.TraceFetches}
+	}
 	shared := &pfs{ds: ds, limiter: storage.NewLimiter(opts.PFSAggregateMBps)}
 	if sched := opts.Chaos.Compile(opts.Seed); sched != nil {
 		// Fault injection: wrap the fabric in the latency/failure decorator
@@ -66,6 +71,9 @@ func RunCluster(ctx context.Context, ds Dataset, workers int, opts Options, fn R
 			shared.limiter = storage.NewLimiter(base / factor)
 		}
 	}
+	// Observe after any chaos rebuild so the counter follows the limiter
+	// that actually paces the run.
+	observeLimiter(opts.Metrics, shared.limiter, "pfs")
 
 	nets, err := fab.Build(ctx, workers, opts.InterconnectMBps)
 	if err != nil {
@@ -77,6 +85,7 @@ func RunCluster(ctx context.Context, ds Dataset, workers int, opts Options, fn R
 		}
 		return nil, fmt.Errorf("nopfs: fabric %q built %d endpoints for %d workers", fab.Name(), len(nets), workers)
 	}
+	nets = instrumentFabric(opts.Metrics, nets)
 
 	jobs := make([]*Job, workers)
 	for rank := 0; rank < workers; rank++ {

@@ -62,6 +62,10 @@ type Job struct {
 	delivered   atomic.Int64
 	stallNanos  atomic.Int64
 
+	// met is the rank's resolved metric series (nil when observability is
+	// off; every method is nil-safe).
+	met *jobMetrics
+
 	// fatalMu guards fatal: fail() can run on any prefetcher goroutine
 	// concurrently with the consumer reading the error in Get.
 	fatalMu sync.Mutex
@@ -108,6 +112,7 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 		pfs:      shared,
 		ctx:      context.Background(),
 		closed:   make(chan struct{}),
+		met:      newJobMetrics(opts.Metrics, rank, opts.Classes, opts.TraceFetches),
 	}
 	for _, c := range opts.Classes {
 		b, err := newClassBackend(ctx, rank, c)
@@ -123,7 +128,9 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 				if j.chaosTiers == nil {
 					j.chaosTiers = map[int]*tierThrottle{}
 				}
-				j.chaosTiers[class] = newTierThrottle(opts.Classes[class])
+				t := newTierThrottle(opts.Classes[class])
+				observeLimiter(opts.Metrics, t.lim, "tier:"+opts.Classes[class].Name)
+				j.chaosTiers[class] = t
 			}
 		}
 	}
@@ -340,6 +347,10 @@ func (j *Job) stagingPrefetcher() {
 			return
 		}
 		k := j.stream[pos]
+		var fetchStart time.Time
+		if j.met != nil {
+			fetchStart = time.Now()
+		}
 		data, src, err := j.fetchFrom(k, pos, true)
 		if err != nil {
 			if !j.benign(err) {
@@ -355,6 +366,9 @@ func (j *Job) stagingPrefetcher() {
 		case SourceLocal:
 			j.fetchLocal.Add(1)
 		}
+		if j.met != nil {
+			j.met.stagedFetch(pos, k, j.epochOf(pos), src, len(data), time.Since(fetchStart).Seconds())
+		}
 		j.sourceMu.Lock()
 		if j.sources == nil {
 			j.sources = map[int]Source{}
@@ -367,6 +381,7 @@ func (j *Job) stagingPrefetcher() {
 			}
 			return
 		}
+		j.met.stagingBytes(j.staging.Used())
 		j.progress.Store(int64(pos))
 	}
 }
@@ -432,12 +447,14 @@ func (j *Job) fetchSource(k access.SampleID, pos int, selfHeal bool) ([]byte, So
 		if data, ok, err := b.Get(j.ctx, k); err != nil {
 			return nil, SourceLocal, err
 		} else if ok {
+			j.met.tierLookup(ci, true)
 			// A degraded tier pays its bandwidth throttle on every read.
 			if err := j.chaosTierWait(j.ctx, ci, j.epochOf(pos), int64(len(data))); err != nil {
 				return nil, SourceLocal, err
 			}
 			return data, SourceLocal, nil
 		}
+		j.met.tierLookup(ci, false)
 	}
 	// Best remote holder per the clairvoyant placement + progress
 	// heuristic.
@@ -450,9 +467,11 @@ func (j *Job) fetchSource(k access.SampleID, pos int, selfHeal bool) ([]byte, So
 			// A fabric error (e.g. the peer shut down first) is treated
 			// like a miss: the PFS always remains available.
 			j.falsePos.Add(1)
+			j.met.falsePositive()
 		default:
 			// Heuristic false positive: the holder has not cached it yet.
 			j.falsePos.Add(1)
+			j.met.falsePositive()
 		}
 	}
 	if j.isClosed() {
@@ -485,7 +504,9 @@ func (j *Job) Get(ctx context.Context) (Sample, bool, error) {
 	}
 	start := time.Now()
 	e, err := j.staging.Pop(ctx)
-	j.stallNanos.Add(int64(time.Since(start)))
+	stalled := time.Since(start)
+	j.stallNanos.Add(int64(stalled))
+	j.met.stall(stalled.Seconds())
 	if err != nil {
 		if fatal := j.fatalErr(); fatal != nil {
 			return Sample{}, false, fatal
@@ -501,6 +522,8 @@ func (j *Job) Get(ctx context.Context) (Sample, bool, error) {
 	j.sourceMu.Unlock()
 
 	j.delivered.Add(1)
+	j.met.deliver()
+	j.met.stagingBytes(j.staging.Used())
 	if j.opts.VerifySamples {
 		if err := verifyPayload(int(e.ID), e.Data); err != nil {
 			return Sample{}, false, err

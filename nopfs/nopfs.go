@@ -38,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/chaos"
 	"repro/internal/storage"
@@ -114,6 +115,16 @@ type Options struct {
 	// VerifySamples CRC-checks every delivered payload against the
 	// dataset's integrity envelope (internal/dataset format).
 	VerifySamples bool
+
+	// Metrics, when non-nil, receives runtime observability series (per-tier
+	// hits/misses, fetch latency, stall time, limiter waits, fabric calls;
+	// see nopfs/metrics.go for the full list). Nil runs the exact
+	// uninstrumented code path.
+	Metrics *MetricsRegistry
+	// TraceFetches, when non-nil, receives one line per staged fetch (rank,
+	// stream position, sample, epoch, source, bytes, duration). Writes are
+	// serialised across ranks; the writer itself need not be thread-safe.
+	TraceFetches io.Writer
 
 	// Chaos is the fault/degradation scenario injected into the run: a
 	// fault-wrapping fabric decorator (latency, jitter, transient fetch

@@ -12,6 +12,8 @@ package nopfs
 //	)
 //	stats, err := nopfs.RunCluster(ctx, ds, workers, opts, fn)
 
+import "io"
+
 // Option mutates an Options value; see NewOptions.
 type Option func(*Options)
 
@@ -100,6 +102,17 @@ func WithFabric(name string) Option {
 // (see ChaosProfile). The empty profile injects nothing.
 func WithChaos(p ChaosProfile) Option {
 	return func(o *Options) { o.Chaos = p }
+}
+
+// WithMetrics threads a metric registry through the run (see
+// NewMetricsRegistry); render it after the run with WritePrometheus.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(o *Options) { o.Metrics = reg }
+}
+
+// WithFetchTrace streams one decision line per staged fetch to w.
+func WithFetchTrace(w io.Writer) Option {
+	return func(o *Options) { o.TraceFetches = w }
 }
 
 // fabricName resolves the effective fabric name: an explicit Fabric wins;

@@ -90,10 +90,74 @@ func runBinary(t *testing.T, name string, args ...string) string {
 // builds and yields an executable.
 func TestSmokeBuildAllMainPackages(t *testing.T) {
 	for _, name := range []string{
-		"nopfs-access", "nopfs-sim", "nopfs-train",
+		"nopfs", "nopfs-access", "nopfs-sim", "nopfs-train",
 		"chaos", "cosmoflow", "imagenet", "quickstart", "sysdesign",
 	} {
 		binary(t, name)
+	}
+}
+
+// TestSmokeNopfsSubcommandMatchesLegacy diffs the consolidated binary's
+// subcommands against the deprecated standalone shims byte for byte — the
+// consolidation contract, observed through real process invocations.
+func TestSmokeNopfsSubcommandMatchesLegacy(t *testing.T) {
+	cases := []struct {
+		legacy string
+		sub    string
+		args   []string
+	}{
+		{"nopfs-sim", "sim", []string{"-scenario", "fig8a", "-scale", "0.005"}},
+		{"nopfs-sim", "sim", []string{"-table1"}},
+		{"nopfs-sim", "sim", []string{"-scenario", "fig8b", "-scale", "0.005", "-format", "csv", "-replicas", "2"}},
+		{"nopfs-train", "train", []string{"-fig", "10", "-scale", "0.05", "-gpus", "32"}},
+		{"nopfs-access", "access", []string{"-f", "2000", "-n", "4", "-e", "6"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.sub+" "+strings.Join(tc.args, " "), func(t *testing.T) {
+			legacy := runBinary(t, tc.legacy, tc.args...)
+			sub := runBinary(t, "nopfs", append([]string{tc.sub}, tc.args...)...)
+			if legacy != sub {
+				t.Errorf("%s and nopfs %s outputs differ:\n-- legacy --\n%s\n-- subcommand --\n%s",
+					tc.legacy, tc.sub, legacy, sub)
+			}
+		})
+	}
+}
+
+// TestSmokeNopfsDryRun runs both --dry-run paths end to end: fast, exit 0,
+// and carrying the plan-analysis sections.
+func TestSmokeNopfsDryRun(t *testing.T) {
+	sim := runBinary(t, "nopfs", "sim", "-scenario", "fig8a", "-scale", "0.005", "-dry-run")
+	for _, want := range []string{"dry run: grid", "placement (NoPFS policy, worker 0):", "predicted fetch mix"} {
+		if !strings.Contains(sim, want) {
+			t.Errorf("nopfs sim -dry-run output missing %q:\n%s", want, sim)
+		}
+	}
+	train := runBinary(t, "nopfs", "train", "-fig", "10", "-scale", "0.02", "-gpus", "32", "-dry-run")
+	for _, want := range []string{"dry run: grid \"fig10-pizdaint\"", "predicted time:"} {
+		if !strings.Contains(train, want) {
+			t.Errorf("nopfs train -dry-run output missing %q:\n%s", want, train)
+		}
+	}
+}
+
+// TestSmokeNopfsRunMetrics exercises the live-cluster subcommand with the
+// Prometheus dump on stdout: the observability acceptance check through a
+// real process.
+func TestSmokeNopfsRunMetrics(t *testing.T) {
+	out := runBinary(t, "nopfs", "run",
+		"-workers", "2", "-epochs", "2", "-samples", "128", "-sample-kb", "8",
+		"-pfs-mbps", "4", "-ram-mb", "1", "-metrics-out", "-")
+	for _, want := range []string{
+		"rank  delivered",
+		"nopfs_fetches_total{",
+		"nopfs_tier_hits_total{",
+		"nopfs_stall_seconds_total{",
+		`nopfs_limiter_wait_seconds_total{limiter="pfs"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("nopfs run output missing %q:\n%s", want, out)
+		}
 	}
 }
 
