@@ -30,8 +30,20 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Static checks, as run by CI's lint job.
+# Static checks, as run by CI's lint job: go vet, gofmt, and the repo's own
+# analyzer suite (internal/analysis, surfaced as `nopfs lint`) enforcing the
+# determinism / ctxfirst / goroutine / metricnames / exitcodes contracts.
+# On failure the recipe prints the suppression grammar so the fix path is
+# one copy-paste away.
 lint: vet fmt
+	@$(GO) run ./cmd/nopfs lint ./... || { \
+	  echo ''; \
+	  echo 'nopfs lint found violations. Fix them, or suppress a single line with'; \
+	  echo '    //lint:ignore <check> <reason>'; \
+	  echo 'placed on (or directly above) the flagged line. The reason is mandatory:'; \
+	  echo 'a reasonless ignore is itself a finding. Checks: determinism, ctxfirst,'; \
+	  echo 'goroutine, metricnames, exitcodes. See README "Static analysis".'; \
+	  exit 1; }
 
 # Two steps (not a pipe) so a failing benchmark run aborts the recipe
 # instead of recording a silently truncated trajectory point. One shell with

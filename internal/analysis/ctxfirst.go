@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+func ctxfirstAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxfirst",
+		Doc: "library APIs are context-first: blocking exported functions take context.Context " +
+			"as the first parameter; library code never calls context.Background()/TODO()",
+		Run: runCtxfirst,
+	}
+}
+
+func runCtxfirst(p *Package) []Diagnostic {
+	if p.mainAdjacent() {
+		return nil
+	}
+	var diags []Diagnostic
+
+	inspectFiles(p, func(_ *ast.File, n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, ok := pkgFuncCall(p.Info, call, "context", "Background", "TODO"); ok {
+				diags = append(diags, p.diag(call.Pos(), "ctxfirst",
+					"context.%s() in library code: accept the caller's context instead (PR 3 contract: "+
+						"cancellation must reach every blocking layer)", name))
+			}
+		}
+		return true
+	})
+
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Context present but misplaced is wrong for any function:
+			// exported or not, ctx threads first by convention.
+			params := fn.Type.Params
+			hasCtx := false
+			for i, field := range params.List {
+				t := exprType(p.Info, field.Type)
+				if t != nil && isContext(t) {
+					hasCtx = true
+					if i > 0 {
+						diags = append(diags, p.diag(field.Pos(), "ctxfirst",
+							"%s: context.Context must be the first parameter", fn.Name.Name))
+					}
+				}
+			}
+			// Exported API that blocks must accept a context at all.
+			if !hasCtx && exportedFunc(fn) {
+				if op, blocks := blockingOp(p, fn.Body); blocks {
+					diags = append(diags, p.diag(fn.Pos(), "ctxfirst",
+						"exported %s blocks (%s) but takes no context.Context", fn.Name.Name, op))
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// blockingOp scans a function body (not nested function literals — a
+// function that merely *launches* concurrent work does not itself block) for
+// operations that can block indefinitely: channel sends/receives, select,
+// ranging over a channel, and sync.WaitGroup.Wait.
+func blockingOp(p *Package, body *ast.BlockStmt) (string, bool) {
+	var op string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			op = "channel send"
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				op = "channel receive"
+			}
+		case *ast.SelectStmt:
+			op = "select"
+		case *ast.RangeStmt:
+			if t := exprType(p.Info, x.X); t != nil && isChan(t) {
+				op = "range over channel"
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if t := exprType(p.Info, sel.X); t != nil && isWaitGroup(t) {
+					op = "sync.WaitGroup.Wait"
+				}
+			}
+		}
+		return op == ""
+	})
+	return op, op != ""
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PatternError marks a package-pattern problem (no such directory, no Go
+// packages matched): a usage error under the CLI's exit-code contract, not a
+// runtime failure.
+type PatternError struct{ msg string }
+
+func (e *PatternError) Error() string { return e.msg }
+
+func patternErrf(format string, a ...any) error {
+	return &PatternError{msg: fmt.Sprintf(format, a...)}
+}
+
+// One process-wide file set and source importer, shared by every Load call:
+// the source importer type-checks each dependency (including the standard
+// library) from source exactly once and caches it, so linting many packages
+// — or many lint invocations in one test binary — pays the cold cost once.
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	sharedImp  = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Match resolves package patterns relative to cwd into package directories
+// (absolute, sorted). Supported forms: "dir", "./dir", and the recursive
+// "dir/..." / "./...". Recursive walks skip testdata, hidden, and "_"
+// directories — name a testdata directory explicitly to lint a fixture.
+func Match(cwd string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		p := pat
+		if p == "..." {
+			p, recursive = ".", true
+		} else if strings.HasSuffix(p, "/...") {
+			p, recursive = strings.TrimSuffix(p, "/..."), true
+		}
+		base := filepath.Join(cwd, filepath.FromSlash(p))
+		st, err := os.Stat(base)
+		if err != nil || !st.IsDir() {
+			return nil, patternErrf("no such package directory: %s", pat)
+		}
+		if !recursive {
+			if !hasGoFiles(base) {
+				return nil, patternErrf("no Go package in %s", pat)
+			}
+			add(base)
+			continue
+		}
+		found := false
+		err = filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != base {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+					return filepath.SkipDir
+				}
+			}
+			if hasGoFiles(path) {
+				found = true
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, patternErrf("no Go packages under %s", pat)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir holds at least one non-test Go source file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceFile reports whether name is a non-test Go source file. Test files
+// are outside the lint surface: the contracts govern library and command
+// code, and tests legitimately use wall clocks, sleeps, and Background
+// contexts.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Load parses and type-checks the non-test sources of the package in dir.
+// root is the module root (used to compute module-relative paths for
+// diagnostics and scope decisions). Parse errors fail the load; type errors
+// do not — the analyzers work from whatever type information resolved, so a
+// package mid-refactor still gets linted.
+func Load(root, dir string) (*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(sharedFset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, path)
+	}
+	if len(files) == 0 {
+		return nil, patternErrf("no Go package in %s", dir)
+	}
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: sharedImp,
+		Error:    func(error) {}, // collect nothing: partial info is enough
+	}
+	tpkg, _ := conf.Check(rel, sharedFset, files, info)
+
+	return &Package{
+		Fset:  sharedFset,
+		Dir:   dir,
+		Rel:   rel,
+		Name:  files[0].Name.Name,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		root:  root,
+	}, nil
+}

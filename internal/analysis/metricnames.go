@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// The nopfs_* namespace contract (PR 7): every series registered on an
+// internal/metrics Registry carries the repo prefix, is snake_case, and ends
+// with the unit suffix its kind demands, so dashboards and alert rules can
+// rely on the shape of every exported name.
+var (
+	metricNameRE = regexp.MustCompile(`^nopfs_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+	// Unit-suffix conventions per metric kind.
+	counterSuffixes   = []string{"_total"}
+	gaugeSuffixes     = []string{"_bytes", "_seconds", "_ratio", "_count"}
+	histogramSuffixes = []string{"_seconds", "_bytes"}
+)
+
+func metricnamesAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "metricnames",
+		Doc: "internal/metrics registrations use constant nopfs_-prefixed snake_case names: " +
+			"counters end _total, histograms _seconds/_bytes, gauges a unit suffix",
+		Run: runMetricnames,
+	}
+}
+
+func runMetricnames(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	inspectFiles(p, func(_ *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind := sel.Sel.Name
+		switch kind {
+		case "Counter", "Gauge", "Histogram":
+		default:
+			return true
+		}
+		recv := exprType(p.Info, sel.X)
+		if recv == nil || !isMetricsRegistry(recv) || len(call.Args) == 0 {
+			return true
+		}
+
+		tv, ok := p.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			diags = append(diags, p.diag(call.Args[0].Pos(), "metricnames",
+				"%s registration: metric name must be a constant string so the exported namespace is auditable", kind))
+			return true
+		}
+		name := constant.StringVal(tv.Value)
+		if !metricNameRE.MatchString(name) {
+			diags = append(diags, p.diag(call.Args[0].Pos(), "metricnames",
+				"metric %q must be nopfs_-prefixed snake_case (matching %s)", name, metricNameRE))
+			return true
+		}
+		var want []string
+		switch kind {
+		case "Counter":
+			want = counterSuffixes
+		case "Gauge":
+			want = gaugeSuffixes
+		case "Histogram":
+			want = histogramSuffixes
+		}
+		for _, suffix := range want {
+			if strings.HasSuffix(name, suffix) {
+				return true
+			}
+		}
+		diags = append(diags, p.diag(call.Args[0].Pos(), "metricnames",
+			"%s %q needs a unit suffix: one of %s", strings.ToLower(kind), name, strings.Join(want, ", ")))
+		return true
+	})
+	return diags
+}
+
+// isMetricsRegistry reports whether t is (a pointer to) the Registry type of
+// an internal/metrics package. Matching on the path suffix keeps the check
+// working for both the real "repro/internal/metrics" and any future module
+// rename.
+func isMetricsRegistry(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Name() != "Registry" {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "internal/metrics" || strings.HasSuffix(path, "/internal/metrics")
+}

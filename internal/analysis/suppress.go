@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// The suppression grammar:
+//
+//	//lint:ignore <check> <reason>
+//
+// An ignore placed on line L silences findings of <check> on line L (inline
+// comment) and line L+1 (comment above the flagged statement). The reason is
+// mandatory and must say *why* the contract does not apply — a reasonless
+// ignore, or one naming an unknown check, is reported as a "suppression"
+// finding and cannot itself be suppressed.
+
+const ignorePrefix = "lint:ignore"
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	file  string
+	line  int
+	check string
+}
+
+// applySuppressions filters diags through the package's //lint:ignore
+// comments and appends a finding for each malformed ignore.
+func applySuppressions(p *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	active := map[suppression]bool{}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // a /* */ group cannot carry line suppressions
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := p.Fset.Position(c.Pos())
+				file := pos.Filename
+				if rel, err := relToSlash(p.root, file); err == nil {
+					file = rel
+				}
+				switch {
+				case len(fields) == 0:
+					out = append(out, p.diag(c.Pos(), "suppression",
+						"malformed ignore: want //lint:ignore <check> <reason>"))
+				case !known[fields[0]]:
+					out = append(out, p.diag(c.Pos(), "suppression",
+						"unknown check %q in //lint:ignore", fields[0]))
+				case len(fields) == 1:
+					out = append(out, p.diag(c.Pos(), "suppression",
+						"//lint:ignore %s needs a reason: say why the contract does not apply here", fields[0]))
+				default:
+					active[suppression{file, pos.Line, fields[0]}] = true
+					active[suppression{file, pos.Line + 1, fields[0]}] = true
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if d.Check != "suppression" && active[suppression{d.File, d.Line, d.Check}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// relToSlash rebases an absolute path onto root in slash form.
+func relToSlash(root, path string) (string, error) {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return "", err
+	}
+	return filepath.ToSlash(rel), nil
+}
+
+// inspectFiles runs fn over every node of every file in the package.
+func inspectFiles(p *Package, fn func(f *ast.File, n ast.Node) bool) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool { return fn(file, n) })
+	}
+}

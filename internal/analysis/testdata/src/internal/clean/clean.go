@@ -1,0 +1,6 @@
+// Package clean is a violation-free fixture: `nopfs lint` must exit 0 here
+// (the CLI exit-code table test depends on it).
+package clean
+
+// Answer returns a constant.
+func Answer() int { return 42 }

@@ -1,0 +1,34 @@
+// Package ctxlib seeds context-contract violations for the ctxfirst fixture.
+package ctxlib
+
+import "context"
+
+// Lookup takes its context in the wrong position.
+func Lookup(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Detached manufactures a root context in library code.
+func Detached() context.Context {
+	return context.Background()
+}
+
+// Todo manufactures the other root.
+func Todo() context.Context {
+	return context.TODO()
+}
+
+// Await blocks on a channel receive without accepting a context.
+func Await(ch chan int) int {
+	return <-ch
+}
+
+// Launch only STARTS concurrent work (the blocking ops live in the literal,
+// which does take the teardown channel) and must NOT be flagged by the
+// blocking heuristic.
+func Launch(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}

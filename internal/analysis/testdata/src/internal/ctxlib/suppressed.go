@@ -1,0 +1,16 @@
+package ctxlib
+
+import "context"
+
+// DetachedQuiet is the suppressed twin of Detached: zero findings expected.
+func DetachedQuiet() context.Context {
+	//lint:ignore ctxfirst fixture: proves a reasoned suppression silences the finding
+	return context.Background()
+}
+
+// AwaitQuiet is the suppressed twin of Await.
+//
+//lint:ignore ctxfirst fixture: structurally bounded helper, caller owns the channel
+func AwaitQuiet(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,18 @@
+// Package exitlib seeds exit-code-contract violations for the exitcodes
+// fixture: library code must return errors, not exit the process.
+package exitlib
+
+import (
+	"log"
+	"os"
+)
+
+// Die exits the process from library code.
+func Die(code int) {
+	os.Exit(code)
+}
+
+// Fail log.Fatals from library code.
+func Fail(err error) {
+	log.Fatalf("fatal: %v", err)
+}

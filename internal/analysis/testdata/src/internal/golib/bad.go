@@ -1,0 +1,55 @@
+// Package golib seeds goroutine-hygiene violations for the fixture tests.
+package golib
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Spin leaks a goroutine with no teardown path at all.
+func Spin() {
+	go func() {
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// Nap busy-waits on a bare sleep in library code.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// tick is a named helper with no teardown evidence; spawning it is flagged
+// at the go statement.
+func tick(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+
+// SpawnNamed launches the untied named helper.
+func SpawnNamed() {
+	go tick(10)
+}
+
+// Tied goroutines must NOT be flagged: WaitGroup, context, and channel
+// evidence each count, including one level deep into a named callee.
+func Tied(ctx context.Context, done chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	go func() {
+		<-done
+	}()
+	go watch(ctx)
+	wg.Wait()
+}
+
+// watch is tied through its context parameter.
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,19 @@
+package golib
+
+import "time"
+
+// NapQuiet is the suppressed twin of Nap: zero findings expected.
+func NapQuiet() {
+	//lint:ignore goroutine fixture: proves a reasoned suppression silences the finding
+	time.Sleep(time.Millisecond)
+}
+
+// SpinQuiet is the suppressed twin of Spin.
+func SpinQuiet() {
+	//lint:ignore goroutine fixture: process-lifetime worker, documented as such
+	go func() {
+		for {
+			_ = 0
+		}
+	}()
+}

@@ -1,0 +1,21 @@
+// Package metlib seeds metric-naming violations for the metricnames fixture.
+package metlib
+
+import "repro/internal/metrics"
+
+// Register registers series that each break one naming rule.
+func Register(r *metrics.Registry, name string) {
+	r.Counter("requests_total", "missing the nopfs_ prefix.")
+	r.Counter("nopfs_Fetches_total", "not snake_case.")
+	r.Counter("nopfs_fetches", "counter without the _total suffix.")
+	r.Gauge("nopfs_queue_depth", "gauge without a unit suffix.")
+	r.Histogram("nopfs_latency", "histogram without a unit suffix.", nil)
+	r.Counter(name, "non-constant metric name.")
+}
+
+// RegisterGood registers fully conforming series and must NOT be flagged.
+func RegisterGood(r *metrics.Registry) {
+	r.Counter("nopfs_requests_total", "conforming counter.")
+	r.Gauge("nopfs_staging_bytes", "conforming gauge.")
+	r.Histogram("nopfs_fetch_seconds", "conforming histogram.", nil)
+}

@@ -1,0 +1,9 @@
+package metlib
+
+import "repro/internal/metrics"
+
+// RegisterQuiet is the suppressed twin of Register: zero findings expected.
+func RegisterQuiet(r *metrics.Registry) {
+	//lint:ignore metricnames fixture: proves a reasoned suppression silences the finding
+	r.Counter("requests_total", "missing the nopfs_ prefix, suppressed.")
+}

@@ -1,0 +1,55 @@
+// Package simfix seeds determinism violations. Its directory masquerades as
+// internal/sim (see Package.EffectivePath), so it exercises exactly the
+// scope rules the real simulation packages are held to.
+package simfix
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock inside the simulation scope.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Elapsed measures wall time inside the simulation scope.
+func Elapsed(t0 time.Time) float64 { return time.Since(t0).Seconds() }
+
+// Draw uses the global math/rand stream instead of a seeded prng.Generator.
+func Draw() int { return rand.Int() }
+
+// Keys feeds map iteration order into an ordered accumulation.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Total accumulates floats in map iteration order (non-associative).
+func Total(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Dump writes map entries to a stream in iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Histo is order-insensitive map work — counting into another map — and
+// must NOT be flagged.
+func Histo(m map[string]int) map[int]int {
+	counts := map[int]int{}
+	for _, v := range m {
+		counts[v]++
+	}
+	return counts
+}

@@ -1,0 +1,16 @@
+package simfix
+
+import "time"
+
+// BadIgnore carries a reasonless suppression: the ignore itself is a finding
+// and does NOT silence the determinism finding below it.
+func BadIgnore() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}
+
+// UnknownIgnore names a check that does not exist.
+func UnknownIgnore() int64 {
+	//lint:ignore nosuchcheck because reasons
+	return time.Now().UnixNano()
+}

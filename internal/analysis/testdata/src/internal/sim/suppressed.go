@@ -1,0 +1,19 @@
+package simfix
+
+import "time"
+
+// StampQuiet proves a reasoned //lint:ignore silences the check: same
+// violation as Stamp, zero findings expected from this file.
+func StampQuiet() int64 {
+	//lint:ignore determinism fixture: proves a reasoned suppression silences the finding
+	return time.Now().UnixNano()
+}
+
+// KeysQuiet proves the inline form works too.
+func KeysQuiet(m map[string]int) []string {
+	var out []string
+	for k := range m { //lint:ignore determinism fixture: caller sorts the result before use
+		out = append(out, k)
+	}
+	return out
+}

@@ -75,6 +75,12 @@ func Commands() []Command {
 			Run:     RunLive,
 			Flags:   func(prog string) *flag.FlagSet { fs, _ := runFlags(prog); return fs },
 		},
+		{
+			Name:    "lint",
+			Summary: "run the repo's static-analysis suite (determinism, ctxfirst, goroutine, metricnames, exitcodes)",
+			Run:     RunLint,
+			Flags:   func(prog string) *flag.FlagSet { fs, _ := lintFlags(prog); return fs },
+		},
 	}
 }
 

@@ -45,6 +45,14 @@ func TestExitCodes(t *testing.T) {
 		{"access ok", []string{"access", "-f", "2000", "-n", "4", "-e", "3"}, ExitOK},
 		{"run bad workers", []string{"run", "-workers", "0"}, ExitUsage},
 		{"run bad chaos", []string{"run", "-chaos", "nonsense:spec"}, ExitUsage},
+		// The lint command joins the same contract: 0 on a clean tree, 1
+		// when the suite finds violations, 2 on a bad flag or pattern. The
+		// fixtures under internal/analysis/testdata provide a known-clean
+		// and a known-dirty package (cli tests run with cwd internal/cli).
+		{"lint clean", []string{"lint", "../analysis/testdata/src/internal/clean"}, ExitOK},
+		{"lint findings", []string{"lint", "../analysis/testdata/src/internal/exitlib"}, ExitError},
+		{"lint bad flag", []string{"lint", "-no-such-flag"}, ExitUsage},
+		{"lint bad pattern", []string{"lint", "./no/such/dir"}, ExitUsage},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// lintOptions holds the lint command's parsed flags.
+type lintOptions struct {
+	JSON bool
+}
+
+// lintFlags builds the lint command's flag set. Positional arguments are
+// package patterns ("./...", "./internal/sim", "dir/..."); the default is
+// the whole module.
+func lintFlags(prog string) (*flag.FlagSet, *lintOptions) {
+	fs := flag.NewFlagSet(prog, flag.ContinueOnError)
+	o := &lintOptions{}
+	fs.BoolVar(&o.JSON, "json", false, "emit findings as a JSON array ([{file,line,col,check,message}])")
+	return fs, o
+}
+
+// RunLint is the `nopfs lint` command: the repo's static-analysis suite
+// (determinism, ctxfirst, goroutine, metricnames, exitcodes — see
+// internal/analysis). Exit codes follow the shared contract: 0 when clean,
+// 1 when there are findings, 2 on a usage error (bad flag or bad package
+// pattern).
+func RunLint(prog string, args []string, stdout, stderr io.Writer) int {
+	fs, o := lintFlags(prog)
+	return execute(prog, fs, args, stderr, nil, func(ctx context.Context) error {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		cwd, err := os.Getwd()
+		if err != nil {
+			return err
+		}
+		diags, err := analysis.Lint(cwd, patterns, analysis.Analyzers())
+		if err != nil {
+			var pe *analysis.PatternError
+			if errors.As(err, &pe) {
+				return usageError{err: err}
+			}
+			return err
+		}
+		if o.JSON {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if diags == nil {
+				diags = []analysis.Diagnostic{}
+			}
+			if err := enc.Encode(diags); err != nil {
+				return err
+			}
+		} else {
+			for _, d := range diags {
+				fmt.Fprintln(stdout, d)
+			}
+		}
+		if n := len(diags); n > 0 {
+			return fmt.Errorf("%d finding(s); fix them, or suppress a line with `//lint:ignore <check> <reason>` (the reason is required)", n)
+		}
+		return nil
+	})
+}

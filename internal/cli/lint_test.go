@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixture packages relative to this package's test cwd (internal/cli).
+const (
+	lintCleanPkg = "../analysis/testdata/src/internal/clean"
+	lintDirtyPkg = "../analysis/testdata/src/internal/exitlib"
+)
+
+// TestLintJSONShape pins the -json output: a valid JSON array of
+// {file,line,col,check,message} objects on a dirty tree, an empty array (not
+// null, not nothing) on a clean one — and the exit code is carried by the
+// process status, not the payload.
+func TestLintJSONShape(t *testing.T) {
+	type finding struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+
+	t.Run("findings", func(t *testing.T) {
+		code, out, _ := runMain("lint", "-json", lintDirtyPkg)
+		if code != ExitError {
+			t.Fatalf("exit %d, want %d", code, ExitError)
+		}
+		var findings []finding
+		if err := json.Unmarshal([]byte(out), &findings); err != nil {
+			t.Fatalf("stdout is not a JSON array: %v\n%s", err, out)
+		}
+		if len(findings) == 0 {
+			t.Fatal("expected findings from the dirty fixture")
+		}
+		for _, f := range findings {
+			if f.File == "" || f.Line == 0 || f.Col == 0 || f.Check == "" || f.Message == "" {
+				t.Errorf("finding with empty fields: %+v", f)
+			}
+			if f.Check != "exitcodes" {
+				t.Errorf("unexpected check %q from the exitcodes fixture", f.Check)
+			}
+		}
+	})
+
+	t.Run("clean is an empty array", func(t *testing.T) {
+		code, out, stderr := runMain("lint", "-json", lintCleanPkg)
+		if code != ExitOK {
+			t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+		}
+		var findings []finding
+		if err := json.Unmarshal([]byte(out), &findings); err != nil {
+			t.Fatalf("stdout is not a JSON array: %v\n%s", err, out)
+		}
+		if findings == nil || len(findings) != 0 {
+			t.Errorf("clean run: want [], got %q", strings.TrimSpace(out))
+		}
+	})
+}
+
+// TestLintFailureHint pins the suppression-syntax hint: when the suite finds
+// violations, stderr tells the developer exactly how to suppress one.
+func TestLintFailureHint(t *testing.T) {
+	code, _, stderr := runMain("lint", lintDirtyPkg)
+	if code != ExitError {
+		t.Fatalf("exit %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(stderr, "//lint:ignore <check> <reason>") {
+		t.Errorf("failure output missing the suppression hint:\n%s", stderr)
+	}
+}
+
+// TestLintTextOutput pins the human format file:line:col: check: message.
+func TestLintTextOutput(t *testing.T) {
+	code, out, _ := runMain("lint", lintDirtyPkg)
+	if code != ExitError {
+		t.Fatalf("exit %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(out, "bad.go:12:2: exitcodes: os.Exit in library code") {
+		t.Errorf("text output drifted:\n%s", out)
+	}
+}

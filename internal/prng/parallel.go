@@ -25,6 +25,8 @@ func (g *Generator) Perm32Into(out []int32) {
 // (workers < 1 means GOMAXPROCS; workers == 1 runs inline). Iterations must
 // be independent: each fn(i) may only write state owned by index i, which
 // is what makes the result order-independent and race-free.
+//
+//lint:ignore ctxfirst structurally bounded: the same call closes jobs and Waits, and fn is pure compute with no cancellation point
 func ParallelFor(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return

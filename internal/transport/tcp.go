@@ -72,6 +72,7 @@ func NewTCPNetwork(n int, limiter *storage.Limiter) ([]*TCPEndpoint, error) {
 			}
 			return nil, fmt.Errorf("transport: listen: %w", err)
 		}
+		//lint:ignore ctxfirst endpoint-lifetime root created at construction; Close calls lifeStop to sever it
 		life, stop := context.WithCancel(context.Background())
 		eps[i] = &TCPEndpoint{rank: i, listener: l, limiter: limiter, life: life, lifeStop: stop}
 		addrs[i] = l.Addr().String()
@@ -95,6 +96,7 @@ func (e *TCPEndpoint) SetHandler(h Handler) {
 	e.handler = h
 	e.mu.Unlock()
 	e.acceptOnce.Do(func() {
+		//lint:ignore goroutine accept loop's teardown is the listener itself: Close closes it and Accept returns an error
 		go func() {
 			for {
 				conn, err := e.listener.Accept()

@@ -130,6 +130,7 @@ func NewChanNetwork(n int, limiter *storage.Limiter) []*ChanEndpoint {
 	}
 	eps := make([]*ChanEndpoint, n)
 	for i := 0; i < n; i++ {
+		//lint:ignore ctxfirst endpoint-lifetime root created at construction; Close calls lifeStop to sever it
 		life, stop := context.WithCancel(context.Background())
 		eps[i] = &ChanEndpoint{
 			rank: i, inboxes: inboxes, dones: dones, limiter: limiter,

@@ -40,6 +40,7 @@ type RankFunc func(ctx context.Context, job *Job) error
 // starting condition.
 func RunCluster(ctx context.Context, ds Dataset, workers int, opts Options, fn RankFunc) ([]Stats, error) {
 	if ctx == nil {
+		//lint:ignore ctxfirst documented nil-ctx fallback: v1 callers passing nil get uncancellable Background semantics
 		ctx = context.Background()
 	}
 	opts = opts.withDefaults()

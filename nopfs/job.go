@@ -110,9 +110,10 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 		staging:  storage.NewStaging(opts.StagingBytes),
 		net:      net,
 		pfs:      shared,
-		ctx:      context.Background(),
-		closed:   make(chan struct{}),
-		met:      newJobMetrics(opts.Metrics, rank, opts.Classes, opts.TraceFetches),
+		//lint:ignore ctxfirst placeholder lifetime before Start(ctx) installs the caller's context; never waited on
+		ctx:    context.Background(),
+		closed: make(chan struct{}),
+		met:    newJobMetrics(opts.Metrics, rank, opts.Classes, opts.TraceFetches),
 	}
 	for _, c := range opts.Classes {
 		b, err := newClassBackend(ctx, rank, c)
@@ -163,6 +164,7 @@ func nodeFromClasses(classes []Class) hwspec.Node {
 // prefetchers and unblocks any waiting consumer in bounded time.
 func (j *Job) Start(ctx context.Context) error {
 	if ctx == nil {
+		//lint:ignore ctxfirst documented nil-ctx fallback: v1 callers passing nil get uncancellable Background semantics
 		ctx = context.Background()
 	}
 	j.ctx, j.cancel = context.WithCancel(ctx)
@@ -306,6 +308,7 @@ func (j *Job) classPrefetcher(class int, fill []access.SampleID, next *atomic.In
 			if j.isClosed() {
 				return
 			}
+			//lint:ignore goroutine 1ms pacing poll bounded by the isClosed check above; Close stops it within one tick
 			time.Sleep(time.Millisecond)
 		}
 		if j.isClosed() {
@@ -500,6 +503,7 @@ func (j *Job) fetchSource(k access.SampleID, pos int, selfHeal bool) ([]byte, So
 // ctx's error.
 func (j *Job) Get(ctx context.Context) (Sample, bool, error) {
 	if ctx == nil {
+		//lint:ignore ctxfirst documented nil-ctx fallback: v1 callers passing nil get uncancellable Background semantics
 		ctx = context.Background()
 	}
 	start := time.Now()
@@ -633,6 +637,8 @@ func (j *Job) Stats() Stats {
 // Close stops the prefetchers, cancels the job's lifetime context, and
 // releases the fabric endpoint. Safe to call after the stream is exhausted
 // or mid-run; it returns only after every prefetcher goroutine has exited.
+//
+//lint:ignore ctxfirst idiomatic io.Closer: shutdown()+cancel above the Wait stop every prefetcher, so the join is bounded
 func (j *Job) Close() error {
 	j.shutdown()
 	if j.cancel != nil {
