@@ -32,7 +32,8 @@ fmt:
 
 # Static checks, as run by CI's lint job: go vet, gofmt, and the repo's own
 # analyzer suite (internal/analysis, surfaced as `nopfs lint`) enforcing the
-# determinism / ctxfirst / goroutine / metricnames / exitcodes contracts.
+# determinism / ctxfirst / goroutine / metricnames / exitcodes / retrybound
+# contracts.
 # On failure the recipe prints the suppression grammar so the fix path is
 # one copy-paste away.
 lint: vet fmt
@@ -42,8 +43,16 @@ lint: vet fmt
 	  echo '    //lint:ignore <check> <reason>'; \
 	  echo 'placed on (or directly above) the flagged line. The reason is mandatory:'; \
 	  echo 'a reasonless ignore is itself a finding. Checks: determinism, ctxfirst,'; \
-	  echo 'goroutine, metricnames, exitcodes. See README "Static analysis".'; \
+	  echo 'goroutine, metricnames, exitcodes, retrybound. See README "Static analysis".'; \
 	  exit 1; }
+
+# Fault-tolerance soak, as run by CI's chaos-soak job: the live chaos
+# matrix (chan + tcp fabrics crossed with the node-crash, flaky-fabric, and
+# meltdown presets) under the race detector with the default resilience
+# policy — exactly-once delivery, crash redistribution, and leak-free
+# teardown get their memory-model audit on every push.
+chaos-soak:
+	$(GO) test -race -count=1 -run 'TestChaosSoak' ./nopfs/
 
 # Two steps (not a pipe) so a failing benchmark run aborts the recipe
 # instead of recording a silently truncated trajectory point. One shell with

@@ -14,7 +14,10 @@
 //   - metricnames — every internal/metrics registration uses a constant
 //     nopfs_-prefixed snake_case name with the unit-suffix conventions;
 //   - exitcodes — os.Exit and log.Fatal* live only in cmd/ and
-//     internal/cli, where the 0/1/2/130 exit-code contract is implemented.
+//     internal/cli, where the 0/1/2/130 exit-code contract is implemented;
+//   - retrybound — retry loops around fabric calls in library code go
+//     through internal/resilience, so every retry is attempt-bounded, backs
+//     off deterministically, and honours the per-peer circuit breaker.
 //
 // Findings are suppressed line by line with
 //
@@ -68,6 +71,7 @@ func Analyzers() []*Analyzer {
 		goroutineAnalyzer(),
 		metricnamesAnalyzer(),
 		exitcodesAnalyzer(),
+		retryboundAnalyzer(),
 	}
 }
 

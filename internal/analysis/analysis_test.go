@@ -20,6 +20,7 @@ var fixtureDirs = []struct{ dir, golden string }{
 	{"internal/golib", "goroutine"},
 	{"internal/metlib", "metricnames"},
 	{"internal/exitlib", "exitcodes"},
+	{"internal/retrylib", "retrybound"},
 	{"internal/clean", "clean"},
 }
 
@@ -61,7 +62,7 @@ func TestFixtureGoldens(t *testing.T) {
 }
 
 // TestFixturesFireEveryAnalyzer is the meta-acceptance check: each of the
-// five analyzers produces at least one finding somewhere in the fixtures,
+// six analyzers produces at least one finding somewhere in the fixtures,
 // and each fixture's suppressed file produces none.
 func TestFixturesFireEveryAnalyzer(t *testing.T) {
 	diags, err := Lint(".", []string{
@@ -70,6 +71,7 @@ func TestFixturesFireEveryAnalyzer(t *testing.T) {
 		"./testdata/src/internal/golib",
 		"./testdata/src/internal/metlib",
 		"./testdata/src/internal/exitlib",
+		"./testdata/src/internal/retrylib",
 	}, Analyzers())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,62 @@
+// Package retrylib seeds unbounded-retry violations for the fixture tests.
+package retrylib
+
+import (
+	"context"
+
+	"repro/internal/transport"
+)
+
+// FetchForever spins on the fabric until the call succeeds: the unbounded
+// inline retry loop the resilience layer exists to replace.
+func FetchForever(ctx context.Context, net transport.Network, to int, req transport.Request) transport.Response {
+	for {
+		resp, err := net.Call(ctx, to, req)
+		if err == nil {
+			return resp
+		}
+	}
+}
+
+// FetchCounted hides the same unbounded loop behind init/post clauses: no
+// condition still means no bound.
+func FetchCounted(ctx context.Context, net transport.Network, req transport.Request) transport.Response {
+	for i := 0; ; i++ {
+		resp, err := net.Call(ctx, i%2, req)
+		if err == nil {
+			return resp
+		}
+	}
+}
+
+// FetchBounded walks a fixed peer range — a conditioned loop is not a
+// retry loop and must not be flagged.
+func FetchBounded(ctx context.Context, net transport.Network, req transport.Request) error {
+	for to := 0; to < 4; to++ {
+		if _, err := net.Call(ctx, to, req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FetchOnce is a single call: nothing to flag.
+func FetchOnce(ctx context.Context, net transport.Network, to int, req transport.Request) (transport.Response, error) {
+	return net.Call(ctx, to, req)
+}
+
+// localCall proves the check is type-based: an unrelated method that merely
+// shares the Call name does not count as a fabric call.
+type localCall struct{}
+
+func (localCall) Call(n int) int { return n }
+
+// SpinLocal loops forever over the look-alike; only the goroutine-free,
+// fabric-free loop body keeps this out of every analyzer's scope.
+func SpinLocal(c localCall) {
+	for {
+		if c.Call(1) > 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package retrylib
+
+import (
+	"context"
+
+	"repro/internal/transport"
+)
+
+// FetchForeverQuiet is the suppressed twin of FetchForever: zero findings
+// expected.
+func FetchForeverQuiet(ctx context.Context, net transport.Network, to int, req transport.Request) transport.Response {
+	//lint:ignore retrybound fixture: proves a reasoned suppression silences the finding
+	for {
+		resp, err := net.Call(ctx, to, req)
+		if err == nil {
+			return resp
+		}
+	}
+}

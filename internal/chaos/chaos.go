@@ -19,9 +19,11 @@
 //     across the survivors, and charges fabric latency/fallbacks;
 //   - the live middleware (package nopfs) wraps the fabric in a
 //     fault-injecting decorator, throttles degraded tiers with
-//     storage.Limiter clocks, and paces straggler ranks. Node crashes are a
-//     simulator-only fault: the live path ignores them (tearing down a live
-//     rank mid-allreduce is out of scope for the reproduction).
+//     storage.Limiter clocks, paces straggler ranks, and enacts node
+//     crashes: the crashed rank delivers its pre-crash prefix and closes
+//     its fabric endpoint, while the survivors absorb its orphaned plan
+//     rounds through the same RedistributeStream rule the simulator uses —
+//     so sim-vs-live stall under one profile converges.
 //
 // The empty Profile compiles to a nil Schedule and both engines skip every
 // chaos hook, so fault-free runs are byte-identical to a build without this

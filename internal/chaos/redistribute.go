@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"repro/internal/access"
+)
+
+// This file is the shared half of the crash-recovery contract: the
+// round-robin redistribution of a crashed worker's plan entries across the
+// survivors. Both engines consult the same pure function of the schedule —
+// the simulator reshapes worker 0's stream before its hot loop
+// (sim.chaosStream) and the live Job reshapes each rank's delivery stream
+// at setup — so sim-vs-live stall under the same crash profile converges
+// and exactly-once delivery is checkable against the union of the
+// redistributed streams (internal/invariant).
+
+// CrashEpoch returns the first epoch at which worker is gone on a cluster
+// of n ranks, or -1 when it never crashes.
+func (s *Schedule) CrashEpoch(worker, n int) int {
+	if s == nil {
+		return -1
+	}
+	first := -1
+	for _, c := range s.p.Crashes {
+		if r, ok := crashRank(c.Worker, n); ok && r == worker {
+			if first < 0 || c.AtEpoch < first {
+				first = c.AtEpoch
+			}
+		}
+	}
+	return first
+}
+
+// survivorOrdinal returns self's index among the survivors (the ranks not
+// in crashed, which is ascending). The ordinal selects self's round-robin
+// share of each orphaned slice.
+func survivorOrdinal(self int, crashed []int) int {
+	ord := self
+	for _, c := range crashed {
+		if c < self {
+			ord--
+		}
+	}
+	return ord
+}
+
+// RedistributeStream applies crash re-planning to one worker's delivery
+// stream. From each crash epoch onwards the crashed workers' plan entries
+// — sliced at the plan's per-epoch boundaries from peerStream — are split
+// round-robin across the survivors in rank order, and self appends its
+// share after its own entries for the epoch. Self's own stream is sliced
+// into epochs near-equal chunks (size len/epochs, remainder spread over
+// the early epochs), so policies that reorder or cycle their stream keep
+// their own epoch structure while still absorbing orphaned entries; for
+// plan-shaped streams (length = epochs x samplesPerEpoch) the chunks
+// coincide with the plan boundaries.
+//
+// If self itself crashes, its stream ends at its crash epoch: the returned
+// stream holds only the pre-crash prefix (own chunks plus any shares of
+// earlier crashes).
+//
+// The second return carries the cumulative end-of-epoch boundaries of the
+// reshaped stream (one entry per epoch self survives the start of). A
+// fault-free schedule returns the stream untouched with nil boundaries —
+// the uniform legacy rule.
+//
+// The function is a stateless pure function of (schedule, arguments): both
+// engines compute identical redistributions from a shared profile, which
+// is what lets the live path recover clairvoyantly — survivors know the
+// orphaned plan rounds without any runtime ownership negotiation.
+func (s *Schedule) RedistributeStream(
+	self, n, epochs int,
+	stream []access.SampleID,
+	samplesPerEpoch func(worker int) int,
+	peerStream func(worker int) []access.SampleID,
+) ([]access.SampleID, []int) {
+	if s == nil || !s.HasCrashes(n) || len(stream) == 0 || epochs <= 0 {
+		return stream, nil
+	}
+	selfCrash := s.CrashEpoch(self, n)
+	e0 := len(stream) / epochs
+	rem := len(stream) % epochs
+	out := make([]access.SampleID, 0, len(stream)+len(stream)/n+1)
+	ends := make([]int, 0, epochs)
+	off := 0
+	for e := 0; e < epochs; e++ {
+		if selfCrash >= 0 && e >= selfCrash {
+			break // self is gone: deliver only the pre-crash prefix
+		}
+		size := e0
+		if e < rem {
+			size++
+		}
+		out = append(out, stream[off:off+size]...)
+		off += size
+		if crashed := s.CrashedWorkers(e, n); len(crashed) > 0 {
+			survivors := n - len(crashed)
+			ord := survivorOrdinal(self, crashed)
+			for _, w := range crashed {
+				// Worker w's plan entries for this epoch, from the shared
+				// plan streams; survivors split them round-robin in rank
+				// order, so survivor ordinal k takes positions lo+k,
+				// lo+k+S, lo+k+2S, ...
+				pe := samplesPerEpoch(w)
+				ws := peerStream(w)
+				lo, hi := e*pe, (e+1)*pe
+				if hi > len(ws) {
+					hi = len(ws)
+				}
+				for i := lo + ord; i < hi; i += survivors {
+					out = append(out, ws[i])
+				}
+			}
+		}
+		ends = append(ends, len(out))
+	}
+	return out, ends
+}
+
+// RedistributedRounds returns how many plan entries RedistributeStream
+// grafted onto self's stream beyond its own chunks — the live engine's
+// nopfs_redistributed_rounds_total accounting.
+func RedistributedRounds(stream, reshaped []access.SampleID, ends []int) int {
+	if ends == nil {
+		return 0
+	}
+	own := len(stream)
+	if len(reshaped) < own {
+		own = len(reshaped) // crashed self: only the delivered prefix is own
+	}
+	return len(reshaped) - own
+}
+
+// SurvivorStreams is a test/verification helper: it redistributes every
+// rank's plan stream under the schedule and returns the per-rank reshaped
+// streams and boundaries, keyed by rank. Ranks that crash get their
+// truncated prefix. The union of the returned streams is exactly the set
+// of samples a live cluster must deliver — the exactly-once oracle.
+func (s *Schedule) SurvivorStreams(n, epochs int,
+	samplesPerEpoch func(worker int) int,
+	peerStream func(worker int) []access.SampleID,
+) (streams [][]access.SampleID, bounds [][]int) {
+	streams = make([][]access.SampleID, n)
+	bounds = make([][]int, n)
+	for r := 0; r < n; r++ {
+		streams[r], bounds[r] = s.RedistributeStream(r, n, epochs, peerStream(r), samplesPerEpoch, peerStream)
+	}
+	return streams, bounds
+}

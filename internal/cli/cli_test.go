@@ -45,6 +45,7 @@ func TestExitCodes(t *testing.T) {
 		{"access ok", []string{"access", "-f", "2000", "-n", "4", "-e", "3"}, ExitOK},
 		{"run bad workers", []string{"run", "-workers", "0"}, ExitUsage},
 		{"run bad chaos", []string{"run", "-chaos", "nonsense:spec"}, ExitUsage},
+		{"run bad resilience", []string{"run", "-resilience", "nonsense:spec"}, ExitUsage},
 		// The lint command joins the same contract: 0 on a clean tree, 1
 		// when the suite finds violations, 2 on a bad flag or pattern. The
 		// fixtures under internal/analysis/testdata provide a known-clean

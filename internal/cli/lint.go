@@ -28,7 +28,7 @@ func lintFlags(prog string) (*flag.FlagSet, *lintOptions) {
 }
 
 // RunLint is the `nopfs lint` command: the repo's static-analysis suite
-// (determinism, ctxfirst, goroutine, metricnames, exitcodes — see
+// (determinism, ctxfirst, goroutine, metricnames, exitcodes, retrybound — see
 // internal/analysis). Exit codes follow the shared contract: 0 when clean,
 // 1 when there are findings, 2 on a usage error (bad flag or bad package
 // pattern).

@@ -28,6 +28,7 @@ type runOptions struct {
 	Seed             uint64
 	Verify           bool
 	Chaos            string
+	Resilience       string
 	MetricsOut       string
 	TraceFetches     string
 	CommonFlags
@@ -54,6 +55,7 @@ func runFlags(prog string) (*flag.FlagSet, *runOptions) {
 	fs.Uint64Var(&o.Seed, "seed", 42, seedHelp)
 	fs.BoolVar(&o.Verify, "verify", false, "CRC-check every delivered sample payload")
 	fs.StringVar(&o.Chaos, "chaos", "", "fault profile injected into the live run: a preset or a spec like \"straggler:1x2@1,tier:0x4,drop:0.05\"")
+	fs.StringVar(&o.Resilience, "resilience", "", "fetch-path fault handling: \"none\", \"default\", or a spec like \"retries:3,backoff:1ms..32ms,jitter:0.25,timeout:250ms,breaker:3@50ms\"")
 	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write Prometheus text metrics to FILE after the run (\"-\" = stdout)")
 	fs.StringVar(&o.TraceFetches, "trace-fetches", "", "write one line per staged fetch to FILE")
 	o.CommonFlags.Register(fs, false)
@@ -72,6 +74,10 @@ func RunLive(prog string, args []string, stdout, stderr io.Writer) int {
 			return usagef("-workers must be at least 1, got %d", o.Workers)
 		}
 		profile, err := chaos.ParseProfile(o.Chaos)
+		if err != nil {
+			return usageError{err: err}
+		}
+		resilience, err := nopfs.ParseResilience(o.Resilience)
 		if err != nil {
 			return usageError{err: err}
 		}
@@ -102,6 +108,7 @@ func RunLive(prog string, args []string, stdout, stderr io.Writer) int {
 			nopfs.WithFabric(o.Fabric),
 			nopfs.WithVerifySamples(o.Verify),
 			nopfs.WithChaos(profile),
+			nopfs.WithResilience(resilience),
 			nopfs.WithMetrics(reg),
 		)
 		var traceFile *os.File

@@ -25,12 +25,19 @@
 //     source decisions or the γ-estimation feedback.
 //   - Determinism: identical grids produce bit-identical encoded reports at
 //     any engine pool width, chaos included.
+//   - Exactly-once delivery (CheckExactlyOnce): under node crashes the
+//     survivors' redistributed streams partition the plan — every scheduled
+//     sample round is delivered exactly once, none lost, none duplicated.
+//   - Live stall bound (CheckLiveStallBound): a live cluster's measured
+//     stall stays inside an order-of-magnitude envelope of the simulator's
+//     prediction for the same plan and fault profile.
 package invariant
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/access"
 	"repro/internal/chaos"
 	"repro/internal/prng"
 	isim "repro/internal/sim"
@@ -123,6 +130,56 @@ func CheckNotSlower(better, worse *isim.Result, law string) error {
 	if better.ExecSeconds > worse.ExecSeconds*(1+Tol) {
 		return fmt.Errorf("invariant: %s violated: %g > %g (%s)",
 			law, better.ExecSeconds, worse.ExecSeconds, better.Policy)
+	}
+	return nil
+}
+
+// CheckExactlyOnce verifies the crash-recovery conservation law: the
+// per-rank delivered id sequences, taken together, form exactly the multiset
+// of sample rounds in the scheduled streams — nothing lost to the crash,
+// nothing delivered twice by the redistribution. The per-rank order is not
+// part of this law (checkable separately against the redistributed streams);
+// conservation is what must survive any redistribution rule.
+func CheckExactlyOnce(delivered [][]int, scheduled [][]access.SampleID) error {
+	need := make(map[int]int)
+	total := 0
+	for _, stream := range scheduled {
+		for _, id := range stream {
+			need[int(id)]++
+			total++
+		}
+	}
+	got := 0
+	for rank, ids := range delivered {
+		for _, id := range ids {
+			if need[id] == 0 {
+				return fmt.Errorf("invariant: rank %d delivered sample %d more times than scheduled", rank, id)
+			}
+			need[id]--
+			got++
+		}
+	}
+	if got != total {
+		return fmt.Errorf("invariant: delivered %d sample rounds, schedule has %d", got, total)
+	}
+	return nil
+}
+
+// CheckLiveStallBound gates a live run's measured stall time against the
+// simulator's prediction for the same plan and fault profile. Live wall
+// clocks are noisy and the simulator models datacenter hardware, so this is
+// deliberately an order-of-magnitude envelope — slack × the simulated stall
+// plus an absolute floor — not a tight band: it catches pathological live
+// behaviour (a fetch path hanging on a dead peer for seconds) while staying
+// robust to CI machine jitter.
+func CheckLiveStallBound(liveSeconds, simSeconds, slack, floorSeconds float64) error {
+	if liveSeconds < 0 || math.IsNaN(liveSeconds) {
+		return fmt.Errorf("invariant: live stall %g not a non-negative time", liveSeconds)
+	}
+	bound := simSeconds*slack + floorSeconds
+	if liveSeconds > bound {
+		return fmt.Errorf("invariant: live stall %gs exceeds sim-predicted bound %gs (sim %gs × %g + %gs floor)",
+			liveSeconds, bound, simSeconds, slack, floorSeconds)
 	}
 	return nil
 }

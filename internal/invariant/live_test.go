@@ -2,13 +2,17 @@ package invariant
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/chaos"
 	"repro/internal/dataset"
+	"repro/internal/hwspec"
 	"repro/internal/prng"
+	isim "repro/internal/sim"
 	"repro/nopfs"
 )
 
@@ -60,24 +64,59 @@ func runLive(t *testing.T, workers, f int, opts nopfs.Options) ([][]int, []nopfs
 	return delivered, stats
 }
 
-// checkExactSchedule asserts every rank received its clairvoyant stream.
-func checkExactSchedule(t *testing.T, delivered [][]int, f, workers int, opts nopfs.Options) {
-	t.Helper()
-	plan := &access.Plan{
+// livePlan derives the access plan a live run follows.
+func livePlan(f, workers int, opts nopfs.Options) *access.Plan {
+	return &access.Plan{
 		Seed: opts.Seed, F: f, N: workers, E: opts.Epochs,
 		BatchPerWorker: opts.BatchPerWorker, DropLast: opts.DropLast,
 	}
+}
+
+// expectedStreams is the delivery oracle: each rank's clairvoyant stream,
+// reshaped by the profile's crash redistribution (a no-op without crashes).
+// This is the exact same rule Job and the simulator apply, so live delivery
+// must match it position for position.
+func expectedStreams(f, workers int, opts nopfs.Options) [][]access.SampleID {
+	plan := livePlan(f, workers, opts)
+	streams := make([][]access.SampleID, workers)
+	for w := range streams {
+		streams[w] = plan.WorkerStream(w)
+	}
+	sched := opts.Chaos.Compile(opts.Seed)
+	reshaped, _ := sched.SurvivorStreams(workers, opts.Epochs, plan.SamplesPerEpoch,
+		func(w int) []access.SampleID { return streams[w] })
+	return reshaped
+}
+
+// checkExactSchedule asserts every rank received exactly its scheduled
+// (possibly crash-redistributed) stream.
+func checkExactSchedule(t *testing.T, delivered [][]int, f, workers int, opts nopfs.Options) {
+	t.Helper()
+	want := expectedStreams(f, workers, opts)
 	for w := 0; w < workers; w++ {
-		want := plan.WorkerStream(w)
-		if len(delivered[w]) != len(want) {
-			t.Fatalf("rank %d delivered %d samples, want %d", w, len(delivered[w]), len(want))
+		if len(delivered[w]) != len(want[w]) {
+			t.Fatalf("rank %d delivered %d samples, want %d", w, len(delivered[w]), len(want[w]))
 		}
-		for i := range want {
-			if delivered[w][i] != int(want[i]) {
-				t.Fatalf("rank %d position %d: got %d, want %d", w, i, delivered[w][i], want[i])
+		for i := range want[w] {
+			if delivered[w][i] != int(want[w][i]) {
+				t.Fatalf("rank %d position %d: got %d, want %d", w, i, delivered[w][i], want[w][i])
 			}
 		}
 	}
+}
+
+// goroutinesSettle polls until the goroutine count drops to limit, failing
+// after a bounded wait — the leak check for live cluster teardown.
+func goroutinesSettle(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= limit {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d running, want <= %d", runtime.NumGoroutine(), limit)
 }
 
 // TestLiveLawsUnderRandomProfiles drives randomized non-structural fault
@@ -107,16 +146,140 @@ func TestLiveLawsUnderRandomProfiles(t *testing.T) {
 	}
 }
 
-// TestLiveCrashProfileIsIgnored pins the documented live semantics of
-// crashes: they are simulator-only, so a crash-bearing profile behaves like
-// the same profile without its crashes — the run completes with exact
-// delivery.
-func TestLiveCrashProfileIsIgnored(t *testing.T) {
+// TestLiveCrashRecovery drives the crash-recovery contract end to end on a
+// real chan-fabric cluster: rank 1 crashes after epoch 0, delivers only its
+// pre-crash prefix, and goes away (its endpoint closes); the survivors
+// absorb its orphaned rounds round-robin by the shared redistribution rule.
+// The laws checked:
+//
+//   - exact per-rank delivery of the redistributed streams;
+//   - exactly-once conservation of the whole plan (CheckExactlyOnce);
+//   - RedistributedRounds accounting matches the orphan count;
+//   - teardown leaks no goroutines despite the mid-run endpoint close;
+//   - the live stall stays inside the simulator's predicted envelope for
+//     the same profile (CheckLiveStallBound).
+func TestLiveCrashRecovery(t *testing.T) {
+	before := runtime.NumGoroutine()
 	const workers, f = 3, 48
 	opts := liveOptions(99)
 	opts.Chaos = nopfs.ChaosProfile{
+		Name:    "crash",
 		Crashes: []chaos.Crash{{Worker: 1, AtEpoch: 1}},
 	}
-	delivered, _ := runLive(t, workers, f, opts)
+	opts.Resilience = nopfs.DefaultResilience()
+
+	delivered, stats := runLive(t, workers, f, opts)
 	checkExactSchedule(t, delivered, f, workers, opts)
+
+	plan := livePlan(f, workers, opts)
+	planStreams := make([][]access.SampleID, workers)
+	for w := range planStreams {
+		planStreams[w] = plan.WorkerStream(w)
+	}
+	if err := CheckExactlyOnce(delivered, planStreams); err != nil {
+		t.Error(err)
+	}
+
+	// The crashed rank absorbs nothing; the survivors absorb exactly its
+	// orphaned rounds between them.
+	orphaned := len(planStreams[1]) - len(delivered[1])
+	if orphaned <= 0 {
+		t.Fatalf("crash at epoch 1 orphaned %d rounds, want > 0", orphaned)
+	}
+	var absorbed int64
+	for _, s := range stats {
+		if s.Rank == 1 {
+			if s.RedistributedRounds != 0 {
+				t.Errorf("crashed rank reports %d redistributed rounds, want 0", s.RedistributedRounds)
+			}
+			continue
+		}
+		if s.RedistributedRounds <= 0 {
+			t.Errorf("survivor rank %d absorbed %d rounds, want > 0", s.Rank, s.RedistributedRounds)
+		}
+		absorbed += s.RedistributedRounds
+	}
+	if absorbed != int64(orphaned) {
+		t.Errorf("survivors absorbed %d rounds, crash orphaned %d", absorbed, orphaned)
+	}
+
+	// Stall envelope: simulate the same plan and profile and require the
+	// live stall to stay within an order-of-magnitude gate of the
+	// prediction. The chan fabric on 2 KiB samples is far faster than the
+	// simulated datacenter, so this catches hangs, not percentage drift.
+	var maxStall float64
+	for _, s := range stats {
+		if s.StallSeconds > maxStall {
+			maxStall = s.StallSeconds
+		}
+	}
+	sim := simStallFor(t, f, workers, opts)
+	if err := CheckLiveStallBound(maxStall, sim, 50, 2.0); err != nil {
+		t.Error(err)
+	}
+
+	// +2 of slack: the runtime may keep a finalizer/timer goroutine warm.
+	goroutinesSettle(t, before+2)
+}
+
+// simStallFor predicts the stall time of the live configuration's plan and
+// chaos profile with the simulator's NoPFS policy.
+func simStallFor(t *testing.T, f, workers int, opts nopfs.Options) float64 {
+	t.Helper()
+	ds := dataset.MustNew(dataset.Spec{
+		Name: "invariant-live", F: f, MeanSize: 2048, StddevSize: 512, Classes: 10, Seed: 5,
+	})
+	cfg := isim.Config{
+		Sys: hwspec.SmallCluster(),
+		Work: hwspec.Workload{
+			Name: "crash-recovery", ComputeMBps: 64, PreprocMBps: 200,
+			BatchPerWorker: opts.BatchPerWorker, Epochs: opts.Epochs, Workers: workers,
+		},
+		DS: ds, Seed: opts.Seed, DropLast: opts.DropLast, Chaos: opts.Chaos,
+	}
+	pol, err := isim.PolicyByName(isim.NameNoPFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := isim.Run(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed {
+		t.Fatalf("sim prediction failed: %s", r.FailReason)
+	}
+	return r.StallSeconds
+}
+
+// TestLiveCrashLawsUnderRandomProfiles extends the random-profile law suite
+// to structural faults: random profiles that may include node crashes (plus
+// stragglers, degraded tiers, and flaky fabrics) must still deliver the
+// redistributed streams exactly, conserve the plan exactly once, and tear
+// down clean.
+func TestLiveCrashLawsUnderRandomProfiles(t *testing.T) {
+	g := prng.New(0xC4A5)
+	for trial := 0; trial < 3; trial++ {
+		const workers, f = 3, 48
+		opts := liveOptions(g.Uint64())
+		opts.Chaos = RandomProfile(g.Derive(uint64(trial)), workers, opts.Epochs, len(opts.Classes), true)
+		opts.Chaos.Fabric.LatencySeconds /= 10
+		opts.Chaos.Fabric.JitterSeconds /= 10
+		opts.Resilience = nopfs.DefaultResilience()
+		delivered, stats := runLive(t, workers, f, opts)
+		checkExactSchedule(t, delivered, f, workers, opts)
+
+		plan := livePlan(f, workers, opts)
+		planStreams := make([][]access.SampleID, workers)
+		for w := range planStreams {
+			planStreams[w] = plan.WorkerStream(w)
+		}
+		if err := CheckExactlyOnce(delivered, planStreams); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+		for _, s := range stats {
+			if s.StallSeconds < 0 {
+				t.Errorf("trial %d rank %d: negative stall %g", trial, s.Rank, s.StallSeconds)
+			}
+		}
+	}
 }

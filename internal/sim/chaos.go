@@ -60,47 +60,12 @@ func chaosAdjust(env *Env, sched *chaos.Schedule, epoch, f int, sz float64, choi
 // boundaries; a fault-free schedule returns the stream untouched with nil
 // boundaries (the uniform legacy rule).
 //
-// Redistribution slices the policy's stream into E near-equal chunks, so
-// policies that reorder or cycle their stream (DeepIO opportunistic,
-// ParallelStaging) keep their own epoch structure while still absorbing the
-// crashed workers' plan entries.
+// The redistribution rule itself lives in chaos.RedistributeStream, shared
+// verbatim with the live engine (nopfs) so sim-vs-live stall under the same
+// crash profile converges; the simulator evaluates it for worker 0, which
+// crashRank guarantees is always a survivor.
 func chaosStream(env *Env, stream []access.SampleID) ([]access.SampleID, []int) {
-	sched := env.Chaos
-	n := env.Plan.N
-	if sched == nil || !sched.HasCrashes(n) || len(stream) == 0 {
-		return stream, nil
-	}
-	e0 := len(stream) / env.Plan.E
-	rem := len(stream) % env.Plan.E
-	out := make([]access.SampleID, 0, len(stream)+len(stream)/n+1)
-	ends := make([]int, 0, env.Plan.E)
-	off := 0
-	for e := 0; e < env.Plan.E; e++ {
-		size := e0
-		if e < rem {
-			size++
-		}
-		out = append(out, stream[off:off+size]...)
-		off += size
-		if crashed := sched.CrashedWorkers(e, n); len(crashed) > 0 {
-			survivors := n - len(crashed)
-			for _, w := range crashed {
-				// Worker w's plan entries for this epoch, from the shared
-				// artifact streams.
-				pe := env.Plan.SamplesPerEpoch(w)
-				ws := env.Art.Streams[w]
-				lo, hi := e*pe, (e+1)*pe
-				if hi > len(ws) {
-					hi = len(ws)
-				}
-				// Survivors split the orphaned entries round-robin; worker 0
-				// is survivor index 0 and takes positions 0, S, 2S, ...
-				for i := lo; i < hi; i += survivors {
-					out = append(out, ws[i])
-				}
-			}
-		}
-		ends = append(ends, len(out))
-	}
-	return out, ends
+	return env.Chaos.RedistributeStream(0, env.Plan.N, env.Plan.E, stream,
+		env.Plan.SamplesPerEpoch,
+		func(w int) []access.SampleID { return env.Art.Streams[w] })
 }

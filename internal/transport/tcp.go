@@ -35,6 +35,10 @@ type TCPEndpoint struct {
 	// acceptOnce ensures one accept loop no matter how often the handler
 	// is replaced, matching ChanEndpoint.
 	acceptOnce sync.Once
+	// closeOnce makes Close idempotent: a crash handler may close the
+	// endpoint early and Job.Close will close it again on teardown.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // track registers an open connection; it reports false (and closes the
@@ -154,85 +158,117 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 // Call implements Network. Connections are per-call: simple, correct, and
 // plenty for loopback validation (a production fabric would pool them).
 // Canceling ctx severs the connection, unblocking any in-flight read or
-// write with ctx's error.
+// write with ctx's error. A severed or half-closed connection fails fast
+// with an ErrUnreachable-classified error after one re-dial: requests are
+// idempotent reads, so retrying a broken exchange on a fresh connection is
+// safe, and a second consecutive break means the peer is genuinely gone.
 func (e *TCPEndpoint) Call(ctx context.Context, to int, req Request) (Response, error) {
+	resp, err, retryable := e.callOnce(ctx, to, req)
+	if retryable && ctx.Err() == nil {
+		resp, err, _ = e.callOnce(ctx, to, req)
+	}
+	return resp, err
+}
+
+// callOnce performs one dial-exchange-close cycle. The third return
+// reports whether the failure was a connection-level break worth one
+// re-dial (as opposed to cancellation, a closed endpoint, or a protocol
+// error).
+func (e *TCPEndpoint) callOnce(ctx context.Context, to int, req Request) (Response, error, bool) {
 	if to < 0 || to >= len(e.addrs) {
-		return Response{}, fmt.Errorf("transport: rank %d out of range", to)
+		return Response{}, fmt.Errorf("transport: rank %d out of range", to), false
 	}
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
-		return Response{}, ErrClosed
+		return Response{}, ErrClosed, false
 	}
 	if err := ctx.Err(); err != nil {
-		return Response{}, err
+		return Response{}, err, false
 	}
 	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", e.addrs[to])
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return Response{}, cerr
+			return Response{}, cerr, false
 		}
-		return Response{}, fmt.Errorf("transport: dial rank %d: %w", to, err)
+		// A refused or failed dial is peer-down evidence: the peer's
+		// listener is gone (its Close ran) or the host is unreachable.
+		return Response{}, fmt.Errorf("transport: dial rank %d: %w: %w", to, ErrUnreachable, err), true
 	}
 	// Register the outgoing connection so closing this endpoint severs
 	// in-flight calls; Close may have raced the dial, in which case track
 	// already closed the connection. Cancellation severs it the same way.
 	if !e.track(conn) {
-		return Response{}, ErrClosed
+		return Response{}, ErrClosed, false
 	}
 	defer e.untrack(conn)
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	// ctxErr maps an I/O failure to the context's error when the failure
-	// was caused by cancellation severing the connection.
-	ctxErr := func(err error) error {
+	// sever maps an I/O failure on the established connection: to the
+	// context's error when cancellation severed it, to ErrClosed when our
+	// own Close did, and otherwise to an ErrUnreachable-classified broken
+	// connection (the peer closed, crashed, or reset mid-exchange) that
+	// the caller may retry on a fresh dial.
+	sever := func(op string, err error) (Response, error, bool) {
 		if cerr := ctx.Err(); cerr != nil {
-			return cerr
+			return Response{}, cerr, false
 		}
-		return err
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return Response{}, ErrClosed, false
+		}
+		return Response{}, fmt.Errorf("transport: %s rank %d: %w: %w", op, to, ErrUnreachable, err), true
 	}
 
 	var buf [reqSize]byte
 	encodeRequest(&buf, e.rank, req)
 	if _, err := conn.Write(buf[:]); err != nil {
-		return Response{}, ctxErr(err)
+		return sever("write to", err)
 	}
 
 	var head [respHeadSize]byte
 	if _, err := io.ReadFull(conn, head[:]); err != nil {
-		return Response{}, ctxErr(err)
+		return sever("read from", err)
 	}
 	resp, n, err := decodeResponseHeader(head[:])
 	if err != nil {
-		return Response{}, ctxErr(err)
+		// A malformed header is a protocol error, not a broken peer; do
+		// not classify it as unreachable or retry it.
+		return Response{}, fmt.Errorf("transport: response from rank %d: %w", to, err), false
 	}
 	if n > 0 {
 		resp.Data = make([]byte, n)
 		if _, err := io.ReadFull(conn, resp.Data); err != nil {
-			return Response{}, ctxErr(err)
+			return sever("read from", err)
 		}
 	}
-	return resp, nil
+	return resp, nil, false
 }
 
 // Close implements Network: it stops accepting, cancels the lifetime
 // context, severs every open connection (unblocking in-flight Calls and
 // serve loops on both sides), and marks the endpoint so later Calls fail
-// fast with ErrClosed.
+// fast with ErrClosed. It is idempotent: a crash handler may close the
+// endpoint early and the job's teardown will close it again.
 func (e *TCPEndpoint) Close() error {
-	e.mu.Lock()
-	e.closed = true
-	conns := make([]net.Conn, 0, len(e.conns))
-	for c := range e.conns {
-		conns = append(conns, c)
-	}
-	e.conns = nil
-	e.mu.Unlock()
-	e.lifeStop()
-	for _, c := range conns {
-		c.Close()
-	}
-	return e.listener.Close()
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		conns := make([]net.Conn, 0, len(e.conns))
+		for c := range e.conns {
+			conns = append(conns, c)
+		}
+		e.conns = nil
+		e.mu.Unlock()
+		e.lifeStop()
+		for _, c := range conns {
+			c.Close()
+		}
+		e.closeErr = e.listener.Close()
+	})
+	return e.closeErr
 }

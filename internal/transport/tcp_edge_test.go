@@ -179,6 +179,136 @@ func TestTCPProtocolEdgeCases(t *testing.T) {
 				if r.err == nil {
 					t.Fatalf("fetch to closed peer succeeded: %+v", r.resp)
 				}
+				// The refused dial must carry the peer-down classification.
+				if !errors.Is(r.err, ErrUnreachable) {
+					t.Fatalf("want ErrUnreachable from refused dial, got %v", r.err)
+				}
+			},
+		},
+		{
+			// A peer that accepts and then half-closes every connection
+			// (reads the request, never answers) must fail fast with the
+			// peer-down classification — even across the one re-dial —
+			// not hang the caller.
+			name: "half-closed connection fails fast",
+			run: func(t *testing.T) {
+				halfClosed, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer halfClosed.Close()
+				go func() {
+					for {
+						conn, err := halfClosed.Accept()
+						if err != nil {
+							return
+						}
+						go func(conn net.Conn) {
+							defer conn.Close()
+							var buf [reqSize]byte
+							io.ReadFull(conn, buf[:]) // consume, never answer
+						}(conn)
+					}
+				}()
+
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[0].Close()
+				defer eps[1].Close()
+				eps[0].SetHandler(echoHandler(0))
+				eps[1].SetHandler(echoHandler(1))
+				eps[0].addrs[1] = halfClosed.Addr().String() // addrs slice is shared
+
+				r := callWithin(t, 5*time.Second, func() (Response, error) {
+					return eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2})
+				})
+				if !errors.Is(r.err, ErrUnreachable) {
+					t.Fatalf("want ErrUnreachable from half-closed peer, got resp=%+v err=%v", r.resp, r.err)
+				}
+			},
+		},
+		{
+			// A connection that breaks on the first exchange but serves the
+			// second must succeed through Call's single re-dial.
+			name: "one re-dial recovers a broken exchange",
+			run: func(t *testing.T) {
+				flaky, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer flaky.Close()
+				conns := make(chan int, 16)
+				go func() {
+					n := 0
+					for {
+						conn, err := flaky.Accept()
+						if err != nil {
+							return
+						}
+						n++
+						conns <- n
+						go func(conn net.Conn, n int) {
+							defer conn.Close()
+							var buf [reqSize]byte
+							if _, err := io.ReadFull(conn, buf[:]); err != nil {
+								return
+							}
+							if n == 1 {
+								return // first exchange: sever after the request
+							}
+							var head [respHeadSize]byte
+							resp := Response{OK: true, Data: []byte("redialed")}
+							if err := encodeResponseHeader(&head, resp); err != nil {
+								return
+							}
+							conn.Write(head[:])
+							conn.Write(resp.Data)
+						}(conn, n)
+					}
+				}()
+
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[0].Close()
+				defer eps[1].Close()
+				eps[0].SetHandler(echoHandler(0))
+				eps[1].SetHandler(echoHandler(1))
+				eps[0].addrs[1] = flaky.Addr().String() // addrs slice is shared
+
+				r := callWithin(t, 5*time.Second, func() (Response, error) {
+					return eps[0].Call(bg, 1, Request{Kind: KindFetch, Sample: 2})
+				})
+				if r.err != nil || !r.resp.OK || string(r.resp.Data) != "redialed" {
+					t.Fatalf("re-dial did not recover: resp=%+v err=%v", r.resp, r.err)
+				}
+				if got := <-conns; got != 1 {
+					t.Fatalf("first connection numbered %d", got)
+				}
+				if got := <-conns; got != 2 {
+					t.Fatalf("expected exactly one re-dial, second connection numbered %d", got)
+				}
+			},
+		},
+		{
+			// Close must be idempotent: a crash handler closes the endpoint
+			// early and the job's teardown closes it again.
+			name: "double close is safe",
+			run: func(t *testing.T) {
+				eps, err := NewTCPNetwork(2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer eps[1].Close()
+				eps[0].SetHandler(echoHandler(0))
+				first := eps[0].Close()
+				second := eps[0].Close()
+				if first != second {
+					t.Fatalf("double Close changed its result: %v then %v", first, second)
+				}
 			},
 		},
 		{

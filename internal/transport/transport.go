@@ -89,6 +89,12 @@ func AllgatherValue(ctx context.Context, n Network, mine uint64) ([]uint64, erro
 // ErrClosed is returned when calling through a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
 
+// ErrUnreachable is returned when the peer itself cannot be reached —
+// refused dials, severed connections, a peer that shut down. It is
+// peer-down evidence for the resilience layer's failure classification,
+// distinct from ErrClosed (our own endpoint is closed).
+var ErrUnreachable = errors.New("transport: peer unreachable")
+
 // chanCall is one in-flight request on the channel fabric.
 type chanCall struct {
 	from  int
@@ -196,7 +202,7 @@ func (e *ChanEndpoint) Call(ctx context.Context, to int, req Request) (Response,
 	case <-e.dones[e.rank]:
 		return Response{}, ErrClosed
 	case <-e.dones[to]:
-		return Response{}, ErrClosed
+		return Response{}, fmt.Errorf("transport: rank %d: %w", to, ErrUnreachable)
 	}
 	select {
 	case resp := <-reply:
@@ -206,7 +212,7 @@ func (e *ChanEndpoint) Call(ctx context.Context, to int, req Request) (Response,
 	case <-e.dones[e.rank]:
 		return Response{}, ErrClosed
 	case <-e.dones[to]:
-		return Response{}, ErrClosed
+		return Response{}, fmt.Errorf("transport: rank %d: %w", to, ErrUnreachable)
 	}
 }
 

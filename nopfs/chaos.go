@@ -20,14 +20,20 @@ import (
 //   - tierThrottle paces reads from a degraded storage class through a
 //     storage.Limiter whose rate follows the schedule epoch by epoch;
 //   - the Job paces straggler ranks by stretching each fetch to Factor×
-//     its measured duration.
+//     its measured duration;
+//   - node crashes are enacted: the crashed rank delivers only its
+//     pre-crash prefix and then closes its fabric endpoint, while
+//     survivors absorb its orphaned plan rounds via the shared
+//     chaos.RedistributeStream rule (see Job's crash handling in job.go).
 //
 // The empty profile installs none of this: the run takes exactly the
-// fault-free code path. Node crashes are simulator-only and ignored here.
+// fault-free code path.
 
-// errChaosDrop is the injected transient fabric failure. Jobs treat any
-// fabric Call error as a remote miss and fall back to the PFS, so a dropped
-// fetch degrades throughput without failing the run.
+// errChaosDrop is the injected transient fabric failure. Jobs classify it
+// as transient: with a resilience policy it is retried with backoff, and
+// on exhaustion (or with the zero policy, immediately) the fetch falls
+// back to the PFS, so a dropped fetch degrades throughput without failing
+// the run.
 var errChaosDrop = errors.New("nopfs: chaos: injected transient fabric failure")
 
 // chaosFabric wraps a fabric so every built endpoint injects faults.

@@ -103,14 +103,23 @@ func RunCluster(ctx context.Context, ds Dataset, workers int, opts Options, fn R
 		jobs[rank] = j
 	}
 	// Start after all handlers are installed (the allgather needs every
-	// endpoint serving).
+	// endpoint serving), and barrier between Start and the training loops:
+	// a rank whose chaos schedule crashes it early must not close its
+	// endpoint while a slower peer is still mid-allgather. Real launchers
+	// have the same property — initialisation completes collectively before
+	// any rank trains. Every Start returns (success or error), so the
+	// barrier cannot deadlock.
 	errs := make([]error, workers)
-	var wg sync.WaitGroup
+	var wg, started sync.WaitGroup
+	started.Add(workers)
 	for rank := range jobs {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if err := jobs[rank].Start(ctx); err != nil {
+			err := jobs[rank].Start(ctx)
+			started.Done()
+			started.Wait()
+			if err != nil {
 				errs[rank] = err
 				return
 			}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/hwspec"
 	"repro/internal/plancache"
+	"repro/internal/resilience"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -45,6 +47,25 @@ type Job struct {
 	// chaosTiers throttle this rank's degraded storage classes.
 	chaosSched *chaos.Schedule
 	chaosTiers map[int]*tierThrottle
+
+	// Crash recovery (all zero/nil without a crash profile): epochEnds
+	// carries the redistributed stream's unequal cumulative epoch
+	// boundaries (nil = the uniform legacy rule); crashEpoch is this
+	// rank's own scheduled crash epoch (-1 = survivor); redistributed is
+	// the plan-round count grafted from crashed peers.
+	epochEnds     []int
+	crashEpoch    int
+	redistributed int64
+	crashOnce     sync.Once
+
+	// res is the fetch path's resilience policy (empty = the legacy
+	// single-attempt path); breakers holds one per-peer circuit breaker
+	// when the policy sets a threshold (nil entries for self); retrySeq
+	// feeds each retry loop's deterministic backoff key.
+	res      resilience.Policy
+	breakers []*resilience.Breaker
+	retrySeq atomic.Uint64
+	retries  atomic.Int64
 
 	// ctx is the job's lifetime context: derived in Start from the caller's
 	// context, canceled by Close. Prefetchers block under it, so cancellation
@@ -102,18 +123,60 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 	assign := art.Assignment(plancache.FamilyNoPFS, ds, node, func() *cachepolicy.Assignment {
 		return cachepolicy.BuildNoPFSFromStreams(plan, art.Streams, ds, node)
 	})
+	// Crash re-planning happens before the struct is wired: under a crash
+	// profile every rank reshapes its delivery stream with the shared
+	// redistribution rule (chaos.RedistributeStream — the same pure
+	// function the simulator evaluates), so survivors absorb the crashed
+	// ranks' orphaned plan rounds clairvoyantly and a crashed rank keeps
+	// only its pre-crash prefix. Fault-free runs take art.Streams[rank]
+	// untouched.
+	sched := opts.Chaos.Compile(opts.Seed)
+	stream := art.Streams[rank]
+	var ends []int
+	crashEpoch := sched.CrashEpoch(rank, workers)
+	if sched.HasCrashes(workers) {
+		stream, ends = sched.RedistributeStream(rank, workers, plan.E, stream,
+			plan.SamplesPerEpoch,
+			func(w int) []access.SampleID { return art.Streams[w] })
+	}
 	j := &Job{
 		rank: rank, opts: opts, ds: ds, plan: plan, digest: plan.Hash(),
-		assign:   assign,
-		stream:   art.Streams[rank],
-		perEpoch: plan.SamplesPerEpoch(rank),
-		staging:  storage.NewStaging(opts.StagingBytes),
-		net:      net,
-		pfs:      shared,
+		assign:        assign,
+		stream:        stream,
+		perEpoch:      plan.SamplesPerEpoch(rank),
+		epochEnds:     ends,
+		crashEpoch:    crashEpoch,
+		redistributed: int64(chaos.RedistributedRounds(art.Streams[rank], stream, ends)),
+		staging:       storage.NewStaging(opts.StagingBytes),
+		net:           net,
+		pfs:           shared,
+		res:           opts.Resilience,
 		//lint:ignore ctxfirst placeholder lifetime before Start(ctx) installs the caller's context; never waited on
 		ctx:    context.Background(),
 		closed: make(chan struct{}),
 		met:    newJobMetrics(opts.Metrics, rank, opts.Classes, opts.TraceFetches),
+	}
+	j.met.redistributedRounds(int(j.redistributed))
+	if j.res.BreakerThreshold > 0 {
+		// One circuit breaker per peer: consecutive fabric failures open
+		// it (the peer is marked down and fetches demote to the PFS);
+		// after the cooldown a half-open probe re-admits a recovered peer.
+		j.breakers = make([]*resilience.Breaker, workers)
+		for p := 0; p < workers; p++ {
+			if p == rank {
+				continue
+			}
+			peer := p
+			j.breakers[p] = resilience.NewBreaker(j.res, func(from, to resilience.BreakerState) {
+				j.met.circuitTransition(peer, from.String(), to.String())
+				switch {
+				case to == resilience.Open && from == resilience.Closed:
+					j.met.peersDown(1)
+				case to == resilience.Closed:
+					j.met.peersDown(-1)
+				}
+			})
+		}
 	}
 	for _, c := range opts.Classes {
 		b, err := newClassBackend(ctx, rank, c)
@@ -122,7 +185,7 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 		}
 		j.backends = append(j.backends, b)
 	}
-	if sched := opts.Chaos.Compile(opts.Seed); sched != nil {
+	if sched != nil {
 		j.chaosSched = sched
 		for _, class := range sched.DegradedClasses() {
 			if class < len(opts.Classes) {
@@ -390,8 +453,17 @@ func (j *Job) stagingPrefetcher() {
 }
 
 // epochOf maps a stream position to its training epoch (clamped to the
-// plan's final epoch for the tail of uneven streams).
+// plan's final epoch for the tail of uneven streams). A redistributed
+// stream carries unequal epoch boundaries (epochEnds), so the epoch is the
+// first boundary past pos; fault-free streams keep the uniform division.
 func (j *Job) epochOf(pos int) int {
+	if j.epochEnds != nil {
+		e := sort.SearchInts(j.epochEnds, pos+1)
+		if e >= len(j.epochEnds) {
+			e = len(j.epochEnds) - 1
+		}
+		return e
+	}
 	if j.perEpoch <= 0 {
 		return 0
 	}
@@ -400,6 +472,22 @@ func (j *Job) epochOf(pos int) int {
 		e = j.plan.E - 1
 	}
 	return e
+}
+
+// epochIter maps a stream position to the (epoch, iteration) pair Get
+// reports. The fault-free branch is the exact legacy arithmetic; a
+// redistributed stream derives the iteration from the offset into its
+// unequal epoch chunk.
+func (j *Job) epochIter(pos int) (int, int) {
+	if j.epochEnds == nil {
+		return pos / j.perEpoch, (pos % j.perEpoch) / j.opts.BatchPerWorker
+	}
+	e := j.epochOf(pos)
+	start := 0
+	if e > 0 {
+		start = j.epochEnds[e-1]
+	}
+	return e, (pos - start) / j.opts.BatchPerWorker
 }
 
 // chaosSleep pauses the fetch path for the straggler pacing delay,
@@ -460,17 +548,38 @@ func (j *Job) fetchSource(k access.SampleID, pos int, selfHeal bool) ([]byte, So
 		j.met.tierLookup(ci, false)
 	}
 	// Best remote holder per the clairvoyant placement + progress
-	// heuristic.
-	if _, holder := j.assign.RemoteAvail(j.rank, k, int32(pos)); holder >= 0 {
-		resp, err := j.net.Call(j.ctx, holder, transport.Request{Kind: transport.KindFetch, Sample: k})
+	// heuristic. A holder the schedule says has crashed by this epoch is
+	// demoted to the PFS without a call — the simulator's crashed-holder
+	// reroute (sim.chaosAdjust), which never counts a false positive.
+	if _, holder := j.assign.RemoteAvail(j.rank, k, int32(pos)); holder >= 0 &&
+		!j.chaosSched.CrashedAt(holder, j.epochOf(pos), j.plan.N) {
+		resp, err := j.remoteFetch(holder, k)
 		switch {
 		case err == nil && resp.OK:
 			return resp.Data, SourceRemote, nil
 		case err != nil:
-			// A fabric error (e.g. the peer shut down first) is treated
-			// like a miss: the PFS always remains available.
-			j.falsePos.Add(1)
-			j.met.falsePositive()
+			switch resilience.Classify(j.ctx, err) {
+			case resilience.Aborted:
+				// Our own context ended: abort the fetch, never mask the
+				// cancellation as a miss (it would double-count a PFS
+				// fallback and stall against a tearing-down run).
+				return nil, SourceRemote, errJobClosed
+			case resilience.PeerDown:
+				// The peer is unreachable (dead endpoint or open
+				// circuit): demote to the PFS. An open circuit never
+				// reached the fabric, so only a real failed call counts
+				// as a heuristic false positive.
+				if !errors.Is(err, resilience.ErrCircuitOpen) {
+					j.falsePos.Add(1)
+					j.met.falsePositive()
+				}
+			default:
+				// Transient failure (injected chaos drop, expired
+				// per-attempt deadline) with the retry budget exhausted:
+				// the PFS always remains available.
+				j.falsePos.Add(1)
+				j.met.falsePositive()
+			}
 		default:
 			// Heuristic false positive: the holder has not cached it yet.
 			j.falsePos.Add(1)
@@ -495,6 +604,50 @@ func (j *Job) fetchSource(k access.SampleID, pos int, selfHeal bool) ([]byte, So
 		}
 	}
 	return data, SourcePFS, nil
+}
+
+// remoteFetch performs one peer fetch under the resilience policy. With
+// the zero policy it is the legacy single attempt on the job's context;
+// otherwise resilience.Do applies the per-attempt deadline, bounded
+// deterministic backoff (keyed on seed/rank/peer/sequence, see
+// resilience.Key), and the peer's circuit breaker — the repo's one
+// sanctioned retry loop around fabric calls lives inside Do (`retrybound`
+// analyzer). A response with OK=false is a heuristic miss, not a fault,
+// and is never retried.
+func (j *Job) remoteFetch(holder int, k access.SampleID) (transport.Response, error) {
+	req := transport.Request{Kind: transport.KindFetch, Sample: k}
+	if j.res.Empty() {
+		return j.net.Call(j.ctx, holder, req)
+	}
+	var br *resilience.Breaker
+	if j.breakers != nil {
+		br = j.breakers[holder]
+	}
+	key := resilience.Key(j.opts.Seed, uint64(j.rank), uint64(holder), j.retrySeq.Add(1))
+	return resilience.Do(j.ctx, j.res, br, key, resilience.Hooks{
+		OnRetry: func(int, error) {
+			j.retries.Add(1)
+			j.met.retry()
+		},
+	}, func(ctx context.Context) (transport.Response, error) {
+		return j.net.Call(ctx, holder, req)
+	})
+}
+
+// crashNow enacts this rank's scheduled node crash: the job flips into
+// teardown and the fabric endpoint closes, so peers observe a genuinely
+// unreachable rank (refused dials on TCP, unreachable signal on the chan
+// fabric) — not a polite shutdown handshake. Idempotent; the later
+// Job.Close re-runs both steps harmlessly (endpoint Close is idempotent on
+// every built-in fabric).
+func (j *Job) crashNow() {
+	j.crashOnce.Do(func() {
+		j.shutdown()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.net.Close()
+	})
 }
 
 // Get returns the next sample of this worker's schedule. It blocks until
@@ -533,16 +686,23 @@ func (j *Job) Get(ctx context.Context) (Sample, bool, error) {
 			return Sample{}, false, err
 		}
 	}
+	epoch, iter := j.epochIter(e.Pos)
 	s := Sample{
 		ID:        int(e.ID),
 		Label:     j.ds.Label(int(e.ID)),
 		Data:      e.Data,
-		Epoch:     e.Pos / j.perEpoch,
-		Iteration: (e.Pos % j.perEpoch) / j.opts.BatchPerWorker,
+		Epoch:     epoch,
+		Iteration: iter,
 		Source:    src,
 	}
 	if e.Pos == len(j.stream)-1 {
 		j.staging.Close()
+		if j.crashEpoch >= 0 {
+			// This rank's schedule ends at its crash: enact it now, so
+			// peers see a dead endpoint rather than a rank idling at a
+			// barrier until teardown.
+			j.crashNow()
+		}
 	}
 	return s, true, nil
 }
@@ -631,6 +791,8 @@ func (j *Job) Stats() Stats {
 		StallSeconds:         float64(j.stallNanos.Load()) / 1e9,
 		Delivered:            j.delivered.Load(),
 		CachedBytes:          cached,
+		Retries:              j.retries.Load(),
+		RedistributedRounds:  j.redistributed,
 	}
 }
 

@@ -30,6 +30,13 @@ import (
 //	nopfs_limiter_wait_seconds_total{limiter}   bandwidth-limiter blocked time
 //	nopfs_fabric_calls_total{rank,kind,ok}      outbound fabric calls
 //	nopfs_fabric_call_seconds{rank}             outbound fabric call latency
+//	nopfs_retries_total{rank}                   remote fetches retried (resilience)
+//	nopfs_circuit_transitions_total{rank,peer,from,to}  breaker state changes
+//	nopfs_peers_down_count{rank}                peers currently circuit-open
+//	nopfs_redistributed_rounds_total{rank}      plan rounds absorbed from crashed peers
+//
+// (The peers-down gauge carries the _count unit suffix required by the
+// metricnames analyzer.)
 
 // MetricsRegistry is the metric sink threaded through a run (see
 // WithMetrics); an alias so callers need not import internal packages.
@@ -42,16 +49,22 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // jobMetrics holds one rank's pre-resolved series. A nil *jobMetrics (the
 // metrics-off case) accepts every call as a no-op.
 type jobMetrics struct {
-	fetches   [3]*metrics.Counter // indexed by Source
-	fetchSec  [3]*metrics.Histogram
-	tierHits  []*metrics.Counter // indexed by class
-	tierMiss  []*metrics.Counter
-	falsePos  *metrics.Counter
-	stallSec  *metrics.Counter
-	delivered *metrics.Counter
-	staging   *metrics.Gauge
-	trace     *traceWriter
-	rank      int
+	fetches    [3]*metrics.Counter // indexed by Source
+	fetchSec   [3]*metrics.Histogram
+	tierHits   []*metrics.Counter // indexed by class
+	tierMiss   []*metrics.Counter
+	falsePos   *metrics.Counter
+	stallSec   *metrics.Counter
+	delivered  *metrics.Counter
+	staging    *metrics.Gauge
+	retriesC   *metrics.Counter
+	peersDownG *metrics.Gauge
+	redistC    *metrics.Counter
+	// reg is kept for the cold-path circuit-transition series, whose
+	// from/to labels are resolved lazily (the registry memoises).
+	reg   *metrics.Registry
+	trace *traceWriter
+	rank  int
 }
 
 // newJobMetrics resolves rank's series, or returns nil when reg is nil.
@@ -90,7 +103,53 @@ func newJobMetrics(reg *metrics.Registry, rank int, classes []Class, trace io.Wr
 		"Samples handed to the trainer.", r)
 	m.staging = reg.Gauge("nopfs_staging_bytes",
 		"Staging-buffer occupancy in bytes.", r)
+	m.retriesC = reg.Counter("nopfs_retries_total",
+		"Remote fetches retried under the resilience policy.", r)
+	m.peersDownG = reg.Gauge("nopfs_peers_down_count",
+		"Peers this rank currently holds circuit-open (marked down).", r)
+	m.redistC = reg.Counter("nopfs_redistributed_rounds_total",
+		"Plan rounds absorbed from crashed peers into this rank's stream.", r)
+	m.reg = reg
 	return m
+}
+
+// retry counts one remote-fetch retry.
+func (m *jobMetrics) retry() {
+	if m == nil || m.retriesC == nil {
+		return
+	}
+	m.retriesC.Inc()
+}
+
+// peersDown moves the circuit-open peer gauge by delta (+1 on open, -1 on
+// recovery).
+func (m *jobMetrics) peersDown(delta float64) {
+	if m == nil || m.peersDownG == nil {
+		return
+	}
+	m.peersDownG.Add(delta)
+}
+
+// redistributedRounds records the plan rounds grafted onto this rank's
+// stream at setup.
+func (m *jobMetrics) redistributedRounds(n int) {
+	if m == nil || m.redistC == nil || n <= 0 {
+		return
+	}
+	m.redistC.Add(float64(n))
+}
+
+// circuitTransition records one per-peer breaker state change. This is the
+// cold path (transitions are rare), so the labeled series is resolved
+// through the registry's memoising lookup on each call.
+func (m *jobMetrics) circuitTransition(peer int, from, to string) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.Counter("nopfs_circuit_transitions_total",
+		"Per-peer circuit-breaker state transitions.",
+		metrics.L("rank", strconv.Itoa(m.rank)), metrics.L("peer", strconv.Itoa(peer)),
+		metrics.L("from", from), metrics.L("to", to)).Inc()
 }
 
 // stagedFetch records one staged fetch: counter, latency, and trace line.

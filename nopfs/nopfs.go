@@ -41,14 +41,38 @@ import (
 	"io"
 
 	"repro/internal/chaos"
+	"repro/internal/resilience"
 	"repro/internal/storage"
 )
 
 // ChaosProfile declares a deterministic fault/degradation scenario for a
-// run: straggler ranks, storage-tier degradation, and fabric
-// latency/jitter/transient failures (see internal/chaos). Node crashes are
-// simulator-only; the live path ignores them.
+// run: straggler ranks, storage-tier degradation, fabric
+// latency/jitter/transient failures, and node crashes (see internal/chaos).
+// A crashed rank delivers its pre-crash prefix and then actually goes away
+// (its fabric endpoint closes); its remaining plan rounds are redistributed
+// round-robin across the survivors by the same rule the simulator uses, so
+// sim-vs-live stall under one profile converges.
 type ChaosProfile = chaos.Profile
+
+// ResiliencePolicy bounds the live fetch path's fault handling: bounded
+// seed-jittered retry/backoff for transient fabric failures, per-call
+// deadlines, and a per-peer circuit breaker that demotes an unreachable
+// peer to the PFS and re-probes it after a cooldown (see
+// internal/resilience). The zero policy disables all of it — the run takes
+// exactly the pre-resilience code path. DefaultResilience returns the tuned
+// preset.
+type ResiliencePolicy = resilience.Policy
+
+// DefaultResilience returns the tuned resilience preset (the "default"
+// spec of ParseResilience).
+func DefaultResilience() ResiliencePolicy { return resilience.Default() }
+
+// ParseResilience parses the -resilience flag grammar ("none", "default",
+// or "retries:3,backoff:1ms..32ms,jitter:0.25,timeout:250ms,breaker:3@50ms"
+// — see internal/resilience.ParsePolicy).
+func ParseResilience(spec string) (ResiliencePolicy, error) {
+	return resilience.ParsePolicy(spec)
+}
 
 // Dataset is the data source interface a Job ingests. Reading a sample by
 // id is the only byte-producing operation; the middleware never requires
@@ -128,10 +152,19 @@ type Options struct {
 
 	// Chaos is the fault/degradation scenario injected into the run: a
 	// fault-wrapping fabric decorator (latency, jitter, transient fetch
-	// failures), storage.Limiter throttles on degraded tiers, and paced
-	// straggler ranks. The zero value injects nothing — runs are identical
-	// to a chaos-free build. Crashes are ignored (simulator-only).
+	// failures), storage.Limiter throttles on degraded tiers, paced
+	// straggler ranks, and enacted node crashes (the crashed rank delivers
+	// its pre-crash prefix, closes its endpoint, and survivors absorb its
+	// remaining plan rounds — see ChaosProfile). The zero value injects
+	// nothing — runs are identical to a chaos-free build.
 	Chaos ChaosProfile
+
+	// Resilience bounds the fetch path's handling of fabric failures:
+	// retry/backoff, per-call deadlines, and per-peer circuit breaking
+	// (see ResiliencePolicy). The zero value disables resilience — every
+	// fabric error falls back to the PFS exactly as before, except that
+	// context cancellation always aborts rather than masking as a miss.
+	Resilience ResiliencePolicy
 
 	// Fabric selects the cluster fabric by registry name (FabricChan,
 	// FabricTCP, or a custom RegisterFabric name). Empty means FabricChan,
@@ -191,6 +224,9 @@ func (o Options) Validate(ds Dataset, workers int) error {
 		}
 	}
 	if err := o.Chaos.Validate(); err != nil {
+		return err
+	}
+	if err := o.Resilience.Validate(); err != nil {
 		return err
 	}
 	if _, err := o.fabric(); err != nil {
@@ -254,6 +290,12 @@ type Stats struct {
 	Delivered int64
 	// CachedBytes is what this worker's classes held at shutdown.
 	CachedBytes int64
+	// Retries counts remote-fetch attempts retried under the resilience
+	// policy (0 with the zero policy).
+	Retries int64
+	// RedistributedRounds is how many plan rounds this rank absorbed from
+	// crashed peers (0 without a crash profile).
+	RedistributedRounds int64
 }
 
 // pfs wraps the Dataset with the shared-bandwidth limiter: the live

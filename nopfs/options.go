@@ -104,6 +104,13 @@ func WithChaos(p ChaosProfile) Option {
 	return func(o *Options) { o.Chaos = p }
 }
 
+// WithResilience bounds the fetch path's fault handling — retry/backoff,
+// per-call deadlines, per-peer circuit breaking (see ResiliencePolicy,
+// DefaultResilience). The zero policy disables resilience.
+func WithResilience(p ResiliencePolicy) Option {
+	return func(o *Options) { o.Resilience = p }
+}
+
 // WithMetrics threads a metric registry through the run (see
 // NewMetricsRegistry); render it after the run with WritePrometheus.
 func WithMetrics(reg *MetricsRegistry) Option {
