@@ -48,11 +48,12 @@ lint: vet fmt
 
 # Fault-tolerance soak, as run by CI's chaos-soak job: the live chaos
 # matrix (chan + tcp fabrics crossed with the node-crash, flaky-fabric, and
-# meltdown presets) under the race detector with the default resilience
-# policy — exactly-once delivery, crash redistribution, and leak-free
-# teardown get their memory-model audit on every push.
+# meltdown presets) plus the elastic-membership matrix (ranks joining and
+# leaving at epoch boundaries), under the race detector with the default
+# resilience policy — exactly-once delivery, crash/elastic redistribution,
+# and leak-free teardown get their memory-model audit on every push.
 chaos-soak:
-	$(GO) test -race -count=1 -run 'TestChaosSoak' ./nopfs/
+	$(GO) test -race -count=1 -run 'TestChaosSoak|TestElasticSoak' ./nopfs/
 
 # Two steps (not a pipe) so a failing benchmark run aborts the recipe
 # instead of recording a silently truncated trajectory point. One shell with
@@ -90,14 +91,15 @@ bench-compare:
 	fi; \
 	$(GO) run ./internal/tools/benchcompare -old "$$old" -new "$$new" $(BENCHCOMPARE_FLAGS)
 
-# Fuzz knobs: `make fuzz-smoke` runs each wire-format fuzz target briefly
-# (CI does this per push); raise FUZZTIME for a longer local session or the
-# workflow_dispatch nightly job.
+# Fuzz knobs: `make fuzz-smoke` runs each wire-format and spec-grammar fuzz
+# target briefly (CI does this per push); raise FUZZTIME for a longer local
+# session or the workflow_dispatch nightly job.
 FUZZTIME ?= 10s
 
 fuzz-smoke:
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzHeader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/access -run '^$$' -fuzz '^FuzzParseAccessSpec$$' -fuzztime $(FUZZTIME)
 
 # Coverage gate for the core packages: fails when total statement coverage
 # of internal/... drops below COVER_MIN percent. CI runs this per push.

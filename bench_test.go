@@ -448,7 +448,7 @@ func BenchmarkSweep100kCells(b *testing.B) {
 		Name: "bench-100k", Scenarios: scenarios, Policies: policies,
 		Replicas: 100, BaseSeed: 7,
 		Metrics: []sim.Metric{{Name: "score"}},
-		Cell: func(si, pi, _ int) sim.CellFunc {
+		Cell: func(si, pi, _, _ int) sim.CellFunc {
 			return func(_ context.Context, seed uint64) (*sim.Outcome, error) {
 				v := float64((seed*2654435761+uint64(si*31+pi))%1000) / 10
 				return &sim.Outcome{Values: map[string]float64{"score": v}}, nil

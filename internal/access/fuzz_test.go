@@ -1,0 +1,38 @@
+package access
+
+import "testing"
+
+// FuzzParseAccessSpec fuzzes the -access spec grammar: no input may panic,
+// and every accepted pattern must render a canonical spec that re-parses to
+// the same pattern (the round-trip contract the CLI and the sweep axis rely
+// on). The corpus seeds every preset and one spec per kind.
+func FuzzParseAccessSpec(f *testing.F) {
+	for _, name := range PresetNames() {
+		f.Add(name)
+	}
+	for _, spec := range []string{
+		"", "uniform",
+		"zipf:s=1.2,drift=0.05",
+		"boost:frac=0.1,factor=8,drift=0.1",
+		"curriculum:buckets=4,shuffle=off",
+		"mix:w=0.6/0.3/0.1",
+		"elastic:join=1@1,leave=2@2",
+		"zipf:s=", "elastic:join=@", "mix:w=1/",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		pat, err := ParseAccessSpec(spec)
+		if err != nil {
+			return
+		}
+		canon := pat.Spec()
+		again, err := ParseAccessSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) rejected: %v", canon, spec, err)
+		}
+		if got := again.Spec(); got != canon {
+			t.Fatalf("canonical spec not a fixed point: %q -> %q (from %q)", canon, got, spec)
+		}
+	})
+}

@@ -16,6 +16,7 @@ var update = flag.Bool("update", false, "rewrite golden fixture expectations")
 // package, so cross-firing between analyzers cannot hide).
 var fixtureDirs = []struct{ dir, golden string }{
 	{"internal/sim", "determinism"},
+	{"internal/access", "determinism-access"},
 	{"internal/ctxlib", "ctxfirst"},
 	{"internal/golib", "goroutine"},
 	{"internal/metlib", "metricnames"},
@@ -67,6 +68,7 @@ func TestFixtureGoldens(t *testing.T) {
 func TestFixturesFireEveryAnalyzer(t *testing.T) {
 	diags, err := Lint(".", []string{
 		"./testdata/src/internal/sim",
+		"./testdata/src/internal/access",
 		"./testdata/src/internal/ctxlib",
 		"./testdata/src/internal/golib",
 		"./testdata/src/internal/metlib",

@@ -12,6 +12,7 @@ import (
 // wall clock, draws from a global PRNG, or lets Go's randomized map
 // iteration order leak into an ordered result.
 var determinismScope = []string{
+	"internal/access",
 	"internal/sim",
 	"internal/sweep",
 	"internal/cachepolicy",

@@ -1,0 +1,37 @@
+// Package accessfix seeds determinism violations in the access-pattern
+// layer's scope. Its directory masquerades as internal/access (see
+// Package.EffectivePath): epoch orders are the root of the clairvoyant
+// plan, so a wall clock or global PRNG here corrupts every downstream
+// stream, frequency table, and memoised sweep result.
+package accessfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// DriftNow derives an epoch drift offset from the wall clock.
+func DriftNow(f int) int { return int(time.Now().Unix()) % f }
+
+// WeightedDraw samples a pattern weight from the global math/rand stream
+// instead of the plan's seeded generators.
+func WeightedDraw(weights []float64) int { return rand.Intn(len(weights)) }
+
+// OrderParts flattens a part-id map in iteration order into an epoch order.
+func OrderParts(parts map[int][]int32) []int32 {
+	var order []int32
+	for _, ids := range parts {
+		order = append(order, ids...)
+	}
+	return order
+}
+
+// PartSizes counts ids per part — order-insensitive map work that must NOT
+// be flagged.
+func PartSizes(parts map[int][]int32) map[int]int {
+	sizes := map[int]int{}
+	for k, ids := range parts {
+		sizes[k] = len(ids)
+	}
+	return sizes
+}

@@ -1,0 +1,10 @@
+package accessfix
+
+import "time"
+
+// BenchClock proves a reasoned //lint:ignore still works in the access
+// scope: same violation as DriftNow, zero findings expected from this file.
+func BenchClock() int64 {
+	//lint:ignore determinism fixture: proves a reasoned suppression silences the finding
+	return time.Now().UnixNano()
+}

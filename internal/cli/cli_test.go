@@ -35,6 +35,7 @@ func TestExitCodes(t *testing.T) {
 		{"sim unknown scenario", []string{"sim", "-scenario", "bogus"}, ExitUsage},
 		{"sim bad format", []string{"sim", "-all", "-format", "xml"}, ExitUsage},
 		{"sim bad chaos", []string{"sim", "-all", "-chaos", "nonsense:spec"}, ExitUsage},
+		{"sim bad access", []string{"sim", "-all", "-access", "nonsense:spec"}, ExitUsage},
 		{"sim bad flag", []string{"sim", "-no-such-flag"}, ExitUsage},
 		{"sim table1", []string{"sim", "-table1"}, ExitOK},
 		{"sim runtime error", []string{"sim", "-scenario", "fig8a", "-scale", "0.002"}, ExitError},
@@ -45,6 +46,7 @@ func TestExitCodes(t *testing.T) {
 		{"access ok", []string{"access", "-f", "2000", "-n", "4", "-e", "3"}, ExitOK},
 		{"run bad workers", []string{"run", "-workers", "0"}, ExitUsage},
 		{"run bad chaos", []string{"run", "-chaos", "nonsense:spec"}, ExitUsage},
+		{"run bad access", []string{"run", "-access", "nonsense:spec"}, ExitUsage},
 		{"run bad resilience", []string{"run", "-resilience", "nonsense:spec"}, ExitUsage},
 		// The lint command joins the same contract: 0 on a clean tree, 1
 		// when the suite finds violations, 2 on a bad flag or pattern. The
@@ -130,6 +132,7 @@ func TestFlagGroupsConsistent(t *testing.T) {
 	allowUsage := map[drift]bool{
 		{"seed", "train"}: true, // overrides the figure's preset seed
 		{"chaos", "run"}:  true, // injects into the live run, no grid axis
+		{"access", "run"}: true, // shapes the live run, no grid axis
 	}
 	allowDefault := map[drift]bool{
 		{"scale", "train"}: true, // figures stay faithful at 0.1, sim panels at 0.02
@@ -160,7 +163,7 @@ func TestFlagGroupsConsistent(t *testing.T) {
 	}
 	// The groups must actually be shared: every engine flag appears on both
 	// grid commands (train historically lacked -stream).
-	for _, name := range []string{"parallel", "replicas", "format", "chaos", "stream", "config"} {
+	for _, name := range []string{"parallel", "replicas", "format", "chaos", "access", "stream", "config"} {
 		for _, cmd := range Commands() {
 			if cmd.Name != "sim" && cmd.Name != "train" {
 				continue

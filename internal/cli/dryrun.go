@@ -34,8 +34,14 @@ func explainGridShape(w io.Writer, grid *sweep.Grid) {
 	if profiles == 0 {
 		profiles = 1
 	}
-	fmt.Fprintf(w, "  axes: %d scenarios x %d policies x %d profiles x %d replicas = %d cells\n",
-		len(grid.Scenarios), len(grid.Policies), profiles, replicas, grid.Size())
+	// The patterns term appears only when the axis does, so pattern-less
+	// dry runs stay byte-identical to the pre-pattern output.
+	patterns := ""
+	if len(grid.Patterns) > 0 {
+		patterns = fmt.Sprintf(" x %d patterns", len(grid.Patterns))
+	}
+	fmt.Fprintf(w, "  axes: %d scenarios x %d policies x %d profiles%s x %d replicas = %d cells\n",
+		len(grid.Scenarios), len(grid.Policies), profiles, patterns, replicas, grid.Size())
 	fmt.Fprintf(w, "  base seed: %d\n", grid.BaseSeed)
 	fmt.Fprint(w, "  metrics:")
 	for _, m := range metrics {

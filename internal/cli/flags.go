@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/access"
 	"repro/internal/chaos"
 	"repro/internal/profiling"
 	"repro/internal/sweep"
@@ -29,6 +30,14 @@ func chaosHelp() string {
 	return "fault profile: a preset (" + strings.Join(chaos.PresetNames(), ", ") +
 		") or a spec like \"straggler:1x2@1,tier:0x4,drop:0.05\"; adds a clean-vs-faulted" +
 		" profile axis to the grid (fault profiles extend beyond the paper's measured configurations)"
+}
+
+// accessFlagHelp is the single -access grammar description shared by the
+// grid commands.
+func accessFlagHelp() string {
+	return "workload access pattern: a preset (" + strings.Join(access.PresetNames(), ", ") +
+		") or a spec like \"zipf:s=1.1,drift=0.05\" or \"elastic:join=1@1,leave=2@2\";" +
+		" adds a uniform-vs-pattern axis to the grid (the empty spec keeps the classic uniform shuffle)"
 }
 
 // scaleHelp and seedHelp are the shared wordings.
@@ -58,12 +67,13 @@ func (f *ScaleFlags) Register(fs *flag.FlagSet, scaleDefault float64, seedDefaul
 }
 
 // EngineFlags is the sweep-engine group: pool width, replica axis, output
-// format, fault-profile axis, and streaming encoders.
+// format, fault-profile axis, access-pattern axis, and streaming encoders.
 type EngineFlags struct {
 	Parallel int
 	Replicas int
 	Format   string
 	Chaos    string
+	Access   string
 	Stream   bool
 }
 
@@ -73,6 +83,7 @@ func (f *EngineFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Replicas, "replicas", 1, replicasHelp)
 	fs.StringVar(&f.Format, "format", "text", formatHelp)
 	fs.StringVar(&f.Chaos, "chaos", "", chaosHelp())
+	fs.StringVar(&f.Access, "access", "", accessFlagHelp())
 	fs.BoolVar(&f.Stream, "stream", false, streamHelp)
 }
 
@@ -94,6 +105,16 @@ func (f *EngineFlags) ChaosProfiles() ([]sweep.ProfileSpec, error) {
 		return nil, usageError{err: err}
 	}
 	return profiles, nil
+}
+
+// AccessPatterns resolves -access into the uniform-vs-pattern axis (nil
+// without the flag). A malformed spec is a usage error.
+func (f *EngineFlags) AccessPatterns() ([]sweep.AccessSpec, error) {
+	patterns, err := sweep.AccessAxis(f.Access)
+	if err != nil {
+		return nil, usageError{err: err}
+	}
+	return patterns, nil
 }
 
 // CommonFlags is the group every experiment command carries: config-file

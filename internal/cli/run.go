@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/access"
 	"repro/internal/chaos"
 	"repro/internal/dataset"
 	"repro/nopfs"
@@ -28,6 +29,7 @@ type runOptions struct {
 	Seed             uint64
 	Verify           bool
 	Chaos            string
+	Access           string
 	Resilience       string
 	MetricsOut       string
 	TraceFetches     string
@@ -55,6 +57,7 @@ func runFlags(prog string) (*flag.FlagSet, *runOptions) {
 	fs.Uint64Var(&o.Seed, "seed", 42, seedHelp)
 	fs.BoolVar(&o.Verify, "verify", false, "CRC-check every delivered sample payload")
 	fs.StringVar(&o.Chaos, "chaos", "", "fault profile injected into the live run: a preset or a spec like \"straggler:1x2@1,tier:0x4,drop:0.05\"")
+	fs.StringVar(&o.Access, "access", "", "workload access pattern for the live run: a preset or a spec like \"zipf:s=1.1\" or \"elastic:join=1@1,leave=2@2\"")
 	fs.StringVar(&o.Resilience, "resilience", "", "fetch-path fault handling: \"none\", \"default\", or a spec like \"retries:3,backoff:1ms..32ms,jitter:0.25,timeout:250ms,breaker:3@50ms\"")
 	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write Prometheus text metrics to FILE after the run (\"-\" = stdout)")
 	fs.StringVar(&o.TraceFetches, "trace-fetches", "", "write one line per staged fetch to FILE")
@@ -79,6 +82,9 @@ func RunLive(prog string, args []string, stdout, stderr io.Writer) int {
 		}
 		resilience, err := nopfs.ParseResilience(o.Resilience)
 		if err != nil {
+			return usageError{err: err}
+		}
+		if _, err := access.CanonicalSpec(o.Access); err != nil {
 			return usageError{err: err}
 		}
 		ds, err := dataset.Cached(dataset.Spec{
@@ -108,6 +114,7 @@ func RunLive(prog string, args []string, stdout, stderr io.Writer) int {
 			nopfs.WithFabric(o.Fabric),
 			nopfs.WithVerifySamples(o.Verify),
 			nopfs.WithChaos(profile),
+			nopfs.WithAccessPattern(o.Access),
 			nopfs.WithResilience(resilience),
 			nopfs.WithMetrics(reg),
 		)

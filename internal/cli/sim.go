@@ -51,7 +51,11 @@ func RunSim(prog string, args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return err
 		}
-		grid, err := simGrid(o, profiles)
+		patterns, err := o.AccessPatterns()
+		if err != nil {
+			return err
+		}
+		grid, err := simGrid(o, profiles, patterns)
 		if err != nil {
 			return err
 		}
@@ -74,7 +78,7 @@ func RunSim(prog string, args []string, stdout, stderr io.Writer) int {
 		}
 		runner := &sim.Runner{Parallel: o.Parallel}
 		if o.Sweep {
-			if err := runSweep(ctx, stdout, runner, grid, o.Format, profiles, o.Stream); err != nil {
+			if err := runSweep(ctx, stdout, runner, grid, o.Format, profiles, patterns, o.Stream); err != nil {
 				return err
 			}
 		} else if err := emit(ctx, stdout, runner, grid, o.Format, o.Stream); err != nil {
@@ -87,7 +91,7 @@ func RunSim(prog string, args []string, stdout, stderr io.Writer) int {
 // simGrid selects the mode's grid (nil for -table1). Unknown scenarios and a
 // missing mode are usage errors — exit 2 with usage, where the legacy binary
 // inconsistently exited 1 for a bad -scenario.
-func simGrid(o *simOptions, profiles []sweep.ProfileSpec) (*sim.Grid, error) {
+func simGrid(o *simOptions, profiles []sweep.ProfileSpec, patterns []sweep.AccessSpec) (*sim.Grid, error) {
 	var grid *sim.Grid
 	switch {
 	case o.Table1:
@@ -108,6 +112,7 @@ func simGrid(o *simOptions, profiles []sweep.ProfileSpec) (*sim.Grid, error) {
 		return nil, usagef("no mode selected: use -scenario, -all, -sweep, -ablation, or -table1")
 	}
 	grid.Profiles = profiles
+	grid.Patterns = patterns
 	return grid, nil
 }
 
@@ -153,10 +158,10 @@ func write(w io.Writer, rep *sim.Report, format string) error {
 // preliminary as one engine run, so json/csv emit a single document and
 // every format honours -replicas. Text mode keeps the legacy RAM × SSD
 // matrix, with means when the grid ran multiple seeds per cell; with a
-// fault-profile axis — or under -stream, which cannot buffer the whole
-// grid — it falls back to the generic per-profile table (the matrix has
-// one cell per scenario).
-func runSweep(ctx context.Context, w io.Writer, runner *sim.Runner, grid *sim.Grid, format string, profiles []sweep.ProfileSpec, stream bool) error {
+// fault-profile or access-pattern axis — or under -stream, which cannot
+// buffer the whole grid — it falls back to the generic per-profile table
+// (the matrix has one cell per scenario).
+func runSweep(ctx context.Context, w io.Writer, runner *sim.Runner, grid *sim.Grid, format string, profiles []sweep.ProfileSpec, patterns []sweep.AccessSpec, stream bool) error {
 	if stream {
 		return runner.RunStream(ctx, grid, aggregatorFor(w, format))
 	}
@@ -164,7 +169,7 @@ func runSweep(ctx context.Context, w io.Writer, runner *sim.Runner, grid *sim.Gr
 	if err != nil {
 		return err
 	}
-	if format != "text" || len(profiles) > 0 {
+	if format != "text" || len(profiles) > 0 || len(patterns) > 0 {
 		return write(w, rep, format)
 	}
 	byID := map[string]sim.Summary{}

@@ -56,6 +56,10 @@ func RunTrain(prog string, args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return err
 		}
+		patterns, err := o.AccessPatterns()
+		if err != nil {
+			return err
+		}
 		c := trainRun{
 			ctx:      ctx,
 			out:      stdout,
@@ -65,6 +69,7 @@ func RunTrain(prog string, args []string, stdout, stderr io.Writer) int {
 			seed:     o.Seed,
 			keepGPUs: keep,
 			profiles: profiles,
+			patterns: patterns,
 			stream:   o.Stream,
 			dryRun:   o.DryRun,
 		}
@@ -95,8 +100,9 @@ type trainRun struct {
 	seed     uint64
 	keepGPUs []int
 	// profiles is the -chaos fault-profile axis (clean + faulted), empty
-	// without the flag.
+	// without the flag; patterns is the -access uniform-vs-pattern axis.
 	profiles []sweep.ProfileSpec
+	patterns []sweep.AccessSpec
 	stream   bool
 	dryRun   bool
 }
@@ -181,9 +187,11 @@ func (c trainRun) trim(exps []trainer.Experiment) ([]trainer.Experiment, error) 
 }
 
 // run executes one grid through the engine, attaching the -chaos
-// clean-vs-faulted profile axis (a no-op without the flag).
+// clean-vs-faulted profile axis and the -access uniform-vs-pattern axis
+// (no-ops without the flags).
 func (c trainRun) run(grid *sweep.Grid) (*sweep.Report, error) {
 	grid.Profiles = c.profiles
+	grid.Patterns = c.patterns
 	return c.runner.Run(c.ctx, grid)
 }
 
@@ -191,6 +199,7 @@ func (c trainRun) run(grid *sweep.Grid) (*sweep.Report, error) {
 // bytes to the buffered generic table, bounded residency.
 func (c trainRun) runStream(grid *sweep.Grid) error {
 	grid.Profiles = c.profiles
+	grid.Patterns = c.patterns
 	switch c.format {
 	case "json":
 		return c.runner.RunStream(c.ctx, grid, sweep.NewJSONAggregator(c.out))
@@ -207,6 +216,7 @@ func (c trainRun) runStream(grid *sweep.Grid) error {
 // plan).
 func (c trainRun) explain(grid *sweep.Grid, exps []trainer.Experiment) error {
 	grid.Profiles = c.profiles
+	grid.Patterns = c.patterns
 	explainGridShape(c.out, grid)
 	for _, exp := range exps {
 		for _, gpus := range exp.GPUCounts {
@@ -296,7 +306,7 @@ func (c trainRun) emitFig11(exp trainer.Experiment) error {
 				continue
 			}
 			fmt.Fprintf(c.out, "%-24s %-14s %11.3fs %11.3fs %11.3fs\n",
-				s.Scenario, rowLabel(s.Policy, s.Profile),
+				s.Scenario, rowLabel(s.Policy, s.Profile, s.Pattern),
 				s.Metric(trainer.MetricBatch0Med).Mean,
 				s.Metric(trainer.MetricBatch0P95).Mean,
 				s.Metric(trainer.MetricBatch0Max).Mean)
@@ -322,7 +332,7 @@ func (c trainRun) emitFig12(exp trainer.Experiment) error {
 				continue
 			}
 			fmt.Fprintf(c.out, "%-24s %11.2fs %7.1f%% %7.1f%% %7.1f%%\n",
-				rowLabel(s.Scenario, s.Profile),
+				rowLabel(s.Scenario, s.Profile, s.Pattern),
 				s.Metric(trainer.MetricStallS).Mean,
 				100*s.Metric(trainer.MetricPFSFrac).Mean,
 				100*s.Metric(trainer.MetricRemoteFrac).Mean,
@@ -354,7 +364,7 @@ func (c trainRun) emitFig13(scale float64) error {
 				continue
 			}
 			fmt.Fprintf(c.out, "%-20s %-14s %11.3fs %11.3fs %11.3fs\n",
-				s.Scenario, rowLabel(s.Policy, s.Profile),
+				s.Scenario, rowLabel(s.Policy, s.Profile, s.Pattern),
 				s.Metric(trainer.MetricBatchMedian).Mean,
 				s.Metric(trainer.MetricBatchP95).Mean,
 				s.Metric(trainer.MetricBatchMax).Mean)
@@ -386,11 +396,11 @@ func (c trainRun) emitFig16(scale float64) error {
 			}
 			r, ok := cell.Outcome.Payload.(trainer.EndToEndResult)
 			if !ok || len(r.Curve) == 0 {
-				fmt.Fprintf(c.out, "%-14s failed\n", rowLabel(cell.Policy, cell.Profile))
+				fmt.Fprintf(c.out, "%-14s failed\n", rowLabel(cell.Policy, cell.Profile, cell.Pattern))
 				continue
 			}
 			fmt.Fprintf(c.out, "%-14s total %.1f min, final top-1 %.1f%%\n",
-				rowLabel(r.Loader, cell.Profile), r.TotalSeconds/60, r.FinalTop1)
+				rowLabel(r.Loader, cell.Profile, cell.Pattern), r.TotalSeconds/60, r.FinalTop1)
 			for _, pt := range r.Curve {
 				if pt.Epoch%10 == 0 {
 					fmt.Fprintf(c.out, "    epoch %2d  t=%8.1fs  top1=%.1f%%\n", pt.Epoch, pt.Seconds, pt.Top1Percent)

@@ -28,6 +28,19 @@
 //   - Exactly-once delivery (CheckExactlyOnce): under node crashes the
 //     survivors' redistributed streams partition the plan — every scheduled
 //     sample round is delivered exactly once, none lost, none duplicated.
+//     The same law gates elastic membership schedules: the per-epoch active
+//     ranks partition every epoch's order with nothing lost to a join or
+//     leave.
+//   - Frequency conservation (CheckFrequencyConservation): the plan's
+//     access-frequency tables account for every scheduled round — the
+//     per-worker tables agree with the all-worker pass and sum to exactly
+//     E x EpochLimit accesses, whatever the pattern. The no-prefetch stall
+//     bound is frequency-weighted under non-uniform patterns for free: the
+//     Naive baseline pays every repeated hot-sample access, so comparing
+//     against it weights the bound by the pattern's frequencies.
+//   - Mixture conservation (CheckMixConservation): a mix pattern's epoch
+//     order is a permutation in which every dataset part contributes
+//     exactly its size — the weighted interleaver reorders, never resamples.
 //   - Live stall bound (CheckLiveStallBound): a live cluster's measured
 //     stall stays inside an order-of-magnitude envelope of the simulator's
 //     prediction for the same plan and fault profile.
@@ -182,6 +195,117 @@ func CheckLiveStallBound(liveSeconds, simSeconds, slack, floorSeconds float64) e
 			liveSeconds, bound, simSeconds, slack, floorSeconds)
 	}
 	return nil
+}
+
+// CheckFrequencyConservation verifies the frequency accounting laws of a
+// plan's access pattern: the per-worker frequency tables agree entry for
+// entry with the all-worker pass, and the total access count is exactly
+// E x EpochLimit — with-replacement patterns (zipf, boost) repeat samples
+// but never change the volume, and elastic membership only repartitions it.
+func CheckFrequencyConservation(p *access.Plan) error {
+	freqs := p.Frequencies()
+	var total int64
+	for w := range freqs {
+		wf := p.WorkerFrequencies(w)
+		for i := range wf {
+			if wf[i] != freqs[w][i] {
+				return fmt.Errorf("invariant: worker %d sample %d frequency %d (per-worker) vs %d (all-worker)",
+					w, i, wf[i], freqs[w][i])
+			}
+			total += int64(wf[i])
+		}
+	}
+	if want := int64(p.E) * int64(p.EpochLimit()); total != want {
+		return fmt.Errorf("invariant: pattern %q schedules %d accesses, plan has %d",
+			p.Access, total, want)
+	}
+	return nil
+}
+
+// CheckMixConservation verifies a mixture epoch order: it is a permutation
+// of the dataset, and each of the K contiguous parts contributes exactly its
+// size — the weighted interleaver decides order, never multiplicity.
+func CheckMixConservation(order []access.SampleID, f, parts int) error {
+	if len(order) != f {
+		return fmt.Errorf("invariant: mix order has %d entries, dataset has %d", len(order), f)
+	}
+	seen := make([]bool, f)
+	counts := make([]int, parts)
+	for _, id := range order {
+		if id < 0 || int(id) >= f {
+			return fmt.Errorf("invariant: mix order emits sample %d outside [0,%d)", id, f)
+		}
+		if seen[id] {
+			return fmt.Errorf("invariant: mix order repeats sample %d", id)
+		}
+		seen[id] = true
+		counts[access.MixPart(id, f, parts)]++
+	}
+	for k := 0; k < parts; k++ {
+		want := (k+1)*f/parts - k*f/parts
+		if counts[k] != want {
+			return fmt.Errorf("invariant: mix part %d contributes %d samples, owns %d", k, counts[k], want)
+		}
+	}
+	return nil
+}
+
+// RandomPattern draws a random access-pattern spec for property tests,
+// covering every generator kind. Elastic schedules are valid by
+// construction (events target existing ranks at epochs 1..E-1, never
+// emptying an epoch's active set); they require workers >= 2 and epochs >= 2
+// and fall back to a non-structural kind otherwise. Deterministic in the
+// generator's state.
+func RandomPattern(g *prng.Generator, workers, epochs int) string {
+	kind := g.Intn(6)
+	if kind == 5 && (workers < 2 || epochs < 2) {
+		kind = g.Intn(5)
+	}
+	switch kind {
+	case 0:
+		return ""
+	case 1:
+		spec := fmt.Sprintf("zipf:s=%.2f", 0.8+0.8*g.Float64())
+		if g.Float64() < 0.5 {
+			spec += fmt.Sprintf(",drift=%.2f", 0.05+0.2*g.Float64())
+		}
+		return spec
+	case 2:
+		return fmt.Sprintf("boost:frac=%.2f,factor=%d", 0.05+0.3*g.Float64(), 2+g.Intn(8))
+	case 3:
+		spec := fmt.Sprintf("curriculum:buckets=%d", 2+g.Intn(5))
+		if g.Float64() < 0.3 {
+			spec += ",shuffle=off"
+		}
+		return spec
+	case 4:
+		parts := make([]string, 2+g.Intn(3))
+		for i := range parts {
+			parts[i] = fmt.Sprintf("%.2f", 0.1+g.Float64())
+		}
+		return "mix:w=" + joinSlash(parts)
+	default:
+		// One membership event keeps every epoch's active set non-empty
+		// for workers >= 2; add a second on a distinct rank when room.
+		epoch := func() int { return 1 + g.Intn(epochs-1) }
+		if g.Float64() < 0.5 {
+			spec := fmt.Sprintf("elastic:join=%d@%d", workers-1, epoch())
+			if workers >= 3 && g.Float64() < 0.5 {
+				spec += fmt.Sprintf(",leave=%d@%d", g.Intn(workers-1), epoch())
+			}
+			return spec
+		}
+		return fmt.Sprintf("elastic:leave=%d@%d", g.Intn(workers), epoch())
+	}
+}
+
+// joinSlash joins mixture weights with the spec grammar's '/' separator.
+func joinSlash(parts []string) string {
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "/" + p
+	}
+	return out
 }
 
 // RandomProfile draws a random fault profile for property tests: a mix of

@@ -64,11 +64,17 @@ func runLive(t *testing.T, workers, f int, opts nopfs.Options) ([][]int, []nopfs
 	return delivered, stats
 }
 
-// livePlan derives the access plan a live run follows.
-func livePlan(f, workers int, opts nopfs.Options) *access.Plan {
+// livePlan derives the access plan a live run follows, pattern included.
+func livePlan(t *testing.T, f, workers int, opts nopfs.Options) *access.Plan {
+	t.Helper()
+	spec, err := access.CanonicalSpec(opts.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &access.Plan{
 		Seed: opts.Seed, F: f, N: workers, E: opts.Epochs,
 		BatchPerWorker: opts.BatchPerWorker, DropLast: opts.DropLast,
+		Access: spec,
 	}
 }
 
@@ -76,8 +82,9 @@ func livePlan(f, workers int, opts nopfs.Options) *access.Plan {
 // reshaped by the profile's crash redistribution (a no-op without crashes).
 // This is the exact same rule Job and the simulator apply, so live delivery
 // must match it position for position.
-func expectedStreams(f, workers int, opts nopfs.Options) [][]access.SampleID {
-	plan := livePlan(f, workers, opts)
+func expectedStreams(t *testing.T, f, workers int, opts nopfs.Options) [][]access.SampleID {
+	t.Helper()
+	plan := livePlan(t, f, workers, opts)
 	streams := make([][]access.SampleID, workers)
 	for w := range streams {
 		streams[w] = plan.WorkerStream(w)
@@ -92,7 +99,7 @@ func expectedStreams(f, workers int, opts nopfs.Options) [][]access.SampleID {
 // (possibly crash-redistributed) stream.
 func checkExactSchedule(t *testing.T, delivered [][]int, f, workers int, opts nopfs.Options) {
 	t.Helper()
-	want := expectedStreams(f, workers, opts)
+	want := expectedStreams(t, f, workers, opts)
 	for w := 0; w < workers; w++ {
 		if len(delivered[w]) != len(want[w]) {
 			t.Fatalf("rank %d delivered %d samples, want %d", w, len(delivered[w]), len(want[w]))
@@ -171,7 +178,7 @@ func TestLiveCrashRecovery(t *testing.T) {
 	delivered, stats := runLive(t, workers, f, opts)
 	checkExactSchedule(t, delivered, f, workers, opts)
 
-	plan := livePlan(f, workers, opts)
+	plan := livePlan(t, f, workers, opts)
 	planStreams := make([][]access.SampleID, workers)
 	for w := range planStreams {
 		planStreams[w] = plan.WorkerStream(w)
@@ -237,6 +244,11 @@ func simStallFor(t *testing.T, f, workers int, opts nopfs.Options) float64 {
 		},
 		DS: ds, Seed: opts.Seed, DropLast: opts.DropLast, Chaos: opts.Chaos,
 	}
+	spec, err := access.CanonicalSpec(opts.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Access = spec
 	pol, err := isim.PolicyByName(isim.NameNoPFS)
 	if err != nil {
 		t.Fatal(err)
@@ -268,7 +280,7 @@ func TestLiveCrashLawsUnderRandomProfiles(t *testing.T) {
 		delivered, stats := runLive(t, workers, f, opts)
 		checkExactSchedule(t, delivered, f, workers, opts)
 
-		plan := livePlan(f, workers, opts)
+		plan := livePlan(t, f, workers, opts)
 		planStreams := make([][]access.SampleID, workers)
 		for w := range planStreams {
 			planStreams[w] = plan.WorkerStream(w)
@@ -282,4 +294,60 @@ func TestLiveCrashLawsUnderRandomProfiles(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestLivePatternAgreement is the sim-vs-live agreement law for access
+// patterns: a live chan-fabric cluster running a non-uniform workload must
+// deliver exactly the pattern-aware clairvoyant streams the simulator plans
+// from — same spec, same seed, position for position — and its measured
+// stall must stay inside the simulator's predicted envelope for the same
+// pattern. Permutation patterns additionally conserve the plan exactly
+// once; elastic schedules conserve it across the membership windows.
+func TestLivePatternAgreement(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const workers, f = 3, 48
+	patterns := []struct {
+		name, spec string
+	}{
+		{"zipf", "zipf:s=1.1"},
+		{"hot-set", "boost:frac=0.1,factor=8"},
+		{"curriculum", "curriculum:buckets=3"},
+		{"mix", "mix:w=0.5/0.3/0.2"},
+		{"elastic", "elastic:join=2@1,leave=0@2"},
+	}
+	for _, tc := range patterns {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := liveOptions(7)
+			opts.Access = tc.spec
+			delivered, stats := runLive(t, workers, f, opts)
+			checkExactSchedule(t, delivered, f, workers, opts)
+
+			plan := livePlan(t, f, workers, opts)
+			planStreams := make([][]access.SampleID, workers)
+			for w := range planStreams {
+				planStreams[w] = plan.WorkerStream(w)
+			}
+			if err := CheckExactlyOnce(delivered, planStreams); err != nil {
+				t.Error(err)
+			}
+			if err := CheckFrequencyConservation(plan); err != nil {
+				t.Error(err)
+			}
+
+			var maxStall float64
+			for _, s := range stats {
+				if s.StallSeconds < 0 {
+					t.Errorf("rank %d: negative stall %g", s.Rank, s.StallSeconds)
+				}
+				if s.StallSeconds > maxStall {
+					maxStall = s.StallSeconds
+				}
+			}
+			sim := simStallFor(t, f, workers, opts)
+			if err := CheckLiveStallBound(maxStall, sim, 50, 2.0); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	goroutinesSettle(t, before+2)
 }

@@ -1,8 +1,10 @@
 // Package plancache memoises the clairvoyant plan artifacts that every
-// layer of the system re-derives from an access.Plan: per-epoch shuffle
-// orders, per-worker access streams, first-access positions, access-
-// frequency tables, and the cachepolicy.Assignment placements computed from
-// them.
+// layer of the system re-derives from an access.Plan: per-epoch orders
+// (uniform shuffles or any access.Pattern), per-worker access streams,
+// elastic epoch-end offsets, first-access positions, access-frequency
+// tables, and the cachepolicy.Assignment placements computed from them.
+// The plan's canonical access spec is part of the cache key, so two plans
+// differing only in pattern never share artifacts.
 //
 // The paper's premise is that the access stream is a cheap pure function of
 // the seed — but "cheap" is relative: a Fig. 8 panel sweeps P policies over
@@ -37,7 +39,6 @@ import (
 	"repro/internal/access"
 	"repro/internal/cachepolicy"
 	"repro/internal/hwspec"
-	"repro/internal/prng"
 )
 
 // DefaultMaxBytes is the shared cache's default memory bound. Artifacts for
@@ -210,6 +211,11 @@ type Artifacts struct {
 	// FirstPos0[k] is worker 0's first stream position accessing sample k
 	// (-1 if never accessed) — the simulator's availability index.
 	FirstPos0 []int32
+	// EpochEnds[w][e] is worker w's cumulative stream length through epoch
+	// e, for plans whose partition varies per epoch (an elastic membership
+	// schedule); nil for static partitions, where epochs are uniform and
+	// Plan.SamplesPerEpoch applies.
+	EpochEnds [][]int
 
 	freqOnce sync.Once
 	freqs    [][]int32
@@ -229,7 +235,7 @@ type Artifacts struct {
 // to the serial access.Plan methods at any pool width.
 func buildArtifacts(p access.Plan, workers int, c *Cache, e *entry) *Artifacts {
 	orders := p.EpochOrders(workers)
-	streams := streamsFromOrders(&p, orders, workers)
+	streams, ends := p.AllStreamsFromOrders(orders, workers)
 	firstPos := make([]int32, p.F)
 	for k := range firstPos {
 		firstPos[k] = -1
@@ -241,27 +247,10 @@ func buildArtifacts(p access.Plan, workers int, c *Cache, e *entry) *Artifacts {
 	}
 	return &Artifacts{
 		Plan: p, EpochOrders: orders, Streams: streams, FirstPos0: firstPos,
-		cache: c, self: e,
+		EpochEnds: ends,
+		cache:     c, self: e,
 		assigns: map[assignKey]*assignEntry{},
 	}
-}
-
-// streamsFromOrders extracts every worker's stream from the materialised
-// epoch orders, workers in parallel (each index writes only its own
-// worker's slice, so the result is deterministic).
-func streamsFromOrders(p *access.Plan, orders [][]access.SampleID, workers int) [][]access.SampleID {
-	streams := make([][]access.SampleID, p.N)
-	limit := p.EpochLimit()
-	prng.ParallelFor(p.N, workers, func(w int) {
-		s := make([]access.SampleID, 0, p.StreamLen(w))
-		for _, order := range orders {
-			for pos := w; pos < limit; pos += p.N {
-				s = append(s, order[pos])
-			}
-		}
-		streams[w] = s
-	})
-	return streams
 }
 
 // baseBytes approximates the memory held by the eagerly built artifacts.
@@ -274,6 +263,9 @@ func (a *Artifacts) baseBytes() int64 {
 		n += int64(len(s)) * 4
 	}
 	n += int64(len(a.FirstPos0)) * 4
+	for _, e := range a.EpochEnds {
+		n += int64(len(e)) * 8
+	}
 	return n
 }
 

@@ -54,6 +54,11 @@ type Config struct {
 	// zero value injects nothing and reproduces the fault-free simulation
 	// byte for byte.
 	Chaos chaos.Profile
+	// Access is the canonical access-pattern spec ("" = the classic uniform
+	// per-epoch shuffle; see access.ParseAccessSpec). Entry points must
+	// canonicalize with access.CanonicalSpec before stamping it so equal
+	// patterns share plan-cache entries and memoised sweep results.
+	Access string
 }
 
 // Plan derives the access plan implied by the config.
@@ -61,6 +66,7 @@ func (c *Config) Plan() *access.Plan {
 	return &access.Plan{
 		Seed: c.Seed, F: c.DS.Len(), N: c.Work.Workers, E: c.Work.Epochs,
 		BatchPerWorker: c.Work.BatchPerWorker, DropLast: c.DropLast,
+		Access: c.Access,
 	}
 }
 
@@ -78,7 +84,20 @@ func (c *Config) Validate() error {
 	if err := c.Chaos.Validate(); err != nil {
 		return err
 	}
-	return c.Plan().Validate()
+	if err := c.Plan().Validate(); err != nil {
+		return err
+	}
+	// Crash redistribution (chaos.RedistributeStream) slices peer streams
+	// assuming every epoch contributes the same uniform per-worker count —
+	// true for all content patterns, false once an elastic membership
+	// schedule varies the partition itself. Reject the combination rather
+	// than silently violate exactly-once.
+	if c.Access != "" && c.Chaos.Structural() {
+		if pat, err := access.ParseAccessSpec(c.Access); err == nil && pat.Elastic() {
+			return fmt.Errorf("sim: elastic access pattern %q cannot combine with a structural (crash) chaos profile", c.Access)
+		}
+	}
+	return nil
 }
 
 // Result summarises one simulated run.
@@ -121,11 +140,13 @@ func (r *Result) Speedup(other *Result) float64 {
 }
 
 // Digest returns a content hash covering every input the simulation reads:
-// the access plan (seed, shape, drop-last), the full system and workload
-// specs including labels and throughput curves, the dataset's size table,
-// the jitter σ, and the chaos profile's canonical spec string. Two configs
-// with equal digests produce bit-identical Results, which is what makes the
-// digest safe as an incremental re-simulation memo key (see sweep.ResultMemo).
+// the access plan (seed, shape, drop-last, access-pattern spec), the full
+// system and workload specs including labels and throughput curves, the
+// dataset's size table, the jitter σ, and the chaos profile's canonical spec
+// string. Two configs with equal digests produce bit-identical Results,
+// which is what makes the digest safe as an incremental re-simulation memo
+// key (see sweep.ResultMemo). The digest is in-process only — it is never
+// persisted, so its byte layout may change freely between versions.
 func (c *Config) Digest() uint64 {
 	h := uint64(1469598103934665603)
 	mix := func(v uint64) {
@@ -149,6 +170,7 @@ func (c *Config) Digest() uint64 {
 	} else {
 		mix(0)
 	}
+	mixStr(p.Access)
 	mix(c.Sys.Digest())
 	mix(c.Work.Digest())
 	mix(plancache.SizerDigest(c.DS))
@@ -371,6 +393,14 @@ func Run(cfg Config, pol Policy) (*Result, error) {
 	// survivors: the simulated worker's stream grows and epoch boundaries
 	// shift (nil epochEnds means the fault-free uniform boundaries).
 	stream, epochEnds := chaosStream(env, stream)
+	// An elastic membership schedule makes epochs unequal too: use the
+	// plan's per-worker cumulative ends when the policy kept the stream's
+	// length (policies that rebuild a different-length stream fall back to
+	// uniform binning, same as under chaos).
+	if epochEnds == nil && env.Plan.Elastic() &&
+		len(env.Art.EpochEnds) > 0 && len(stream) == len(env.Art.Streams[0]) {
+		epochEnds = env.Art.EpochEnds[0]
+	}
 	simulate(env, pol, stream, setup, res, epochEnds)
 	return res, nil
 }
@@ -815,10 +845,15 @@ type kernel struct {
 // kernelFor picks the span kernel for the policy. Chaos schedules force the
 // generic path: per-fetch fault adjustment depends on the stream index, the
 // resolved epoch factors, and the holder rank, which only the generic loop
-// threads through. Every kernel is bit-identical to runGeneric for its
-// policy — the equivalence tests compare them directly.
-func kernelFor(pol Policy, sched *chaos.Schedule) kernel {
-	if sched != nil {
+// threads through. Elastic membership schedules force it for the same
+// precondition-break reason: the specialized kernels assume uniform epoch
+// spans. Content patterns (zipf, boost, curriculum, mix) keep the
+// specialized kernels — they change which samples appear where, not the
+// per-fetch cost structure. Every kernel is bit-identical to runGeneric for
+// its policy — the equivalence tests compare them directly, including under
+// non-uniform patterns.
+func kernelFor(pol Policy, sched *chaos.Schedule, elastic bool) kernel {
+	if sched != nil || elastic {
 		return kernel{kind: kernelGeneric}
 	}
 	switch p := pol.(type) {
@@ -937,7 +972,22 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 	// at every batch edge — segment starts aligned to one.
 	s.batchJitter = env.pfsJitter()
 
-	ker := kernelFor(pol, s.sched)
+	// Elastic membership can leave the worker inactive in leading epochs
+	// (cumulative ends still at position 0): fire those boundaries before
+	// any samples run so epoch accounting and chaos factors stay aligned.
+	for len(epochEnds) > 0 && s.epoch < len(epochEnds) && epochEnds[s.epoch] == 0 {
+		res.EpochSeconds = append(res.EpochSeconds, 0)
+		s.epoch++
+		if s.epoch < len(epochEnds) {
+			nextEpochEnd = epochEnds[s.epoch]
+		}
+		if s.sched != nil {
+			nw := env.Plan.N
+			s.barrier, s.self = s.sched.BarrierFactor(s.epoch, nw), s.sched.Slowdown(0, s.epoch, nw)
+		}
+	}
+
+	ker := kernelFor(pol, s.sched, env.Plan.Elastic())
 	var pfsRate float64
 	if ker.kind == kernelPFSConst {
 		pfsRate = env.Rate.PFSRate(env.Plan.N)
@@ -977,7 +1027,12 @@ func simulate(env *Env, pol Policy, stream []access.SampleID, setup float64, res
 			res.BatchSeconds = append(res.BatchSeconds, s.prevComputeDone-lastBatchEnd)
 			lastBatchEnd = s.prevComputeDone
 		}
-		if f == nextEpochEnd {
+		// A loop rather than a single check: elastic membership can leave
+		// the worker with zero samples in an epoch (consecutive equal
+		// ends), so several boundaries may fire at one stream position.
+		// With uniform boundaries the advance is always strictly past f,
+		// so the loop body runs at most once — identical to the old check.
+		for f == nextEpochEnd && (len(epochEnds) == 0 || s.epoch < len(epochEnds)) {
 			res.EpochSeconds = append(res.EpochSeconds, s.prevComputeDone-lastEpochEnd)
 			lastEpochEnd = s.prevComputeDone
 			s.epoch++

@@ -15,7 +15,10 @@ type Summary struct {
 	Policy   string `json:"policy"`
 	// Profile names the fault-profile column; empty (and omitted) for grids
 	// without a fault-profile axis.
-	Profile  string `json:"profile,omitempty"`
+	Profile string `json:"profile,omitempty"`
+	// Pattern names the access-pattern column; empty (and omitted) for
+	// grids without an access-pattern axis.
+	Pattern  string `json:"pattern,omitempty"`
 	Replicas int    `json:"replicas"`
 	// Failed is set when every replica failed (cells fail a configuration
 	// deterministically, so mixed outcomes indicate a bug).
@@ -34,14 +37,15 @@ func (s Summary) Metric(name string) stats.Summary {
 	return s.Metrics[name]
 }
 
-// summarizeGroup folds the replicas of one (scenario, policy, profile)
-// group into a Summary. It is the single aggregation kernel, shared by the
-// whole-report Aggregate and the streaming summary path, so both produce
-// identical summaries by construction.
-func summarizeGroup(metrics []Metric, scenario, policy, profile string, cells []CellResult) Summary {
+// summarizeGroup folds the replicas of one (scenario, policy, profile,
+// pattern) group into a Summary. It is the single aggregation kernel, shared
+// by the whole-report Aggregate and the streaming summary path, so both
+// produce identical summaries by construction.
+func summarizeGroup(metrics []Metric, scenario, policy, profile, pattern string, cells []CellResult) Summary {
 	s := Summary{
-		Scenario: scenario, Policy: policy, Profile: profile, Replicas: len(cells),
-		Metrics: map[string]stats.Summary{},
+		Scenario: scenario, Policy: policy, Profile: profile, Pattern: pattern,
+		Replicas: len(cells),
+		Metrics:  map[string]stats.Summary{},
 	}
 	values := map[string][]float64{}
 	n := 0
@@ -80,14 +84,15 @@ func summarizeGroup(metrics []Metric, scenario, policy, profile string, cells []
 	return s
 }
 
-// Aggregate groups the report's cells by (scenario, policy, profile) in
-// grid order and summarises each group's replicas metric by metric.
+// Aggregate groups the report's cells by (scenario, policy, profile,
+// pattern) in grid order and summarises each group's replicas metric by
+// metric.
 func (rep *Report) Aggregate() []Summary {
-	type key struct{ scenario, policy, profile string }
+	type key struct{ scenario, policy, profile, pattern string }
 	order := []key{}
 	groups := map[key][]CellResult{}
 	for _, c := range rep.Cells {
-		k := key{c.Scenario, c.Policy, c.Profile}
+		k := key{c.Scenario, c.Policy, c.Profile, c.Pattern}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -96,7 +101,7 @@ func (rep *Report) Aggregate() []Summary {
 
 	out := make([]Summary, 0, len(order))
 	for _, k := range order {
-		out = append(out, summarizeGroup(rep.Metrics, k.scenario, k.policy, k.profile, groups[k]))
+		out = append(out, summarizeGroup(rep.Metrics, k.scenario, k.policy, k.profile, k.pattern, groups[k]))
 	}
 	return out
 }

@@ -27,10 +27,13 @@ func WriteJSON(w io.Writer, rep *Report) error {
 }
 
 // csvHeader builds the summary-CSV header row for the schema.
-func csvHeader(hasProfiles bool, metrics []Metric) []string {
+func csvHeader(hasProfiles, hasPatterns bool, metrics []Metric) []string {
 	header := []string{"grid", "scenario", "policy"}
 	if hasProfiles {
 		header = append(header, "profile")
+	}
+	if hasPatterns {
+		header = append(header, "pattern")
 	}
 	header = append(header, "replicas", "failed", "fail_reason", "note")
 	for _, m := range metrics {
@@ -41,11 +44,14 @@ func csvHeader(hasProfiles bool, metrics []Metric) []string {
 }
 
 // csvRow builds one summary's CSV row.
-func csvRow(grid string, hasProfiles bool, metrics []Metric, s Summary) []string {
+func csvRow(grid string, hasProfiles, hasPatterns bool, metrics []Metric, s Summary) []string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	row := []string{grid, s.Scenario, s.Policy}
 	if hasProfiles {
 		row = append(row, s.Profile)
+	}
+	if hasPatterns {
+		row = append(row, s.Pattern)
 	}
 	row = append(row, strconv.Itoa(s.Replicas),
 		strconv.FormatBool(s.Failed), s.FailReason, s.Note)
@@ -56,18 +62,19 @@ func csvRow(grid string, hasProfiles bool, metrics []Metric, s Summary) []string
 	return row
 }
 
-// WriteCSV emits one row per aggregated (scenario, policy, profile)
+// WriteCSV emits one row per aggregated (scenario, policy, profile, pattern)
 // summary, with four columns (mean, median, 95% CI bounds) per schema
-// metric. The profile column appears only when the grid declares a
-// fault-profile axis, keeping profile-less reports byte-identical.
+// metric. The profile and pattern columns appear only when the grid declares
+// the corresponding axis, keeping axis-less reports byte-identical.
 func WriteCSV(w io.Writer, rep *Report) error {
 	cw := csv.NewWriter(w)
 	hasProfiles := len(rep.Profiles) > 0
-	if err := cw.Write(csvHeader(hasProfiles, rep.Metrics)); err != nil {
+	hasPatterns := len(rep.Patterns) > 0
+	if err := cw.Write(csvHeader(hasProfiles, hasPatterns, rep.Metrics)); err != nil {
 		return err
 	}
 	for _, s := range rep.Aggregate() {
-		if err := cw.Write(csvRow(rep.Grid, hasProfiles, rep.Metrics, s)); err != nil {
+		if err := cw.Write(csvRow(rep.Grid, hasProfiles, hasPatterns, rep.Metrics, s)); err != nil {
 			return err
 		}
 	}
@@ -78,15 +85,20 @@ func WriteCSV(w io.Writer, rep *Report) error {
 // textColWidth is the text-report column width for metric values.
 const textColWidth = 13
 
-// RowLabel qualifies a policy/loader label with its fault-profile column
-// ("NoPFS @meltdown") — the one labelling rule shared by WriteText and the
-// CLIs' bespoke figure tables, so the same grid renders consistently on
-// every path. Profile-less rows are the bare label.
-func RowLabel(policy, profile string) string {
-	if profile == "" {
-		return policy
+// RowLabel qualifies a policy/loader label with its axis columns — the
+// fault profile, then the access pattern ("NoPFS @meltdown @zipf") — the one
+// labelling rule shared by WriteText and the CLIs' bespoke figure tables, so
+// the same grid renders consistently on every path. Empty qualifiers are
+// skipped, so axis-less rows are the bare label. The variadic signature
+// keeps legacy two-argument (policy, profile) call sites source-compatible.
+func RowLabel(policy string, quals ...string) string {
+	label := policy
+	for _, q := range quals {
+		if q != "" {
+			label += " @" + q
+		}
 	}
-	return policy + " @" + profile
+	return label
 }
 
 // visibleMetrics filters the schema down to text-report columns.
@@ -129,7 +141,7 @@ func textBlockHeader(w io.Writer, scenario, label string, visible []Metric, mult
 // textRow writes one summary row of a scenario block.
 func textRow(w io.Writer, s Summary, visible []Metric, multi bool) error {
 	var row strings.Builder
-	fmt.Fprintf(&row, "%-20s", RowLabel(s.Policy, s.Profile))
+	fmt.Fprintf(&row, "%-20s", RowLabel(s.Policy, s.Profile, s.Pattern))
 	for i, m := range visible {
 		cell := "-"
 		ci := "-"

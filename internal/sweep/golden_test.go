@@ -34,7 +34,7 @@ func goldenGrid() *Grid {
 			{Name: "ratio", Label: "ratio"},
 			{Name: "aux", Hide: true},
 		},
-		Cell: func(si, pi, _ int) CellFunc {
+		Cell: func(si, pi, _, _ int) CellFunc {
 			return func(_ context.Context, seed uint64) (*Outcome, error) {
 				if si == 1 && pi == 1 {
 					return &Outcome{Failed: true, FailReason: "beta cannot run s2"}, nil

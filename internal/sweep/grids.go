@@ -64,14 +64,17 @@ func SimOutcome(r *isim.Result) *Outcome {
 }
 
 // simCellFunc is the default cell binding: materialise the scenario's
-// simulator configuration for the seed, stamp the cell's fault profile onto
-// it, build a fresh policy, and simulate. The implicit fault-free profile is
-// the zero value, leaving the configuration untouched.
+// simulator configuration for the seed, stamp the cell's fault profile and
+// access pattern onto it, build a fresh policy, and simulate. The implicit
+// fault-free profile and uniform pattern are zero values, leaving the
+// configuration untouched.
 //
 // With a memo, the cell first consults it under the configuration's content
 // digest: equal digests imply bit-identical simulator inputs, so a hit
 // replays the cached outcome without simulating (incremental re-simulation).
-func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec, memo *ResultMemo) CellFunc {
+// The digest folds the access spec, so two cells differing only in pattern
+// never share a memo entry.
+func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec, pat AccessSpec, memo *ResultMemo) CellFunc {
 	return func(ctx context.Context, seed uint64) (*Outcome, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -81,6 +84,9 @@ func simCellFunc(s ScenarioSpec, p PolicySpec, prof ProfileSpec, memo *ResultMem
 			return nil, err
 		}
 		cfg.Chaos = prof.Profile
+		if pat.Spec != "" {
+			cfg.Access = pat.Spec
+		}
 		var key memoKey
 		if memo != nil {
 			key = memoKey{digest: cfg.Digest(), policy: p.Name}

@@ -165,8 +165,8 @@ func TestMemoCustomBindingUnaffected(t *testing.T) {
 	ran := 0
 	g := funcGrid(2)
 	inner := g.Cell
-	g.Cell = func(si, pi, fi int) CellFunc {
-		fn := inner(si, pi, fi)
+	g.Cell = func(si, pi, fi, ai int) CellFunc {
+		fn := inner(si, pi, fi, ai)
 		return func(ctx context.Context, seed uint64) (*Outcome, error) {
 			ran++
 			return fn(ctx, seed)

@@ -1,0 +1,304 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	isim "repro/internal/sim"
+)
+
+// patternGoldenGrid is goldenGrid with an access-pattern axis: the explicit
+// uniform baseline column plus a zipf column, exactly as AccessAxis builds
+// for the CLIs. The cells are the same synthetic functions, so the goldens
+// pin the pattern column's place in every report format and nothing else.
+func patternGoldenGrid() *Grid {
+	g := goldenGrid()
+	g.Name = "golden-pattern"
+	g.Patterns = []AccessSpec{
+		{Name: "uniform"},
+		{Name: "zipf", Spec: "zipf:s=1.1"},
+	}
+	return g
+}
+
+// TestGoldenPatternEncoders pins the pattern column byte-for-byte across
+// JSON, CSV, and text, against checked-in goldens. Regenerate with -update.
+func TestGoldenPatternEncoders(t *testing.T) {
+	rep, err := (&Runner{Parallel: 3}).Run(context.Background(), patternGoldenGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		file   string
+		encode func(*bytes.Buffer) error
+	}{
+		{"golden_pattern.json", func(b *bytes.Buffer) error { return WriteJSON(b, rep) }},
+		{"golden_pattern.csv", func(b *bytes.Buffer) error { return WriteCSV(b, rep) }},
+		{"golden_pattern.txt", func(b *bytes.Buffer) error { return WriteText(b, rep) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s drifted from golden.\n-- got --\n%s\n-- want --\n%s",
+					tc.file, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestPatternStreamingByteIdentity: on grids carrying a pattern axis — the
+// synthetic golden grid and a real simulator grid — the streaming JSON, CSV
+// and text aggregators must stay byte-identical to the buffered writers.
+func TestPatternStreamingByteIdentity(t *testing.T) {
+	axis, err := AccessAxis("zipf:s=1.1,drift=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simGrid := testGrid(t)
+	simGrid.Patterns = axis
+	grids := []*Grid{patternGoldenGrid(), simGrid}
+	for _, g := range grids {
+		r := &Runner{Parallel: 4}
+		wantJ, wantC, wantX := encodeInMemory(t, r, g)
+		gotJ, gotC, gotX := encodeStreaming(t, r, g)
+		if !bytes.Equal(wantJ, gotJ) {
+			t.Errorf("grid %s: streaming JSON differs from WriteJSON", g.Name)
+		}
+		if !bytes.Equal(wantC, gotC) {
+			t.Errorf("grid %s: streaming CSV differs from WriteCSV", g.Name)
+		}
+		if !bytes.Equal(wantX, gotX) {
+			t.Errorf("grid %s: streaming text differs from WriteText", g.Name)
+		}
+	}
+}
+
+// TestAccessAxis pins the axis helper's contract: empty and uniform specs
+// mean no axis at all (legacy output stays byte-identical), anything else
+// pairs the pattern with the uniform baseline, and parse errors surface.
+func TestAccessAxis(t *testing.T) {
+	for _, spec := range []string{"", "uniform"} {
+		axis, err := AccessAxis(spec)
+		if err != nil {
+			t.Fatalf("AccessAxis(%q): %v", spec, err)
+		}
+		if axis != nil {
+			t.Errorf("AccessAxis(%q) = %v, want no axis", spec, axis)
+		}
+	}
+	axis, err := AccessAxis("zipf:s=1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axis) != 2 {
+		t.Fatalf("AccessAxis(zipf) = %d columns, want 2 (uniform baseline + pattern)", len(axis))
+	}
+	if axis[0].Name != "uniform" || axis[0].Spec != "" {
+		t.Errorf("baseline column = %+v, want named uniform with empty spec", axis[0])
+	}
+	if axis[1].Spec == "" {
+		t.Errorf("pattern column %+v lost its spec", axis[1])
+	}
+	if _, err := AccessAxis("zipf:s=banana"); err == nil {
+		t.Error("AccessAxis accepted an unparseable spec")
+	}
+}
+
+// TestGridValidatePatterns: the grid validator rejects unnamed pattern
+// columns, unparseable specs, and elastic × structural-chaos crossings
+// before any cell runs.
+func TestGridValidatePatterns(t *testing.T) {
+	base := func() *Grid {
+		g := funcGrid(1)
+		g.Patterns = []AccessSpec{{Name: "uniform"}, {Name: "zipf", Spec: "zipf:s=1.1"}}
+		return g
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid patterned grid rejected: %v", err)
+	}
+
+	g := base()
+	g.Patterns[1].Name = ""
+	if err := g.Validate(); err == nil {
+		t.Error("unnamed pattern column accepted")
+	}
+
+	g = base()
+	g.Patterns[1].Spec = "zipf:s=oops"
+	if err := g.Validate(); err == nil {
+		t.Error("unparseable pattern spec accepted")
+	}
+
+	g = base()
+	g.Patterns[1] = AccessSpec{Name: "elastic", Spec: "elastic:leave=1@2"}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("elastic pattern without structural chaos rejected: %v", err)
+	}
+	crash, err := ChaosAxis("crash:1@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Profiles = crash
+	if err := g.Validate(); err == nil {
+		t.Error("elastic pattern × crash profile accepted")
+	}
+}
+
+// patternMemoGrid is memoGrid plus a pattern axis whose non-uniform column
+// is the given spec — the access knob the digest-soundness tests turn.
+func patternMemoGrid(t *testing.T, spec string) *Grid {
+	t.Helper()
+	g := memoGrid(t, 1)
+	g.Patterns = []AccessSpec{{Name: "uniform"}, {Name: "pattern", Spec: spec}}
+	return g
+}
+
+// TestMemoAccessKnob is the digest-soundness probe for the pattern axis:
+// identical access specs hit the memo, differing specs miss, and the
+// uniform column of a patterned grid reuses results cached by a grid with
+// no pattern axis at all (the empty spec stays out of the digest).
+func TestMemoAccessKnob(t *testing.T) {
+	memo := NewResultMemo(0)
+	r := &Runner{Parallel: 4, Memo: memo}
+
+	// Seed the memo with the pattern-less grid.
+	plain := memoGrid(t, 1)
+	before := isim.SimulateCount()
+	if _, err := r.Run(bg, plain); err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != int64(plain.Size()) {
+		t.Fatalf("cold pattern-less run simulated %d cells, want %d", n, plain.Size())
+	}
+
+	// The patterned grid's uniform column must hit those entries; only the
+	// zipf column simulates.
+	perColumn := plain.Size() // policies × replicas, one scenario
+	before = isim.SimulateCount()
+	if _, err := r.Run(bg, patternMemoGrid(t, "zipf:s=1.1")); err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != int64(perColumn) {
+		t.Fatalf("patterned run simulated %d cells, want %d (the zipf column only)", n, perColumn)
+	}
+
+	// Identical spec: fully memoised, and the report reproduces byte for byte.
+	before = isim.SimulateCount()
+	warmA, err := r.Run(bg, patternMemoGrid(t, "zipf:s=1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != 0 {
+		t.Fatalf("identical-spec re-run simulated %d cells, want 0", n)
+	}
+	warmB, err := r.Run(bg, patternMemoGrid(t, "zipf:s=1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, warmA); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, warmB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("memoised patterned reports differ")
+	}
+
+	// Turning only the access knob must miss: the changed pattern column
+	// re-simulates, the uniform column stays cached.
+	before = isim.SimulateCount()
+	if _, err := r.Run(bg, patternMemoGrid(t, "zipf:s=1.3")); err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != int64(perColumn) {
+		t.Fatalf("access-knob re-run simulated %d cells, want %d (the changed column only)", n, perColumn)
+	}
+
+	// A different pattern kind is a different digest too.
+	before = isim.SimulateCount()
+	if _, err := r.Run(bg, patternMemoGrid(t, "boost:frac=0.1,factor=8")); err != nil {
+		t.Fatal(err)
+	}
+	if n := isim.SimulateCount() - before; n != int64(perColumn) {
+		t.Fatalf("pattern-kind switch simulated %d cells, want %d", n, perColumn)
+	}
+}
+
+// TestPatternCellsDeterministic: a patterned simulator grid reproduces its
+// report byte for byte across runs and pool widths, with no memo involved.
+func TestPatternCellsDeterministic(t *testing.T) {
+	build := func() *Grid {
+		g := memoGrid(t, 1)
+		axis, err := AccessAxis("curriculum:buckets=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Patterns = axis
+		return g
+	}
+	var reports [][]byte
+	for _, par := range []int{1, 4} {
+		rep, err := (&Runner{Parallel: par}).Run(bg, build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, buf.Bytes())
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Error("patterned grid report differs across pool widths")
+	}
+}
+
+// TestUniformPatternAxisMatchesNoAxis: an explicit single uniform column
+// must not change cell outcomes relative to the axis-free grid — the empty
+// spec is the same simulation. (Headers differ: the axis is present.)
+func TestUniformPatternAxisMatchesNoAxis(t *testing.T) {
+	plain, err := (&Runner{Parallel: 2}).Run(bg, memoGrid(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := memoGrid(t, 1)
+	g.Patterns = []AccessSpec{{Name: "uniform"}}
+	axised, err := (&Runner{Parallel: 2}).Run(bg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Cells) != len(axised.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(plain.Cells), len(axised.Cells))
+	}
+	for i := range plain.Cells {
+		p, q := plain.Cells[i], axised.Cells[i]
+		if p.Seed != q.Seed {
+			t.Fatalf("cell %d seed differs: %d vs %d", i, p.Seed, q.Seed)
+		}
+		for k, v := range p.Outcome.Values {
+			if q.Outcome.Values[k] != v {
+				t.Errorf("cell %d metric %s differs: %v vs %v", i, k, v, q.Outcome.Values[k])
+			}
+		}
+	}
+}

@@ -57,6 +57,9 @@ type Report struct {
 	// Profiles names the grid's fault-profile axis, in column order; empty
 	// (and omitted from encodings) for grids without one.
 	Profiles []string `json:"profiles,omitempty"`
+	// Patterns names the grid's access-pattern axis, in column order; empty
+	// (and omitted from encodings) for grids without one.
+	Patterns []string `json:"patterns,omitempty"`
 	// Metrics is the grid's result schema, in column order.
 	Metrics []Metric `json:"metrics"`
 	// Labels maps scenario IDs to their human captions for text reports.
@@ -83,7 +86,7 @@ func (r *Runner) Run(ctx context.Context, g *Grid) (*Report, error) {
 // runCell resolves and executes one cell, consulting the runner's memo for
 // simulator cells.
 func runCell(ctx context.Context, r *Runner, g *Grid, c Cell) (*Outcome, error) {
-	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx, c.ProfileIdx, r.Memo)
+	fn, err := g.cellFunc(c.ScenarioIdx, c.PolicyIdx, c.ProfileIdx, c.PatternIdx, r.Memo)
 	if err != nil {
 		return nil, err
 	}

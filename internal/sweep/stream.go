@@ -16,6 +16,9 @@ type Meta struct {
 	// Profiles names the fault-profile axis in column order; empty for
 	// grids without one.
 	Profiles []string
+	// Patterns names the access-pattern axis in column order; empty for
+	// grids without one.
+	Patterns []string
 	// Metrics is the grid's result schema, in column order.
 	Metrics []Metric
 	// Labels maps scenario IDs to their human captions.
@@ -53,10 +56,15 @@ func (g *Grid) meta() Meta {
 	for _, p := range g.Profiles {
 		profiles = append(profiles, p.Name)
 	}
+	var patterns []string
+	for _, p := range g.Patterns {
+		patterns = append(patterns, p.Name)
+	}
 	return Meta{
 		Grid: g.Name, Replicas: g.replicas(), BaseSeed: g.BaseSeed,
-		Profiles: profiles, Metrics: g.metrics(), Labels: labels,
-		Size: g.Size(),
+		Profiles: profiles, Patterns: patterns, Metrics: g.metrics(),
+		Labels: labels,
+		Size:   g.Size(),
 	}
 }
 
@@ -199,6 +207,9 @@ func cellError(g *Grid, c Cell, err error) error {
 	if c.Profile != "" {
 		label += "/" + c.Profile
 	}
+	if c.Pattern != "" {
+		label += "/" + c.Pattern
+	}
 	return fmt.Errorf("sweep: grid %q cell %s replica %d: %w", g.Name, label, c.Replica, err)
 }
 
@@ -213,8 +224,9 @@ type reportCollector struct {
 func (c *reportCollector) Begin(m Meta) error {
 	c.rep = &Report{
 		Grid: m.Grid, Parallel: c.parallel, Replicas: m.Replicas,
-		BaseSeed: m.BaseSeed, Profiles: m.Profiles, Metrics: m.Metrics,
-		Labels: m.Labels, Cells: make([]CellResult, 0, m.Size),
+		BaseSeed: m.BaseSeed, Profiles: m.Profiles, Patterns: m.Patterns,
+		Metrics: m.Metrics,
+		Labels:  m.Labels, Cells: make([]CellResult, 0, m.Size),
 	}
 	return nil
 }
@@ -227,15 +239,15 @@ func (c *reportCollector) Cell(cr CellResult) error {
 func (c *reportCollector) End() error { return nil }
 
 // summaryStream folds an ordered cell stream into per-group summaries. The
-// grid enumerates replicas innermost, so each (scenario, policy, profile)
-// group is contiguous: the streamer buffers only the open group — O(replicas)
-// cells — and emits its Summary the moment the group closes.
+// grid enumerates replicas innermost, so each (scenario, policy, profile,
+// pattern) group is contiguous: the streamer buffers only the open group —
+// O(replicas) cells — and emits its Summary the moment the group closes.
 type summaryStream struct {
-	metrics                   []Metric
-	scenario, policy, profile string
-	open                      bool
-	cells                     []CellResult
-	emit                      func(Summary) error
+	metrics                            []Metric
+	scenario, policy, profile, pattern string
+	open                               bool
+	cells                              []CellResult
+	emit                               func(Summary) error
 }
 
 func newSummaryStream(metrics []Metric, emit func(Summary) error) *summaryStream {
@@ -244,14 +256,15 @@ func newSummaryStream(metrics []Metric, emit func(Summary) error) *summaryStream
 
 // add feeds the next cell, flushing the previous group if the key changed.
 func (s *summaryStream) add(c CellResult) error {
-	if s.open && (c.Scenario != s.scenario || c.Policy != s.policy || c.Profile != s.profile) {
+	if s.open && (c.Scenario != s.scenario || c.Policy != s.policy ||
+		c.Profile != s.profile || c.Pattern != s.pattern) {
 		if err := s.flush(); err != nil {
 			return err
 		}
 	}
 	if !s.open {
 		s.open = true
-		s.scenario, s.policy, s.profile = c.Scenario, c.Policy, c.Profile
+		s.scenario, s.policy, s.profile, s.pattern = c.Scenario, c.Policy, c.Profile, c.Pattern
 	}
 	s.cells = append(s.cells, c)
 	return nil
@@ -262,7 +275,7 @@ func (s *summaryStream) flush() error {
 	if !s.open {
 		return nil
 	}
-	sum := summarizeGroup(s.metrics, s.scenario, s.policy, s.profile, s.cells)
+	sum := summarizeGroup(s.metrics, s.scenario, s.policy, s.profile, s.pattern, s.cells)
 	s.open = false
 	s.cells = s.cells[:0]
 	return s.emit(sum)

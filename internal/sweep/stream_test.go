@@ -91,7 +91,7 @@ func randomFuncGrid(rng *rand.Rand) *Grid {
 			{Name: "score", Label: "score", Unit: "s"},
 			{Name: "aux", Hide: true},
 		},
-		Cell: func(si, pi, fi int) CellFunc {
+		Cell: func(si, pi, fi, ai int) CellFunc {
 			return func(_ context.Context, seed uint64) (*Outcome, error) {
 				if si == failScen && pi == failPol {
 					return &Outcome{Failed: true, FailReason: "cannot run"}, nil
@@ -218,8 +218,8 @@ func (a *funcAggregator) End() error {
 func TestRunStreamLowestIndexError(t *testing.T) {
 	g := funcGrid(8)
 	inner := g.Cell
-	g.Cell = func(si, pi, fi int) CellFunc {
-		fn := inner(si, pi, fi)
+	g.Cell = func(si, pi, fi, ai int) CellFunc {
+		fn := inner(si, pi, fi, ai)
 		return func(ctx context.Context, seed uint64) (*Outcome, error) {
 			// Fail every cell of rowB; the lowest enumerated rowB cell
 			// must win regardless of completion order.
@@ -252,8 +252,8 @@ func TestRunStreamCancelNoGoroutineLeak(t *testing.T) {
 	g := funcGrid(64)
 	inner := g.Cell
 	started := make(chan struct{}, 1)
-	g.Cell = func(si, pi, fi int) CellFunc {
-		fn := inner(si, pi, fi)
+	g.Cell = func(si, pi, fi, ai int) CellFunc {
+		fn := inner(si, pi, fi, ai)
 		return func(ctx context.Context, seed uint64) (*Outcome, error) {
 			select {
 			case started <- struct{}{}:

@@ -20,6 +20,7 @@ type jsonHeader struct {
 	Replicas int               `json:"replicas"`
 	BaseSeed uint64            `json:"baseSeed"`
 	Profiles []string          `json:"profiles,omitempty"`
+	Patterns []string          `json:"patterns,omitempty"`
 	Metrics  []Metric          `json:"metrics"`
 	Labels   map[string]string `json:"labels,omitempty"`
 }
@@ -49,7 +50,8 @@ func (a *jsonAggregator) Begin(m Meta) error {
 	})
 	h, err := json.MarshalIndent(jsonHeader{
 		Grid: m.Grid, Replicas: m.Replicas, BaseSeed: m.BaseSeed,
-		Profiles: m.Profiles, Metrics: m.Metrics, Labels: m.Labels,
+		Profiles: m.Profiles, Patterns: m.Patterns, Metrics: m.Metrics,
+		Labels: m.Labels,
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -105,11 +107,13 @@ func (a *jsonAggregator) End() error {
 }
 
 // csvAggregator streams the WriteCSV table: the header row up front, one
-// summary row the moment each (scenario, policy, profile) group closes.
+// summary row the moment each (scenario, policy, profile, pattern) group
+// closes.
 type csvAggregator struct {
 	cw   *csv.Writer
 	grid string
 	prof bool
+	pat  bool
 	sum  *summaryStream
 }
 
@@ -122,10 +126,11 @@ func NewCSVAggregator(w io.Writer) Aggregator {
 func (a *csvAggregator) Begin(m Meta) error {
 	a.grid = m.Grid
 	a.prof = len(m.Profiles) > 0
+	a.pat = len(m.Patterns) > 0
 	a.sum = newSummaryStream(m.Metrics, func(s Summary) error {
-		return a.cw.Write(csvRow(a.grid, a.prof, m.Metrics, s))
+		return a.cw.Write(csvRow(a.grid, a.prof, a.pat, m.Metrics, s))
 	})
-	return a.cw.Write(csvHeader(a.prof, m.Metrics))
+	return a.cw.Write(csvHeader(a.prof, a.pat, m.Metrics))
 }
 
 func (a *csvAggregator) Cell(c CellResult) error { return a.sum.add(c) }

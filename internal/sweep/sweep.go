@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/access"
 	"repro/internal/chaos"
 	"repro/internal/prng"
 	isim "repro/internal/sim"
@@ -159,6 +160,53 @@ func ChaosAxis(spec string) ([]ProfileSpec, error) {
 	return ChaosProfiles(chaos.Profile{Name: "clean"}, p), nil
 }
 
+// AccessSpec is one column of a grid's optional access-pattern axis: a named
+// workload pattern every (scenario, policy, profile) triple additionally runs
+// under. The empty Spec is a legal column (the explicit uniform baseline);
+// grids without a Patterns axis run exactly one implicit uniform pattern,
+// preserving the legacy cell enumeration byte for byte.
+type AccessSpec struct {
+	// Name labels the column in reports; required when the axis is present.
+	Name string
+	// Spec is the canonical access-pattern spec ("" = the uniform shuffle;
+	// see access.ParseAccessSpec), stamped onto each simulator cell's config.
+	Spec string
+}
+
+// AccessPatterns builds a pattern axis from parsed patterns, labelling each
+// column with the pattern's Label and storing its canonical spec.
+func AccessPatterns(patterns ...access.Pattern) []AccessSpec {
+	specs := make([]AccessSpec, len(patterns))
+	for i, p := range patterns {
+		spec := ""
+		if !p.Empty() {
+			spec = p.Spec()
+		}
+		specs[i] = AccessSpec{Name: p.Label(), Spec: spec}
+	}
+	return specs
+}
+
+// AccessAxis turns an -access flag value (preset name or spec grammar, see
+// access.ParseAccessSpec) into a uniform-vs-pattern axis, so every report
+// pairs the workload against the classic uniform baseline on identical
+// replica seeds. An empty or uniform spec returns no axis at all, preserving
+// byte-identical legacy output. Both CLIs build their -access axis through
+// this one helper, mirroring ChaosAxis.
+func AccessAxis(spec string) ([]AccessSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p, err := access.ParseAccessSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	return AccessPatterns(access.Pattern{Name: "uniform"}, p), nil
+}
+
 // PolicySpecByName resolves a single registry column.
 func PolicySpecByName(name string) (PolicySpec, error) {
 	if _, err := isim.PolicyByName(name); err != nil {
@@ -173,8 +221,8 @@ func PolicySpecByName(name string) (PolicySpec, error) {
 	}}, nil
 }
 
-// Grid is a (scenario × policy × fault-profile × replica) experiment plan.
-// It is pure data: nothing runs until a Runner executes it.
+// Grid is a (scenario × policy × fault-profile × access-pattern × replica)
+// experiment plan. It is pure data: nothing runs until a Runner executes it.
 type Grid struct {
 	// Name labels the whole grid in reports.
 	Name string
@@ -185,8 +233,11 @@ type Grid struct {
 	// fault-free profile: the legacy (scenario × policy × replica)
 	// enumeration, byte-identical reports included.
 	Profiles []ProfileSpec
-	// Replicas is the number of seeds per (scenario, policy, profile) cell;
-	// values below 1 mean 1.
+	// Patterns is the optional access-pattern axis. Empty means one implicit
+	// uniform pattern, again preserving the legacy enumeration byte for byte.
+	Patterns []AccessSpec
+	// Replicas is the number of seeds per (scenario, policy, profile,
+	// pattern) cell; values below 1 mean 1.
 	Replicas int
 	// BaseSeed derives every replica seed. Replica 0 uses BaseSeed itself,
 	// so a 1-replica grid reproduces the legacy serial paths bit for bit.
@@ -194,10 +245,11 @@ type Grid struct {
 	// Metrics is the result schema shared by every cell. Nil means the
 	// simulator schema (SimMetrics).
 	Metrics []Metric
-	// Cell binds the (scenario, policy, profile) triple at the given indices
-	// to an executable cell. Nil means the simulator binding:
-	// Scenarios[si].Config × Policies[pi].New × Profiles[fi] × isim.Run.
-	Cell func(scenario, policy, profile int) CellFunc
+	// Cell binds the (scenario, policy, profile, pattern) tuple at the given
+	// indices to an executable cell. Nil means the simulator binding:
+	// Scenarios[si].Config × Policies[pi].New × Profiles[fi] × Patterns[ai]
+	// × isim.Run.
+	Cell func(scenario, policy, profile, pattern int) CellFunc
 }
 
 // Cell identifies one run within a grid.
@@ -205,17 +257,20 @@ type Cell struct {
 	// Index is the cell's position in the deterministic enumeration order
 	// (scenario-major, then policy, then profile, then replica).
 	Index int `json:"index"`
-	// Scenario, Policy and Profile are report labels; the *Idx fields index
-	// into the grid's spec slices. Profile is empty for grids without a
-	// fault-profile axis (keeping their encodings byte-identical).
+	// Scenario, Policy, Profile and Pattern are report labels; the *Idx
+	// fields index into the grid's spec slices. Profile and Pattern are
+	// empty for grids without the corresponding axis (keeping their
+	// encodings byte-identical).
 	Scenario    string `json:"scenario"`
 	Policy      string `json:"policy"`
 	Profile     string `json:"profile,omitempty"`
+	Pattern     string `json:"pattern,omitempty"`
 	Replica     int    `json:"replica"`
 	Seed        uint64 `json:"seed"`
 	ScenarioIdx int    `json:"-"`
 	PolicyIdx   int    `json:"-"`
 	ProfileIdx  int    `json:"-"`
+	PatternIdx  int    `json:"-"`
 }
 
 // ReplicaSeed derives the seed for replica r from the grid base seed.
@@ -248,6 +303,15 @@ func (g *Grid) profiles() []ProfileSpec {
 	return []ProfileSpec{{}}
 }
 
+// patterns returns the effective access-pattern axis: the declared columns,
+// or one implicit uniform pattern.
+func (g *Grid) patterns() []AccessSpec {
+	if len(g.Patterns) > 0 {
+		return g.Patterns
+	}
+	return []AccessSpec{{}}
+}
+
 // metrics returns the effective result schema.
 func (g *Grid) metrics() []Metric {
 	if len(g.Metrics) > 0 {
@@ -258,27 +322,32 @@ func (g *Grid) metrics() []Metric {
 
 // Size returns the number of cells in the grid.
 func (g *Grid) Size() int {
-	return len(g.Scenarios) * len(g.Policies) * len(g.profiles()) * g.replicas()
+	return len(g.Scenarios) * len(g.Policies) * len(g.profiles()) *
+		len(g.patterns()) * g.replicas()
 }
 
 // Cells enumerates the grid in deterministic order: scenario-major, then
-// policy, then profile, then replica. All parallelism downstream preserves
-// this order in the Report, so output is independent of scheduling.
-// Replica seeds are shared across scenarios, policies AND profiles: fault
-// scenarios are compared on identical training access streams, exactly as
-// the paper compares policies.
+// policy, then profile, then pattern, then replica. All parallelism
+// downstream preserves this order in the Report, so output is independent of
+// scheduling. Replica seeds are shared across scenarios, policies, profiles
+// AND patterns: fault and workload scenarios are compared on identical
+// replica seeds, exactly as the paper compares policies.
 func (g *Grid) Cells() []Cell {
 	cells := make([]Cell, 0, g.Size())
 	for si, s := range g.Scenarios {
 		for pi, p := range g.Policies {
 			for fi, prof := range g.profiles() {
-				for r := 0; r < g.replicas(); r++ {
-					cells = append(cells, Cell{
-						Index:    len(cells),
-						Scenario: s.ID, Policy: p.Name, Profile: prof.Name,
-						Replica: r, Seed: ReplicaSeed(g.BaseSeed, r),
-						ScenarioIdx: si, PolicyIdx: pi, ProfileIdx: fi,
-					})
+				for ai, pat := range g.patterns() {
+					for r := 0; r < g.replicas(); r++ {
+						cells = append(cells, Cell{
+							Index:    len(cells),
+							Scenario: s.ID, Policy: p.Name, Profile: prof.Name,
+							Pattern: pat.Name,
+							Replica: r, Seed: ReplicaSeed(g.BaseSeed, r),
+							ScenarioIdx: si, PolicyIdx: pi, ProfileIdx: fi,
+							PatternIdx: ai,
+						})
+					}
 				}
 			}
 		}
@@ -286,20 +355,20 @@ func (g *Grid) Cells() []Cell {
 	return cells
 }
 
-// cellFunc resolves the executable cell for (scenario, policy, profile)
-// indices, applying the simulator default when the grid carries no custom
-// binding. The memo applies only to the simulator default: custom bindings
-// may close over live resources the memo cannot key.
-func (g *Grid) cellFunc(si, pi, fi int, memo *ResultMemo) (CellFunc, error) {
+// cellFunc resolves the executable cell for (scenario, policy, profile,
+// pattern) indices, applying the simulator default when the grid carries no
+// custom binding. The memo applies only to the simulator default: custom
+// bindings may close over live resources the memo cannot key.
+func (g *Grid) cellFunc(si, pi, fi, ai int, memo *ResultMemo) (CellFunc, error) {
 	if g.Cell != nil {
-		fn := g.Cell(si, pi, fi)
+		fn := g.Cell(si, pi, fi, ai)
 		if fn == nil {
 			return nil, fmt.Errorf("sweep: grid %q cell binding returned nil for %s/%s",
 				g.Name, g.Scenarios[si].ID, g.Policies[pi].Name)
 		}
 		return fn, nil
 	}
-	return simCellFunc(g.Scenarios[si], g.Policies[pi], g.profiles()[fi], memo), nil
+	return simCellFunc(g.Scenarios[si], g.Policies[pi], g.profiles()[fi], g.patterns()[ai], memo), nil
 }
 
 // Validate reports whether the grid is runnable.
@@ -318,6 +387,26 @@ func (g *Grid) Validate() error {
 		}
 		if err := prof.Profile.Validate(); err != nil {
 			return fmt.Errorf("sweep: grid %q profile %q: %w", g.Name, prof.Name, err)
+		}
+	}
+	for _, pat := range g.Patterns {
+		if pat.Name == "" {
+			return fmt.Errorf("sweep: grid %q has an access-pattern column without a name", g.Name)
+		}
+		p, err := access.ParseAccessSpec(pat.Spec)
+		if err != nil {
+			return fmt.Errorf("sweep: grid %q pattern %q: %w", g.Name, pat.Name, err)
+		}
+		// Reject elastic × crash up front (sim.Config.Validate would fail
+		// every such cell anyway): crash redistribution assumes the uniform
+		// per-epoch partition an elastic membership schedule removes.
+		if p.Elastic() {
+			for _, prof := range g.Profiles {
+				if prof.Profile.Structural() {
+					return fmt.Errorf("sweep: grid %q: elastic pattern %q cannot cross structural (crash) profile %q",
+						g.Name, pat.Name, prof.Name)
+				}
+			}
 		}
 	}
 	if g.Cell != nil {

@@ -363,7 +363,7 @@ func funcGrid(replicas int) *Grid {
 			{Name: "score", Label: "score"},
 			{Name: "aux", Hide: true},
 		},
-		Cell: func(si, pi, _ int) CellFunc {
+		Cell: func(si, pi, _, _ int) CellFunc {
 			return func(_ context.Context, seed uint64) (*Outcome, error) {
 				if si == 1 && pi == 1 {
 					return &Outcome{Failed: true, FailReason: "colY cannot run rowB"}, nil
@@ -445,8 +445,8 @@ func TestRunnerCancellation(t *testing.T) {
 	var ran atomic.Int64
 	g := funcGrid(64) // 3 cell groups × 64 replicas = plenty to interrupt
 	inner := g.Cell
-	g.Cell = func(si, pi, _ int) CellFunc {
-		fn := inner(si, pi, 0)
+	g.Cell = func(si, pi, _, _ int) CellFunc {
+		fn := inner(si, pi, 0, 0)
 		return func(ctx context.Context, seed uint64) (*Outcome, error) {
 			if ran.Add(1) == 3 {
 				cancel()
@@ -476,7 +476,7 @@ func TestRunnerCancellation(t *testing.T) {
 // must abort the grid with a descriptive error, not panic.
 func TestNilCellBinding(t *testing.T) {
 	g := funcGrid(1)
-	g.Cell = func(si, pi, _ int) CellFunc { return nil }
+	g.Cell = func(si, pi, _, _ int) CellFunc { return nil }
 	if _, err := (&Runner{Parallel: 2}).Run(bg, g); err == nil {
 		t.Error("nil cell binding accepted")
 	}

@@ -160,7 +160,7 @@ func Fig16Experiment(scale float64) Experiment {
 // times into the accuracy-vs-time curve (the Goyal et al. schedule).
 func fig16Cell(exp Experiment, ds *dataset.Synthetic, sys hwspec.System, loader Loader, seed uint64) (EndToEndResult, error) {
 	work := loader.AdjustWorkload(exp.Workload(exp.GPUCounts[0]))
-	cfg := sim.Config{Sys: sys, Work: work, DS: ds, Seed: seed, PFSJitter: exp.Jitter, DropLast: true, Chaos: exp.Chaos}
+	cfg := sim.Config{Sys: sys, Work: work, DS: ds, Seed: seed, PFSJitter: exp.Jitter, DropLast: true, Chaos: exp.Chaos, Access: exp.Access}
 	pol, err := loader.Policy()
 	if err != nil {
 		return EndToEndResult{}, err
@@ -214,10 +214,11 @@ func Fig16GridFrom(exp Experiment, replicas int) *sweep.Grid {
 		Replicas: replicas, BaseSeed: exp.Seed,
 		Metrics: Fig16Metrics(),
 	}
-	grid.Cell = func(si, pi, fi int) sweep.CellFunc {
+	grid.Cell = func(si, pi, fi, ai int) sweep.CellFunc {
 		l := loaders[pi]
 		cell := exp
 		cell.Chaos = effectiveChaos(exp, grid, fi)
+		cell.Access = effectiveAccess(exp, grid, ai)
 		return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err

@@ -107,15 +107,16 @@ func sharedEnv(e Experiment) func() (*dataset.Synthetic, hwspec.System, error) {
 // under the cell's resolved fault profile (see effectiveChaos) — the grids'
 // fault-profile axis reuses one shared dataset across its clean and faulted
 // columns.
-func sharedCells(e Experiment) func(gpus int, loader Loader, seed uint64, prof chaos.Profile) (ScalePoint, error) {
+func sharedCells(e Experiment) func(gpus int, loader Loader, seed uint64, prof chaos.Profile, access string) (ScalePoint, error) {
 	env := sharedEnv(e)
-	return func(gpus int, loader Loader, seed uint64, prof chaos.Profile) (ScalePoint, error) {
+	return func(gpus int, loader Loader, seed uint64, prof chaos.Profile, access string) (ScalePoint, error) {
 		ds, sys, err := env()
 		if err != nil {
 			return ScalePoint{}, err
 		}
 		cell := e
 		cell.Chaos = prof
+		cell.Access = access
 		return cell.cell(ds, sys, gpus, loader, seed)
 	}
 }
@@ -129,6 +130,17 @@ func effectiveChaos(e Experiment, g *sweep.Grid, fi int) chaos.Profile {
 		return g.Profiles[fi].Profile
 	}
 	return e.Chaos
+}
+
+// effectiveAccess resolves one cell's access-pattern spec by the same rule:
+// a declared pattern axis fully determines it (the empty column is the
+// explicit uniform baseline); without the axis the experiment's own Access
+// field applies.
+func effectiveAccess(e Experiment, g *sweep.Grid, ai int) string {
+	if len(g.Patterns) > 0 {
+		return g.Patterns[ai].Spec
+	}
+	return e.Access
 }
 
 // Grid plans the experiment as a sweep grid: one row per GPU count, one
@@ -153,15 +165,16 @@ func (e Experiment) Grid(replicas int) *sweep.Grid {
 		Replicas: replicas, BaseSeed: e.Seed,
 		Metrics: GridMetrics(),
 	}
-	// The binding closes over the grid so a Profiles axis assigned by the
-	// caller (nopfs-train -chaos) reaches the cells.
-	grid.Cell = func(si, pi, fi int) sweep.CellFunc {
+	// The binding closes over the grid so Profiles and Patterns axes
+	// assigned by the caller (nopfs train -chaos / -access) reach the cells.
+	grid.Cell = func(si, pi, fi, ai int) sweep.CellFunc {
 		g, l, prof := gpus[si], loaders[pi], effectiveChaos(e, grid, fi)
+		accessSpec := effectiveAccess(e, grid, ai)
 		return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p, err := run(g, l, seed, prof)
+			p, err := run(g, l, seed, prof, accessSpec)
 			if err != nil {
 				return nil, err
 			}
@@ -212,7 +225,7 @@ func MultiGrid(name string, exps []Experiment, replicas int) (*sweep.Grid, error
 		cols[i] = sweep.PolicySpec{Name: l.String()}
 	}
 	loaders := exps[0].Loaders
-	runs := make([]func(int, Loader, uint64, chaos.Profile) (ScalePoint, error), len(exps))
+	runs := make([]func(int, Loader, uint64, chaos.Profile, string) (ScalePoint, error), len(exps))
 	for i, e := range exps {
 		runs[i] = sharedCells(e)
 	}
@@ -221,13 +234,14 @@ func MultiGrid(name string, exps []Experiment, replicas int) (*sweep.Grid, error
 		Replicas: replicas, BaseSeed: exps[0].Seed,
 		Metrics: GridMetrics(),
 	}
-	grid.Cell = func(si, pi, fi int) sweep.CellFunc {
+	grid.Cell = func(si, pi, fi, ai int) sweep.CellFunc {
 		k, l, prof := keys[si], loaders[pi], effectiveChaos(exps[keys[si].exp], grid, fi)
+		accessSpec := effectiveAccess(exps[keys[si].exp], grid, ai)
 		return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p, err := runs[k.exp](k.gpus, l, seed, prof)
+			p, err := runs[k.exp](k.gpus, l, seed, prof, accessSpec)
 			if err != nil {
 				return nil, err
 			}

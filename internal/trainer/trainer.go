@@ -170,6 +170,9 @@ type Experiment struct {
 	// Chaos injects a fault/degradation scenario into every cell (zero =
 	// fault-free, identical to the paper's healthy clusters).
 	Chaos chaos.Profile
+	// Access is the workload access-pattern spec stamped onto every cell
+	// ("" = the classic uniform shuffle; see access.ParseAccessSpec).
+	Access string
 }
 
 // scaled returns the experiment's dataset spec and system at its Scale.
@@ -213,7 +216,7 @@ func (e Experiment) config(ds *dataset.Synthetic, sys hwspec.System, gpus int, l
 	cfg := sim.Config{
 		Sys: sys, Work: work, DS: ds,
 		Seed: seed, PFSJitter: e.Jitter, DropLast: true,
-		Chaos: e.Chaos,
+		Chaos: e.Chaos, Access: e.Access,
 	}
 	if err := cfg.Validate(); err != nil {
 		return sim.Config{}, fmt.Errorf("%s @%d GPUs (%s): %w", e.Name, gpus, loader, err)

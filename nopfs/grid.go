@@ -123,34 +123,44 @@ func ClusterGrid(name string, scenarios []ClusterScenario, fabrics []FabricSpec,
 	for i, f := range fabrics {
 		cols[i] = sweep.PolicySpec{Name: f.Name}
 	}
-	return &sweep.Grid{
+	grid := &sweep.Grid{
 		Name: name, Scenarios: rows, Policies: cols, Profiles: profiles,
 		Replicas: replicas, BaseSeed: baseSeed,
 		Metrics: ClusterMetrics(),
-		Cell: func(si, pi, fi int) sweep.CellFunc {
-			sc, f := scenarios[si], fabrics[pi]
-			var prof ChaosProfile
-			if len(profiles) > 0 {
-				prof = profiles[fi].Profile
-			}
-			return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
-				if sc.Dataset == nil {
-					return nil, fmt.Errorf("nopfs: cluster scenario %q has no dataset", sc.ID)
-				}
-				ds, err := sc.Dataset()
-				if err != nil {
-					return nil, err
-				}
-				opts := sc.Options
-				opts.Seed = seed
-				opts.Fabric = f.Name
-				opts.Chaos = prof
-				stats, err := RunCluster(ctx, ds, sc.Workers, opts, DrainAll(nil))
-				if err != nil {
-					return nil, err
-				}
-				return ClusterOutcome(stats), nil
-			}
-		},
 	}
+	// The binding closes over the grid so a Patterns axis assigned by the
+	// caller (nopfs run -access over a grid) reaches the cells.
+	grid.Cell = func(si, pi, fi, ai int) sweep.CellFunc {
+		sc, f := scenarios[si], fabrics[pi]
+		var prof ChaosProfile
+		if len(profiles) > 0 {
+			prof = profiles[fi].Profile
+		}
+		var accessSpec string
+		if len(grid.Patterns) > 0 {
+			accessSpec = grid.Patterns[ai].Spec
+		}
+		return func(ctx context.Context, seed uint64) (*sweep.Outcome, error) {
+			if sc.Dataset == nil {
+				return nil, fmt.Errorf("nopfs: cluster scenario %q has no dataset", sc.ID)
+			}
+			ds, err := sc.Dataset()
+			if err != nil {
+				return nil, err
+			}
+			opts := sc.Options
+			opts.Seed = seed
+			opts.Fabric = f.Name
+			opts.Chaos = prof
+			if accessSpec != "" {
+				opts.Access = accessSpec
+			}
+			stats, err := RunCluster(ctx, ds, sc.Workers, opts, DrainAll(nil))
+			if err != nil {
+				return nil, err
+			}
+			return ClusterOutcome(stats), nil
+		}
+	}
+	return grid
 }

@@ -107,9 +107,17 @@ type Job struct {
 // ctx bounds backend construction only — the job's lifetime context is
 // derived later, in Start.
 func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, net Endpoint, shared *pfs) (*Job, error) {
+	// Canonicalise the access spec before it enters the plan: every rank
+	// (and the simulator) must derive the identical Plan value — and so the
+	// identical digest — from equivalent spellings of the same pattern.
+	spec, err := access.CanonicalSpec(opts.Access)
+	if err != nil {
+		return nil, fmt.Errorf("nopfs: %w", err)
+	}
 	plan := &access.Plan{
 		Seed: opts.Seed, F: ds.Len(), N: workers, E: opts.Epochs,
 		BatchPerWorker: opts.BatchPerWorker, DropLast: opts.DropLast,
+		Access: spec,
 	}
 	if err := plan.Validate(); err != nil {
 		return nil, err
@@ -138,6 +146,13 @@ func newJob(ctx context.Context, ds Dataset, rank, workers int, opts Options, ne
 		stream, ends = sched.RedistributeStream(rank, workers, plan.E, stream,
 			plan.SamplesPerEpoch,
 			func(w int) []access.SampleID { return art.Streams[w] })
+	} else if len(art.EpochEnds) > 0 {
+		// Elastic plan: the per-epoch partition varies with the membership
+		// schedule, so epoch/iteration accounting follows the precomputed
+		// cumulative boundaries exactly as a crash-redistributed stream's
+		// do. (Options.Validate rejects elastic × crash, so the branches
+		// are exclusive.)
+		ends = art.EpochEnds[rank]
 	}
 	j := &Job{
 		rank: rank, opts: opts, ds: ds, plan: plan, digest: plan.Hash(),
@@ -261,6 +276,14 @@ func (j *Job) Start(ctx context.Context) error {
 	for t := 0; t < j.opts.StagingThreads; t++ {
 		j.wg.Add(1)
 		go j.stagingPrefetcher()
+	}
+	if len(j.stream) == 0 {
+		// A rank outside its elastic membership window for the whole run
+		// delivers nothing: close the staging buffer now so Get reports a
+		// clean end of stream instead of blocking on prefetchers that have
+		// nothing to stage. The endpoint stays open — the rank keeps
+		// serving its cached bytes to peers until cluster teardown.
+		j.staging.Close()
 	}
 	return nil
 }

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/access"
 	"repro/internal/chaos"
 	"repro/internal/resilience"
 	"repro/internal/storage"
@@ -159,6 +160,18 @@ type Options struct {
 	// nothing — runs are identical to a chaos-free build.
 	Chaos ChaosProfile
 
+	// Access is the workload access-pattern spec ("" = the classic uniform
+	// per-epoch shuffle; see the -access grammar and presets in
+	// internal/access.ParseAccessSpec). All workers must agree on it: any
+	// non-uniform spec is folded into the plan digest the startup allgather
+	// verifies. An elastic membership schedule
+	// ("elastic:join=1@1,leave=2@2") re-partitions the plan at epoch
+	// boundaries — a rank delivers nothing outside its membership window,
+	// but its endpoint stays open and its cached bytes stay servable
+	// (unlike a crash). Elastic schedules cannot combine with crash chaos
+	// profiles.
+	Access string
+
 	// Resilience bounds the fetch path's handling of fabric failures:
 	// retry/backoff, per-call deadlines, and per-peer circuit breaking
 	// (see ResiliencePolicy). The zero value disables resilience — every
@@ -225,6 +238,15 @@ func (o Options) Validate(ds Dataset, workers int) error {
 	}
 	if err := o.Chaos.Validate(); err != nil {
 		return err
+	}
+	pat, err := access.ParseAccessSpec(o.Access)
+	if err != nil {
+		return fmt.Errorf("nopfs: %w", err)
+	}
+	// Crash redistribution assumes every epoch contributes the same uniform
+	// per-worker count, which an elastic membership schedule removes.
+	if pat.Elastic() && o.Chaos.Structural() {
+		return errors.New("nopfs: elastic access pattern cannot combine with a crash chaos profile")
 	}
 	if err := o.Resilience.Validate(); err != nil {
 		return err

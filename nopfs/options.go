@@ -12,7 +12,12 @@ package nopfs
 //	)
 //	stats, err := nopfs.RunCluster(ctx, ds, workers, opts, fn)
 
-import "io"
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
 
 // Option mutates an Options value; see NewOptions.
 type Option func(*Options)
@@ -102,6 +107,48 @@ func WithFabric(name string) Option {
 // (see ChaosProfile). The empty profile injects nothing.
 func WithChaos(p ChaosProfile) Option {
 	return func(o *Options) { o.Chaos = p }
+}
+
+// WithAccessPattern sets the workload access pattern by preset name or spec
+// ("zipf", "hot-set", "curriculum:buckets=8", "elastic:join=1@1", ...; see
+// internal/access.ParseAccessSpec). The empty spec is the classic uniform
+// per-epoch shuffle.
+func WithAccessPattern(spec string) Option {
+	return func(o *Options) { o.Access = spec }
+}
+
+// WithMembership declares an elastic membership schedule from explicit
+// events: joins[rank] is the epoch the rank joins at (it delivers nothing
+// earlier), leaves[rank] the epoch it leaves at (it delivers nothing from
+// then on, but keeps serving its cached bytes to peers). Epochs count from
+// 1 — every run needs one full-membership epoch. It overwrites any previous
+// access pattern; empty maps reset to the uniform pattern.
+func WithMembership(joins, leaves map[int]int) Option {
+	return func(o *Options) {
+		var parts []string
+		for _, r := range sortedRanks(joins) {
+			parts = append(parts, fmt.Sprintf("join=%d@%d", r, joins[r]))
+		}
+		for _, r := range sortedRanks(leaves) {
+			parts = append(parts, fmt.Sprintf("leave=%d@%d", r, leaves[r]))
+		}
+		if len(parts) == 0 {
+			o.Access = ""
+			return
+		}
+		o.Access = "elastic:" + strings.Join(parts, ",")
+	}
+}
+
+// sortedRanks returns the map's keys in ascending order, so the constructed
+// spec is deterministic regardless of map iteration order.
+func sortedRanks(events map[int]int) []int {
+	ranks := make([]int, 0, len(events))
+	for r := range events {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 // WithResilience bounds the fetch path's fault handling — retry/backoff,

@@ -51,6 +51,8 @@ type (
 	Metric = sweep.Metric
 	// ProfileSpec is one column of a grid's optional fault-profile axis.
 	ProfileSpec = sweep.ProfileSpec
+	// AccessSpec is one column of a grid's optional access-pattern axis.
+	AccessSpec = sweep.AccessSpec
 	// Runner executes grids; Parallel bounds the goroutine pool.
 	Runner = sweep.Runner
 	// Report is the deterministic raw outcome of one grid execution.
@@ -130,6 +132,10 @@ var (
 	ReplicaSeed = sweep.ReplicaSeed
 	// ChaosProfiles builds a fault-profile axis from chaos profiles.
 	ChaosProfiles = sweep.ChaosProfiles
+	// AccessPatterns builds an access-pattern axis from parsed patterns;
+	// AccessAxis builds the uniform-vs-pattern axis from an -access spec.
+	AccessPatterns = sweep.AccessPatterns
+	AccessAxis     = sweep.AccessAxis
 	// WriteJSON / WriteCSV / WriteText encode a Report.
 	WriteJSON = sweep.WriteJSON
 	WriteCSV  = sweep.WriteCSV
